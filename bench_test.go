@@ -1,0 +1,370 @@
+// Benchmarks for the reproduction suite: one bench per experiment kernel
+// (E0..E9; E10-E12 are timed by the ablation benches, see DESIGN.md) plus
+// micro-benchmarks for the algorithmic pieces whose asymptotic costs
+// Section 7.1 discusses (graph construction, the O(n^2) rewriting pass,
+// pruning, and the lock manager).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem ./...
+package tiermerge_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tiermerge"
+	"tiermerge/internal/eager"
+	"tiermerge/internal/graph"
+	"tiermerge/internal/history"
+	"tiermerge/internal/merge"
+	"tiermerge/internal/papertest"
+	"tiermerge/internal/prune"
+	"tiermerge/internal/rewrite"
+	"tiermerge/internal/sim"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// benchHistories builds a deterministic conflicting history pair of the
+// given lengths.
+func benchHistories(b *testing.B, items, nm, nb int) (hm, hb *history.Augmented) {
+	b.Helper()
+	gen := workload.NewGenerator(workload.Config{Seed: 1234, Items: items, PCommutative: 0.7})
+	origin := gen.OriginState()
+	hm, err := gen.RunHistory(tx.Tentative, nm, origin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hb, err = gen.RunHistory(tx.Base, nb, origin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return hm, hb
+}
+
+// benchBadSet derives a bad set from the precedence graph so rewriting
+// benches exercise realistic back-outs.
+func benchBadSet(b *testing.B, hm, hb *history.Augmented) map[int]bool {
+	b.Helper()
+	g := graph.BuildFromHistories(hm, hb)
+	bad, err := (graph.TwoCycle{}).ComputeB(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := make(map[int]bool, len(bad))
+	for _, v := range bad {
+		set[v] = true
+	}
+	return set
+}
+
+// BenchmarkE1PrecedenceGraph times building Figure 1's graph and computing
+// its back-out set.
+func BenchmarkE1PrecedenceGraph(b *testing.B) {
+	e := papertest.NewExample1()
+	am, err := history.Run(history.New(e.Mobile()...), e.Origin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ab, err := history.Run(history.New(e.BaseTxns()...), e.Origin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.BuildFromHistories(am, ab)
+		if _, err := (graph.TwoCycle{}).ComputeB(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2FixExecution times transaction execution with and without a
+// fix (the Definition 1 read-override path).
+func BenchmarkE2FixExecution(b *testing.B) {
+	h := papertest.NewH4()
+	for _, tc := range []struct {
+		name string
+		fix  tx.Fix
+	}{
+		{"empty-fix", nil},
+		{"with-fix", tx.Fix{"u": 30}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := h.B1.Exec(h.Origin, tc.fix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3Rewrite times the three rewriters on H4.
+func BenchmarkE3Rewrite(b *testing.B) {
+	h := papertest.NewH4()
+	a, err := history.Run(history.New(h.Txns()...), h.Origin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := map[int]bool{0: true}
+	b.Run("algorithm1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rewrite.Algorithm1(a, bad); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("algorithm2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rewrite.Algorithm2(a, bad, rewrite.StaticDetector{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cbtr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rewrite.CBTR(a, bad, rewrite.StaticDetector{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5CanFollow times Algorithm 1 across history lengths,
+// demonstrating the O(n^2) rewriting bound of Section 7.1.
+func BenchmarkE5CanFollow(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			hm, hb := benchHistories(b, 64, n, 8)
+			bad := benchBadSet(b, hm, hb)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.Algorithm1(hm, bad); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6SavedSeries times Algorithm 2 (the saved-series kernel) across
+// commutativity mixes.
+func BenchmarkE6SavedSeries(b *testing.B) {
+	for _, pc := range []float64{0.3, 0.9} {
+		b.Run(fmt.Sprintf("pcommut=%.1f", pc), func(b *testing.B) {
+			gen := workload.NewGenerator(workload.Config{Seed: 77, Items: 12, PCommutative: pc})
+			origin := gen.OriginState()
+			hm, err := gen.RunHistory(tx.Tentative, 16, origin)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bad := gen.RandomBadSet(16, 0.2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.Algorithm2(hm, bad, rewrite.StaticDetector{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Windows times whole scenarios across resynchronization window
+// lengths (the Section 2.2 trade-off).
+func BenchmarkE7Windows(b *testing.B) {
+	for _, win := range []int{1, 4, 0} {
+		name := fmt.Sprintf("windowEvery=%d", win)
+		if win == 0 {
+			name = "windowEvery=never"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Scenario{
+					Seed: 7, Mobiles: 4, Rounds: 6, TxnsPerRound: 4, Items: 32,
+					WindowEveryRounds: win,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8ProtocolComparison times whole scenarios under both protocols;
+// the per-op time difference mirrors the Section 7.1 cost comparison on the
+// real substrate (not just the abstract weights).
+func BenchmarkE8ProtocolComparison(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		proto sim.Protocol
+	}{
+		{"merging", sim.Merging},
+		{"reprocessing", sim.Reprocessing},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Scenario{
+					Seed: 42, Mobiles: 8, Rounds: 3, TxnsPerRound: 6,
+					Items: 256, Protocol: tc.proto,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9BackoutStrategies times each back-out strategy on a shared
+// conflicting graph.
+func BenchmarkE9BackoutStrategies(b *testing.B) {
+	hm, hb := benchHistories(b, 8, 12, 8)
+	g := graph.BuildFromHistories(hm, hb)
+	for _, s := range []graph.Strategy{
+		graph.TwoCycle{}, graph.GreedyCost{}, graph.GreedyDegree{},
+		graph.Exhaustive{MaxCandidates: 18}, graph.AllCyclic{},
+	} {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ComputeB(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraphBuild scales precedence-graph construction.
+func BenchmarkGraphBuild(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			hm, hb := benchHistories(b, 128, n, n/2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.BuildFromHistories(hm, hb)
+			}
+		})
+	}
+}
+
+// BenchmarkMergeEndToEnd times the full six-step merging protocol.
+func BenchmarkMergeEndToEnd(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			hm, hb := benchHistories(b, 64, n, n/2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := merge.Merge(hm, hb, merge.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrune times both pruning approaches on a commutative history.
+func BenchmarkPrune(b *testing.B) {
+	gen := workload.NewGenerator(workload.Config{Seed: 5, Items: 16, PCommutative: 1.0})
+	origin := gen.OriginState()
+	hm, err := gen.RunHistory(tx.Tentative, 16, origin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := gen.RandomBadSet(16, 0.25)
+	res, err := rewrite.Algorithm2(hm, bad, rewrite.StaticDetector{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	final := hm.Final()
+	b.Run("compensation", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := prune.ByCompensation(res, final); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("undo", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := prune.ByUndo(res, final); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reexecute-oracle", func(b *testing.B) {
+		b.ReportAllocs()
+		repaired := res.Repaired()
+		for i := 0; i < b.N; i++ {
+			if _, err := history.Run(repaired, origin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDetectors compares the static and dynamic can-precede detectors
+// on the H4 pair.
+func BenchmarkDetectors(b *testing.B) {
+	h := papertest.NewH4()
+	fix := tx.Fix{"u": 30}
+	b.Run("static", func(b *testing.B) {
+		det := rewrite.StaticDetector{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !det.CanPrecede(h.G3, h.B1, fix) {
+				b.Fatal("unexpected rejection")
+			}
+		}
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		gen := workload.NewGenerator(workload.Config{Seed: 3})
+		det := &rewrite.DynamicDetector{Rng: gen.Rand(), Samples: 32}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !det.CanPrecede(h.G3, h.B1, fix) {
+				b.Fatal("unexpected rejection")
+			}
+		}
+	})
+}
+
+// BenchmarkPublicAPIQuickstart times the README quick-start path through
+// the public facade.
+func BenchmarkPublicAPIQuickstart(b *testing.B) {
+	origin := tiermerge.StateOf(map[tiermerge.Item]tiermerge.Value{"acct": 100})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base := tiermerge.NewBaseCluster(origin, tiermerge.ClusterConfig{})
+		m := tiermerge.NewMobileNode("m1", base)
+		if err := m.Run(tiermerge.Deposit("T1", tiermerge.Tentative, "acct", 25)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.ConnectMerge(base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE0EagerInstability times the motivation simulation at two fleet
+// scales; the superlinear slowdown mirrors the deadlock blow-up.
+func BenchmarkE0EagerInstability(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eager.Run(eager.Config{Seed: 7, Nodes: n})
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+// Command txrun parses a merge scenario file (see internal/parse) and runs
+// the merging protocol over it, printing the precedence graph, the back-out
+// and affected sets, the rewritten history and the forwarded updates.
+//
+//	txrun -file scenario.txn
+//	txrun -file scenario.txn -rewriter canfollow -verbose
+//	echo 'origin { x = 1 } ...' | txrun
+//
+// Scenario syntax:
+//
+//	origin { x = 1; y = 7; z = 2 }
+//	mobile tx B1 { if x > 0 { y := y + z + 3 } }
+//	mobile tx G2 { x := x - 1 }
+//	base tx TB1 type deposit (amt = 100) { z := z + $amt }
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tiermerge"
+	"tiermerge/internal/parse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "txrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		file     = flag.String("file", "", "scenario file (default: stdin)")
+		rewriter = flag.String("rewriter", "auto", "rewriting algorithm: auto | closure | canfollow | canfollowbw | canprecede | cbt")
+		strategy = flag.String("strategy", "two-cycle", "back-out strategy: two-cycle | greedy-cost | greedy-degree | exhaustive | all-cyclic")
+		verbose  = flag.Bool("verbose", false, "print the precedence graph and rewritten history")
+		dot      = flag.Bool("dot", false, "emit the precedence graph as Graphviz DOT (back-out set dashed) and exit")
+	)
+	flag.Parse()
+
+	var (
+		src []byte
+		err error
+	)
+	if *file == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		return err
+	}
+	sc, err := parse.ScenarioFile(string(src))
+	if err != nil {
+		return err
+	}
+	if len(sc.Mobile) == 0 {
+		return fmt.Errorf("scenario has no mobile transactions")
+	}
+
+	opts := tiermerge.MergeOptions{Verify: true}
+	switch *strategy {
+	case "two-cycle":
+		opts.Strategy = tiermerge.TwoCycleStrategy{}
+	case "greedy-cost":
+		opts.Strategy = tiermerge.GreedyCostStrategy{}
+	case "greedy-degree":
+		opts.Strategy = tiermerge.GreedyDegreeStrategy{}
+	case "exhaustive":
+		opts.Strategy = tiermerge.ExhaustiveStrategy{}
+	case "all-cyclic":
+		opts.Strategy = tiermerge.AllCyclicStrategy{}
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	switch *rewriter {
+	case "auto":
+		// leave unset: Algorithm 2, degrading to blind-write-safe
+		// can-follow when the history needs it
+	case "closure":
+		opts.Rewriter = tiermerge.RewriteClosure
+	case "canfollow":
+		opts.Rewriter = tiermerge.RewriteCanFollow
+	case "canfollowbw":
+		opts.Rewriter = tiermerge.RewriteCanFollowBW
+	case "canprecede":
+		opts.Rewriter = tiermerge.RewriteCanPrecede
+	case "cbt":
+		opts.Rewriter = tiermerge.RewriteCBT
+	default:
+		return fmt.Errorf("unknown rewriter %q", *rewriter)
+	}
+
+	hm, err := tiermerge.RunHistory(tiermerge.NewHistory(sc.Mobile...), sc.Origin)
+	if err != nil {
+		return fmt.Errorf("run tentative history: %w", err)
+	}
+	hb, err := tiermerge.RunHistory(tiermerge.NewHistory(sc.Base...), sc.Origin)
+	if err != nil {
+		return fmt.Errorf("run base history: %w", err)
+	}
+
+	rep, err := tiermerge.Merge(hm, hb, opts)
+	if err != nil {
+		return err
+	}
+
+	if *dot {
+		removed := make(map[int]bool)
+		for _, id := range rep.BadIDs {
+			removed[rep.Graph.VertexByID(id)] = true
+		}
+		fmt.Print(rep.Graph.Dot(removed))
+		return nil
+	}
+
+	fmt.Println("origin:           ", sc.Origin)
+	fmt.Println("tentative history:", hm.H)
+	fmt.Println("base history:     ", hb.H)
+	if *verbose {
+		fmt.Println("\nprecedence graph:")
+		for _, e := range rep.Graph.Edges() {
+			fmt.Printf("  %s -> %s\n", e[0], e[1])
+		}
+		if c := rep.Graph.FindCycle(nil); c != nil {
+			fmt.Println("  cycle:", c)
+		}
+	}
+	fmt.Println("\nconflict:         ", rep.Conflict)
+	fmt.Println("back-out set B:   ", rep.BadIDs)
+	fmt.Println("affected set AG:  ", rep.AffectedIDs)
+	fmt.Println("saved:            ", rep.SavedIDs)
+	if *verbose && rep.RewriteResult != nil {
+		fmt.Println("rewritten:        ", rep.RewriteResult.Rewritten)
+		for _, line := range rep.RewriteResult.ExplainIDs() {
+			fmt.Println("  not saved —", line)
+		}
+	}
+	fmt.Println("prune method:     ", rep.PruneMethod)
+	fmt.Println("forward updates:  ", tiermerge.StateOf(rep.ForwardUpdates))
+	reexec := make([]string, len(rep.Reexecute))
+	for i, t := range rep.Reexecute {
+		reexec[i] = t.ID
+	}
+	fmt.Println("re-execute:       ", reexec)
+
+	merged, err := tiermerge.VerifyMerge(rep, hm, hb, sc.Origin)
+	if err != nil {
+		return fmt.Errorf("merge verification: %w", err)
+	}
+	fmt.Println("merged history:   ", merged)
+	fmt.Println("master after merge:", hb.Final().Clone().Apply(rep.ForwardUpdates))
+	return nil
+}

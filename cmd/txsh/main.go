@@ -1,0 +1,66 @@
+// Command txsh is an interactive shell over the two-tier replication
+// substrate: commit base transactions, run tentative ones on named mobile
+// nodes, preview and perform merges, advance time windows, and watch the
+// protocol counters — all in the paper's own transaction notation.
+//
+//	$ txsh
+//	> origin x=100 y=50
+//	> checkout m1
+//	> run m1 x := x + 25
+//	> base y := y * 2
+//	> preview m1
+//	> connect m1
+//	> state
+//
+// Lines are also accepted on stdin non-interactively:
+//
+//	txsh < script.txsh
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "txsh:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s := NewSession()
+	in := bufio.NewScanner(os.Stdin)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("tiermerge shell — 'help' for commands, ctrl-D to exit")
+	}
+	for {
+		if interactive {
+			fmt.Print("> ")
+		}
+		if !in.Scan() {
+			break
+		}
+		out, err := s.Eval(in.Text())
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+	}
+	return in.Err()
+}
+
+// isTerminal reports whether stdin looks interactive (char device).
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tiermerge"
+)
+
+// Session is the REPL's state machine, separated from terminal I/O so tests
+// can drive it line by line.
+type Session struct {
+	origin  tiermerge.State
+	base    *tiermerge.BaseCluster
+	nodes   map[string]*tiermerge.MobileNode
+	baseSeq int
+	runSeq  map[string]int
+	cfg     tiermerge.ClusterConfig
+}
+
+// NewSession creates an empty session; the cluster materializes at the
+// first command that needs it (so `origin` can still set the initial
+// state).
+func NewSession() *Session {
+	return &Session{
+		origin: tiermerge.NewState(),
+		nodes:  make(map[string]*tiermerge.MobileNode),
+		runSeq: make(map[string]int),
+	}
+}
+
+// cluster lazily builds the base cluster.
+func (s *Session) cluster() *tiermerge.BaseCluster {
+	if s.base == nil {
+		s.base = tiermerge.NewBaseCluster(s.origin, s.cfg)
+	}
+	return s.base
+}
+
+// Eval executes one REPL line and returns its printed output.
+func (s *Session) Eval(line string) (string, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", nil
+	}
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "help":
+		return helpText, nil
+	case "origin":
+		return s.cmdOrigin(rest)
+	case "base":
+		return s.cmdBase(rest)
+	case "checkout":
+		return s.cmdCheckout(rest)
+	case "run":
+		return s.cmdRun(rest)
+	case "connect":
+		return s.cmdConnect(rest, true)
+	case "reprocess":
+		return s.cmdConnect(rest, false)
+	case "preview":
+		return s.cmdPreview(rest)
+	case "state":
+		return s.cmdState(rest)
+	case "window":
+		return fmt.Sprintf("window advanced to %d", s.cluster().AdvanceWindow()), nil
+	case "counters":
+		return s.cluster().Counters().Snapshot().String(), nil
+	default:
+		return "", fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+const helpText = `commands:
+  origin x=1 y=2         set the initial master state (before first use)
+  base <body>            commit a base transaction, e.g. base x := x + 1
+  checkout <node>        create a mobile node / refresh its replica
+  run <node> <body>      run a tentative transaction on a node
+  preview <node>         dry-run the merge the node's connect would perform
+  connect <node>         reconcile via the merging protocol
+  reprocess <node>       reconcile via the two-tier reprocessing protocol
+  state [node]           print the master (or a node's tentative) state
+  window                 advance the time window (resynchronization)
+  counters               print the protocol cost counters
+  help                   this text`
+
+func (s *Session) cmdOrigin(rest string) (string, error) {
+	if s.base != nil {
+		return "", fmt.Errorf("origin must be set before the first transaction")
+	}
+	for _, pair := range strings.Fields(rest) {
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return "", fmt.Errorf("bad assignment %q (want item=value)", pair)
+		}
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("bad value in %q: %v", pair, err)
+		}
+		s.origin.Set(tiermerge.Item(name), tiermerge.Value(v))
+	}
+	return "origin " + s.origin.String(), nil
+}
+
+func (s *Session) cmdBase(body string) (string, error) {
+	if body == "" {
+		return "", fmt.Errorf("usage: base <body>")
+	}
+	s.baseSeq++
+	txn, err := tiermerge.ParseTransaction(fmt.Sprintf("B%d", s.baseSeq), tiermerge.Base, body)
+	if err != nil {
+		return "", err
+	}
+	if err := s.cluster().ExecBase(txn); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s committed; master %s", txn.ID, s.cluster().Master()), nil
+}
+
+func (s *Session) cmdCheckout(name string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("usage: checkout <node>")
+	}
+	if n, ok := s.nodes[name]; ok {
+		n.Checkout(s.cluster())
+		return fmt.Sprintf("%s refreshed; local %s", name, n.Local()), nil
+	}
+	s.nodes[name] = tiermerge.NewMobileNode(name, s.cluster())
+	return fmt.Sprintf("%s checked out; local %s", name, s.nodes[name].Local()), nil
+}
+
+func (s *Session) node(name string) (*tiermerge.MobileNode, error) {
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("no node %q (use 'checkout %s' first)", name, name)
+	}
+	return n, nil
+}
+
+func (s *Session) cmdRun(rest string) (string, error) {
+	name, body, _ := strings.Cut(rest, " ")
+	body = strings.TrimSpace(body)
+	if name == "" || body == "" {
+		return "", fmt.Errorf("usage: run <node> <body>")
+	}
+	n, err := s.node(name)
+	if err != nil {
+		return "", err
+	}
+	s.runSeq[name]++
+	txn, err := tiermerge.ParseTransaction(
+		fmt.Sprintf("%s.T%d", name, s.runSeq[name]), tiermerge.Tentative, body)
+	if err != nil {
+		return "", err
+	}
+	if err := n.Run(txn); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s ran tentatively; local %s (%d pending)",
+		txn.ID, n.Local(), n.Pending()), nil
+}
+
+func (s *Session) cmdConnect(name string, useMerge bool) (string, error) {
+	n, err := s.node(name)
+	if err != nil {
+		return "", err
+	}
+	var out *tiermerge.ConnectOutcome
+	if useMerge {
+		out, err = n.ConnectMerge(s.cluster())
+		if err != nil {
+			return "", err
+		}
+	} else {
+		out = n.ConnectReprocess(s.cluster())
+	}
+	var b strings.Builder
+	if out.Merged {
+		fmt.Fprintf(&b, "merged: saved=%d reexecuted=%d failed=%d",
+			out.Saved, out.Reprocessed, out.Failed)
+		if rep := out.Report; rep != nil && len(rep.BadIDs) > 0 {
+			fmt.Fprintf(&b, "\n  B=%v AG=%v", rep.BadIDs, rep.AffectedIDs)
+		}
+	} else {
+		fmt.Fprintf(&b, "reprocessed: %d (failed %d)", out.Reprocessed, out.Failed)
+		if out.Fallback != "" {
+			fmt.Fprintf(&b, " [fallback: %s]", out.Fallback)
+		}
+	}
+	fmt.Fprintf(&b, "\nmaster %s", s.cluster().Master())
+	return b.String(), nil
+}
+
+func (s *Session) cmdPreview(name string) (string, error) {
+	n, err := s.node(name)
+	if err != nil {
+		return "", err
+	}
+	rep, err := n.PreviewMerge(s.cluster())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "conflict=%v B=%v AG=%v saved=%v",
+		rep.Conflict, rep.BadIDs, rep.AffectedIDs, rep.SavedIDs)
+	if rr := rep.RewriteResult; rr != nil {
+		for _, line := range rr.ExplainIDs() {
+			fmt.Fprintf(&b, "\n  not saved — %s", line)
+		}
+	}
+	return b.String(), nil
+}
+
+func (s *Session) cmdState(name string) (string, error) {
+	if name == "" {
+		return "master " + s.cluster().Master().String(), nil
+	}
+	n, err := s.node(name)
+	if err != nil {
+		return "", err
+	}
+	return name + " " + n.Local().String(), nil
+}
+
+// Nodes lists the session's mobile nodes, for prompts and tests.
+func (s *Session) Nodes() []string {
+	names := make([]string, 0, len(s.nodes))
+	for n := range s.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// eval runs a line and fails the test on error.
+func eval(t *testing.T, s *Session, line string) string {
+	t.Helper()
+	out, err := s.Eval(line)
+	if err != nil {
+		t.Fatalf("%q: %v", line, err)
+	}
+	return out
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	s := NewSession()
+	eval(t, s, "origin x=100 y=50")
+	eval(t, s, "checkout m1")
+	out := eval(t, s, "run m1 x := x + 25")
+	if !strings.Contains(out, "1 pending") {
+		t.Errorf("run output: %q", out)
+	}
+	eval(t, s, "base y := y * 2")
+	out = eval(t, s, "preview m1")
+	if !strings.Contains(out, "conflict=false") || !strings.Contains(out, "saved=[m1.T1]") {
+		t.Errorf("preview output: %q", out)
+	}
+	out = eval(t, s, "connect m1")
+	if !strings.Contains(out, "saved=1") {
+		t.Errorf("connect output: %q", out)
+	}
+	out = eval(t, s, "state")
+	if !strings.Contains(out, "x=125") || !strings.Contains(out, "y=100") {
+		t.Errorf("state output: %q", out)
+	}
+}
+
+func TestSessionConflictAndExplain(t *testing.T) {
+	s := NewSession()
+	eval(t, s, "origin x=10 u=30")
+	eval(t, s, "checkout m1")
+	// Tentative: a guarded bump of x, then a dependent read of x.
+	eval(t, s, "run m1 if u > 10 { x := x + 100 }")
+	eval(t, s, "run m1 y := y + x")
+	// Base: overwrite x, forcing the first tentative into B.
+	eval(t, s, "base x := 7")
+	out := eval(t, s, "preview m1")
+	if !strings.Contains(out, "conflict=true") || !strings.Contains(out, "B=[m1.T1]") {
+		t.Errorf("preview: %q", out)
+	}
+	if !strings.Contains(out, "not saved") {
+		t.Errorf("preview lacks block explanations: %q", out)
+	}
+	out = eval(t, s, "connect m1")
+	if !strings.Contains(out, "B=[m1.T1]") {
+		t.Errorf("connect: %q", out)
+	}
+}
+
+func TestSessionReprocessAndWindow(t *testing.T) {
+	s := NewSession()
+	eval(t, s, "origin a=1")
+	eval(t, s, "checkout m1")
+	eval(t, s, "run m1 a := a + 1")
+	out := eval(t, s, "reprocess m1")
+	if !strings.Contains(out, "reprocessed: 1") {
+		t.Errorf("reprocess: %q", out)
+	}
+	out = eval(t, s, "window")
+	if !strings.Contains(out, "2") {
+		t.Errorf("window: %q", out)
+	}
+	out = eval(t, s, "counters")
+	if !strings.Contains(out, "reprocessed=1") {
+		t.Errorf("counters: %q", out)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	s := NewSession()
+	for _, line := range []string{
+		"bogus",
+		"run m9 x := x + 1", // unknown node
+		"connect m9",        // unknown node
+		"base",              // missing body
+		"base x :=",         // parse error
+		"checkout",          // missing name
+		"origin x",          // bad assignment
+		"run m1",            // missing body
+	} {
+		if _, err := s.Eval(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	// origin after first use is rejected.
+	eval(t, s, "base x := x + 1")
+	if _, err := s.Eval("origin x=5"); err == nil {
+		t.Error("origin accepted after cluster start")
+	}
+	// comments and blanks are silent.
+	if out := eval(t, s, "# a comment"); out != "" {
+		t.Errorf("comment output: %q", out)
+	}
+	if out := eval(t, s, "   "); out != "" {
+		t.Errorf("blank output: %q", out)
+	}
+}
+
+func TestSessionNodes(t *testing.T) {
+	s := NewSession()
+	eval(t, s, "checkout b")
+	eval(t, s, "checkout a")
+	got := s.Nodes()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Nodes = %v", got)
+	}
+	// checkout of an existing node refreshes rather than duplicating.
+	eval(t, s, "checkout a")
+	if len(s.Nodes()) != 2 {
+		t.Errorf("duplicate node created")
+	}
+}
+
+func TestSessionHelp(t *testing.T) {
+	s := NewSession()
+	out := eval(t, s, "help")
+	for _, want := range []string{"origin", "connect", "preview", "window"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help missing %q", want)
+		}
+	}
+}
+
+func TestSessionFallbackAndPreviewErrors(t *testing.T) {
+	s := NewSession()
+	eval(t, s, "origin a=1")
+	eval(t, s, "checkout m1")
+	eval(t, s, "run m1 a := a + 1")
+	// Advance the window so the merge falls back to reprocessing.
+	eval(t, s, "window")
+	out := eval(t, s, "connect m1")
+	if !strings.Contains(out, "fallback: window-expired") {
+		t.Errorf("connect output lacks fallback reason: %q", out)
+	}
+	// Preview after another window advance fails fast.
+	eval(t, s, "run m1 a := a + 1")
+	eval(t, s, "window")
+	if _, err := s.Eval("preview m1"); err == nil {
+		t.Error("preview of an expired window succeeded")
+	}
+	// state <node> path.
+	out = eval(t, s, "state m1")
+	if !strings.Contains(out, "m1 {") {
+		t.Errorf("state output: %q", out)
+	}
+	if _, err := s.Eval("state m9"); err == nil {
+		t.Error("state of unknown node succeeded")
+	}
+	if _, err := s.Eval("preview m9"); err == nil {
+		t.Error("preview of unknown node succeeded")
+	}
+	if _, err := s.Eval("reprocess m9"); err == nil {
+		t.Error("reprocess of unknown node succeeded")
+	}
+}

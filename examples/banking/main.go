@@ -1,0 +1,129 @@
+// Command banking demonstrates how transaction semantics save affected
+// work (Sections 4-6 of the paper) on a mobile-banking workload.
+//
+// A traveling teller runs four tentative transactions against a branch
+// replica; meanwhile head office resets an audit counter the teller's first
+// transaction also writes — a certain two-cycle, so T1 must be backed out.
+// The example merges the teller's history with every rewriting algorithm
+// and shows the paper's separation:
+//
+//	closure / Algorithm 1 save {T2, T3}   (T4 is affected, discarded)
+//	CBTR saves {T3, T4}                   (T2 writes the branch gate T1
+//	                                       reads, so nothing commutes past
+//	                                       T1 once T2 is stuck behind it)
+//	Algorithm 2 saves {T2, T3, T4}        (T2 moves by can-follow, pinning
+//	                                       the gate in T1's fix; T4 then
+//	                                       can precede T1^{vault})
+//
+// It then prunes the Algorithm 2 rewrite both by fixed compensation and by
+// undo + undo-repair actions, landing on identical states.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tiermerge"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	origin := tiermerge.StateOf(map[tiermerge.Item]tiermerge.Value{
+		"vault":    10_000,
+		"acctAna":  500,
+		"acctCruz": 700,
+		"auditCnt": 3,
+	})
+
+	// T1: a guarded payout — if the vault is flush, credit Ana and bump the
+	// audit counter. Reads vault (branch gate), writes acctAna + auditCnt.
+	t1 := tiermerge.MustNewTransaction("T1", tiermerge.Tentative,
+		tiermerge.If(tiermerge.GT(tiermerge.Var("vault"), tiermerge.Const(9_000)),
+			tiermerge.Update("acctAna",
+				tiermerge.Add(tiermerge.Var("acctAna"), tiermerge.Const(200))),
+			tiermerge.Update("auditCnt",
+				tiermerge.Add(tiermerge.Var("auditCnt"), tiermerge.Const(1))),
+		),
+	)
+	// T2: cash leaves the vault — writes the very item T1's branch reads.
+	t2 := tiermerge.Withdraw("T2", tiermerge.Tentative, "vault", 200)
+	// T3: an unrelated deposit.
+	t3 := tiermerge.Deposit("T3", tiermerge.Tentative, "acctCruz", 75)
+	// T4: another credit to Ana — additive on the same account T1 writes.
+	t4 := tiermerge.Deposit("T4", tiermerge.Tentative, "acctAna", 10)
+
+	// Head office resets the audit counter: a write-write two-cycle with
+	// T1, so T1 lands in B.
+	b1 := tiermerge.SetPrice("B1", tiermerge.Base, "auditCnt", 0)
+
+	hm, err := tiermerge.RunHistory(tiermerge.NewHistory(t1, t2, t3, t4), origin)
+	if err != nil {
+		return err
+	}
+	hb, err := tiermerge.RunHistory(tiermerge.NewHistory(b1), origin)
+	if err != nil {
+		return err
+	}
+	fmt.Println("teller history:      ", hm.H)
+	fmt.Println("head-office history: ", hb.H)
+	fmt.Println("teller's tentative state:", hm.Final())
+
+	for _, rw := range []tiermerge.Rewriter{
+		tiermerge.RewriteClosure,
+		tiermerge.RewriteCanFollow,
+		tiermerge.RewriteCBT,
+		tiermerge.RewriteCanPrecede,
+	} {
+		rep, err := tiermerge.Merge(hm, hb, tiermerge.MergeOptions{Rewriter: rw, Verify: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%-28s B=%v AG=%v\n", rw.String()+":", rep.BadIDs, rep.AffectedIDs)
+		fmt.Printf("%-28s saved=%v reexecute=%d (prune: %s)\n",
+			"", rep.SavedIDs, len(rep.Reexecute), rep.PruneMethod)
+	}
+
+	// Dig into the Algorithm 2 rewrite: T2's can-follow move pins vault in
+	// T1's fix; T4, whose only overlap with T1^{vault} is the additive
+	// account credit, then moves by can-precede.
+	rep, err := tiermerge.Merge(hm, hb, tiermerge.MergeOptions{
+		Rewriter: tiermerge.RewriteCanPrecede,
+		Verify:   true,
+	})
+	if err != nil {
+		return err
+	}
+	res := rep.RewriteResult
+	fmt.Println("\nAlgorithm 2 rewritten history:", res.Rewritten)
+	fmt.Println("repaired prefix:              ", res.Repaired())
+
+	// Prune the same rewrite both ways and compare against re-execution.
+	comp, _, err := tiermerge.PruneByCompensation(res, hm.Final())
+	if err != nil {
+		return err
+	}
+	undo, uras, err := tiermerge.PruneByUndo(res, hm.Final())
+	if err != nil {
+		return err
+	}
+	oracle, err := tiermerge.RunHistory(res.Repaired(), origin)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\npruned by compensation:", comp)
+	fmt.Println("pruned by undo:        ", undo)
+	fmt.Println("re-executed oracle:    ", oracle.Final())
+	fmt.Println("all equal:", comp.Equal(undo) && undo.Equal(oracle.Final()))
+	for _, u := range uras {
+		fmt.Printf("undo-repair action for %s: %s\n", u.For.ID, u.Action)
+	}
+
+	fmt.Println("\nmaster after merge:",
+		hb.Final().Clone().Apply(rep.ForwardUpdates))
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command intrusion demonstrates the rewriting framework's original use
+// case (the [AJL98]/[LAJ99] line the paper builds on): a transaction is
+// discovered to be malicious *after* it committed, and the database must be
+// repaired without discarding the legitimate work that ran after it —
+// and without re-executing that work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tiermerge"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	origin := tiermerge.StateOf(map[tiermerge.Item]tiermerge.Value{
+		"payroll": 50_000, "attacker": 0, "acctAna": 900, "acctBo": 400,
+	})
+
+	// The committed day: M1 is a fraudulent siphon discovered by the
+	// evening audit; everything else is legitimate. L2 reads the payroll
+	// balance the attacker drained, so it is *affected*; L3 and L4 are
+	// independent.
+	m1 := tiermerge.MustNewTransaction("M1", tiermerge.Tentative,
+		tiermerge.Update("payroll", tiermerge.Sub(tiermerge.Var("payroll"), tiermerge.Const(10_000))),
+		tiermerge.Update("attacker", tiermerge.Add(tiermerge.Var("attacker"), tiermerge.Const(10_000))),
+	)
+	l2 := tiermerge.MustNewTransaction("L2", tiermerge.Tentative,
+		// A 1% payroll bonus to Ana, computed from the (drained!) balance.
+		tiermerge.Update("acctAna",
+			tiermerge.Add(tiermerge.Var("acctAna"), tiermerge.Div(tiermerge.Var("payroll"), tiermerge.Const(100)))),
+	)
+	l3 := tiermerge.Deposit("L3", tiermerge.Tentative, "acctBo", 120)
+	l4 := tiermerge.Withdraw("L4", tiermerge.Tentative, "acctAna", 50)
+
+	aug, err := tiermerge.RunHistory(tiermerge.NewHistory(m1, l2, l3, l4), origin)
+	if err != nil {
+		return err
+	}
+	fmt.Println("committed history:", aug.H)
+	fmt.Println("state after the attack day:", aug.Final())
+
+	rep, err := tiermerge.Excise(aug, []string{"M1"}, tiermerge.RecoveryOptions{Verify: true})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nexcising M1:")
+	fmt.Println("  affected (read from M1):", rep.AffectedIDs)
+	fmt.Println("  saved:                  ", rep.SavedIDs)
+	fmt.Println("  resubmit:               ", rep.ResubmitIDs)
+	fmt.Println("  prune method:           ", rep.PruneMethod)
+	fmt.Println("  repaired state:         ", rep.RepairedState)
+
+	// L2's bonus was computed from tainted data: it cannot be saved and is
+	// flagged for resubmission, where it recomputes from the repaired
+	// payroll. L3 and L4 survive untouched — no re-execution.
+	resubmitted := rep.RepairedState.Clone()
+	for _, id := range rep.ResubmitIDs {
+		pos := aug.H.IndexOf(id)
+		next, _, err := aug.H.Txn(pos).Exec(resubmitted, nil)
+		if err != nil {
+			return err
+		}
+		resubmitted = next
+	}
+	fmt.Println("\nafter resubmitting the lost work:", resubmitted)
+	return nil
+}

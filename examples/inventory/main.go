@@ -1,0 +1,117 @@
+// Command inventory simulates a field-sales team: several sales reps
+// disconnect with replicas of a shared stock database, record orders
+// tentatively, and reconcile through the merging protocol when they regain
+// connectivity. It demonstrates Section 2.2's machinery:
+//
+//   - Strategy 2 origins: every rep's tentative history starts from the
+//     same time-window origin, so overlapping reps always merge cleanly;
+//   - conflicts between reps (and with the warehouse's own base
+//     transactions) surface as back-outs that re-execute at the base tier;
+//   - a window advance resynchronizes the origins, and a rep who connects
+//     too late (previous window) falls back to reprocessing, exactly as the
+//     paper prescribes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tiermerge"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	origin := tiermerge.StateOf(map[tiermerge.Item]tiermerge.Value{
+		"stockWidgets": 120,
+		"stockGizmos":  80,
+		"stockCables":  400,
+		"revenue":      0,
+	})
+	base := tiermerge.NewBaseCluster(origin, tiermerge.ClusterConfig{BaseNodes: 2})
+
+	// Three reps check out replicas at the start of the window.
+	ana := tiermerge.NewMobileNode("ana", base)
+	bo := tiermerge.NewMobileNode("bo", base)
+	cruz := tiermerge.NewMobileNode("cruz", base)
+
+	// While they are on the road, the warehouse restocks cables.
+	if err := base.ExecBase(tiermerge.Deposit("W1", tiermerge.Base, "stockCables", 100)); err != nil {
+		return err
+	}
+
+	// Ana sells widgets and books revenue (all additive: saves cleanly).
+	for i, qty := range []tiermerge.Value{5, 3} {
+		id := fmt.Sprintf("A%d", i+1)
+		sale := tiermerge.MustNewTransaction(id, tiermerge.Tentative,
+			tiermerge.Update("stockWidgets",
+				tiermerge.Sub(tiermerge.Var("stockWidgets"), tiermerge.Const(qty))),
+			tiermerge.Update("revenue",
+				tiermerge.Add(tiermerge.Var("revenue"), tiermerge.Const(qty*30))),
+		)
+		if err := ana.Run(sale); err != nil {
+			return err
+		}
+	}
+
+	// Bo reprices gizmos (an overwrite) and sells some.
+	if err := bo.Run(tiermerge.SetPrice("B1", tiermerge.Tentative, "stockGizmos", 60)); err != nil {
+		return err
+	}
+	if err := bo.Run(tiermerge.MustNewTransaction("B2", tiermerge.Tentative,
+		tiermerge.Update("revenue",
+			tiermerge.Add(tiermerge.Var("revenue"), tiermerge.Const(250))),
+	)); err != nil {
+		return err
+	}
+
+	// Cruz also overwrites the gizmo stock — a conflict with Bo that one of
+	// them will lose (back-out + re-execution).
+	if err := cruz.Run(tiermerge.SetPrice("C1", tiermerge.Tentative, "stockGizmos", 55)); err != nil {
+		return err
+	}
+	if err := cruz.Run(tiermerge.Deposit("C2", tiermerge.Tentative, "stockCables", 20)); err != nil {
+		return err
+	}
+
+	for _, rep := range []*tiermerge.MobileNode{ana, bo} {
+		out, err := rep.ConnectMerge(base)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5s merged=%-5v saved=%d reexecuted=%d fallback=%q\n",
+			rep.ID, out.Merged, out.Saved, out.Reprocessed, out.Fallback)
+	}
+
+	// The warehouse closes the day's window before Cruz gets signal: his
+	// tentative history belongs to the previous window and is reprocessed
+	// wholesale (Section 2.2: "its transactions will be reexecuted").
+	base.AdvanceWindow()
+	out, err := cruz.ConnectMerge(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-5s merged=%-5v saved=%d reexecuted=%d fallback=%q\n",
+		cruz.ID, out.Merged, out.Saved, out.Reprocessed, out.Fallback)
+
+	fmt.Println("\nmaster state:", base.Master())
+	c := base.Counters().Snapshot()
+	fmt.Println("protocol counters:", c)
+	fmt.Println("weighted cost:    ", c.Weighted(tiermerge.DefaultCostWeights()))
+
+	// A fresh window: Cruz syncs and keeps working; merges succeed again.
+	if err := cruz.Run(tiermerge.Deposit("C3", tiermerge.Tentative, "stockWidgets", 10)); err != nil {
+		return err
+	}
+	out, err = cruz.ConnectMerge(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nnext window: %-5s merged=%v saved=%d\n", cruz.ID, out.Merged, out.Saved)
+	fmt.Println("final master:", base.Master())
+	return nil
+}

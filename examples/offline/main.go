@@ -1,0 +1,101 @@
+// Command offline demonstrates the log-driven side of the protocol: a
+// mobile point-of-sale device journals every tentative transaction to a
+// write-ahead log (full code, read values, write images — Section 7.1's
+// "if read operations are recorded in the log"), crashes mid-transaction,
+// recovers its tentative history by replaying the journal, and then merges
+// exactly as the lost device would have.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"tiermerge"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "tiermerge-offline")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	journalPath := filepath.Join(dir, "m1.wal")
+
+	origin := tiermerge.StateOf(map[tiermerge.Item]tiermerge.Value{
+		"till": 200, "stockA": 40, "stockB": 25,
+	})
+	base := tiermerge.NewBaseCluster(origin, tiermerge.ClusterConfig{})
+
+	// --- Before the crash -------------------------------------------------
+	if err := beforeCrash(base, journalPath); err != nil {
+		return err
+	}
+
+	// Meanwhile the warehouse restocks B at the base tier.
+	if err := base.ExecBase(tiermerge.Deposit("W1", tiermerge.Base, "stockB", 10)); err != nil {
+		return err
+	}
+
+	// --- After the restart -------------------------------------------------
+	f, err := os.Open(journalPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recovered, err := tiermerge.RecoverMobileNode("m1", f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovered %d committed tentative transactions; local state %s\n",
+		recovered.Pending(), recovered.Local())
+
+	out, err := recovered.ConnectMerge(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merge after recovery: saved=%d reexecuted=%d fallback=%q\n",
+		out.Saved, out.Reprocessed, out.Fallback)
+	fmt.Println("master state:", base.Master())
+	return nil
+}
+
+// beforeCrash runs the device's day up to the crash, journaling everything.
+// It is a separate function so its node genuinely goes out of scope — the
+// "device" is gone; only the journal file survives.
+func beforeCrash(base *tiermerge.BaseCluster, journalPath string) error {
+	f, err := os.Create(journalPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	m := tiermerge.NewMobileNode("m1", base)
+	if err := m.AttachJournal(f); err != nil {
+		return err
+	}
+
+	// Two sales commit...
+	sale := func(id string, stock tiermerge.Item, price tiermerge.Value) *tiermerge.Transaction {
+		return tiermerge.MustNewTransaction(id, tiermerge.Tentative,
+			tiermerge.Update(stock, tiermerge.Sub(tiermerge.Var(stock), tiermerge.Const(1))),
+			tiermerge.Update("till", tiermerge.Add(tiermerge.Var("till"), tiermerge.Const(price))),
+		)
+	}
+	if err := m.Run(sale("S1", "stockA", 30)); err != nil {
+		return err
+	}
+	if err := m.Run(sale("S2", "stockB", 45)); err != nil {
+		return err
+	}
+	fmt.Printf("device ran 2 sales; local state %s\n", m.Local())
+	fmt.Println("power loss! (the device object is discarded; only the journal file survives)")
+	return nil
+}

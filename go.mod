@@ -1,0 +1,3 @@
+module tiermerge
+
+go 1.22

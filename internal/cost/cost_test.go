@@ -1,0 +1,106 @@
+package cost
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMsgAccounting(t *testing.T) {
+	w := DefaultWeights()
+	var c Counters
+	c.Msg(w, 100)
+	c.Msg(w, 0)
+	s := c.Snapshot()
+	if s.Messages != 2 {
+		t.Errorf("messages = %d, want 2", s.Messages)
+	}
+	if want := 2*w.MsgOverheadBytes + 100; s.Bytes != want {
+		t.Errorf("bytes = %d, want %d", s.Bytes, want)
+	}
+}
+
+func TestWeightedBreakdown(t *testing.T) {
+	w := Weights{
+		PerByteCost:     2,
+		QueryCost:       10,
+		ForcedWriteCost: 100,
+		RewriteOpCost:   3,
+	}
+	c := Counts{
+		Bytes:            5,
+		BaseQueries:      4,
+		BaseForcedWrites: 2,
+		MobileRewriteOps: 7,
+	}
+	r := c.Weighted(w)
+	if r.Comm != 10 {
+		t.Errorf("comm = %d, want 10", r.Comm)
+	}
+	if r.BaseCompute != 4*10+2*100 {
+		t.Errorf("base = %d, want 240", r.BaseCompute)
+	}
+	if r.MobileCompute != 21 {
+		t.Errorf("mobile = %d, want 21", r.MobileCompute)
+	}
+	if r.Total() != 10+240+21 {
+		t.Errorf("total = %d", r.Total())
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{Messages: 1, TxnsSaved: 2, BaseLocks: 3}
+	b := Counts{Messages: 10, TxnsSaved: 20, BaseLocks: 30, MergeFallbacks: 1}
+	a.Add(b)
+	if a.Messages != 11 || a.TxnsSaved != 22 || a.BaseLocks != 33 || a.MergeFallbacks != 1 {
+		t.Errorf("Add result: %+v", a)
+	}
+}
+
+func TestCountersConcurrentSafety(t *testing.T) {
+	w := DefaultWeights()
+	var c Counters
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 200
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				c.Msg(w, 1)
+				c.Update(func(cc *Counts) { cc.TxnsSaved++ })
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Messages != workers*rounds || s.TxnsSaved != workers*rounds {
+		t.Errorf("lost updates: %+v", s)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	c := Counts{Messages: 3, TxnsSaved: 5}
+	if s := c.String(); !strings.Contains(s, "msgs=3") || !strings.Contains(s, "saved=5") {
+		t.Errorf("String = %q", s)
+	}
+	r := Report{Comm: 1, BaseCompute: 2, MobileCompute: 3}
+	if s := r.String(); !strings.Contains(s, "total=6") {
+		t.Errorf("Report String = %q", s)
+	}
+}
+
+func TestDefaultWeightsQualitativeShape(t *testing.T) {
+	w := DefaultWeights()
+	// The paper's qualitative relations: forced I/O dominates queries,
+	// queries dominate locks, mobile graph/rewrite ops are cheap.
+	if w.ForcedWriteCost <= w.QueryCost {
+		t.Error("forced writes must cost more than query processing")
+	}
+	if w.QueryCost <= w.LockCost {
+		t.Error("queries must cost more than lock operations")
+	}
+	if w.MobileGraphOpCost >= w.QueryCost {
+		t.Error("mobile graph ops must be cheap relative to base queries")
+	}
+}

@@ -1,0 +1,214 @@
+// Package eager simulates the protocol the paper exists to avoid: eager
+// update-anywhere replication, where every transaction must write-lock its
+// items at every replica before committing. [GHOS96] — the paper's opening
+// citation — showed this "has unstable behavior as the workload scales up:
+// a ten-fold increase in nodes and traffic gives a thousand fold increase
+// in deadlocks". This package reproduces that shape with a deterministic
+// discrete-step simulation: concurrent transactions acquire exclusive locks
+// on (replica, item) resources one step at a time, wait-for cycles are
+// detected, and the victim aborts. Experiment E0 sweeps the node count and
+// reports the deadlock blow-up that motivates two-tier replication (and
+// this paper's merging protocol) in the first place.
+package eager
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config parameterizes the simulation.
+type Config struct {
+	// Seed drives item selection and lock-order shuffling.
+	Seed int64
+	// Nodes is the replica count; each transaction locks its items at
+	// every node (eager update-anywhere).
+	Nodes int
+	// Items is the database size per replica.
+	Items int
+	// ClientsPerNode is the number of concurrently active transactions
+	// each node keeps in flight (traffic scales with nodes, as in the
+	// [GHOS96] scale-up).
+	ClientsPerNode int
+	// ItemsPerTxn is the number of items each transaction updates.
+	ItemsPerTxn int
+	// TxnsPerClient is how many transactions each client completes
+	// (committed or aborted) before the simulation ends.
+	TxnsPerClient int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.Items == 0 {
+		c.Items = 100
+	}
+	if c.ClientsPerNode == 0 {
+		c.ClientsPerNode = 4
+	}
+	if c.ItemsPerTxn == 0 {
+		c.ItemsPerTxn = 4
+	}
+	if c.TxnsPerClient == 0 {
+		c.TxnsPerClient = 50
+	}
+	return c
+}
+
+// Result tallies one simulation run.
+type Result struct {
+	Commits   int
+	Deadlocks int
+	// WaitSteps counts steps spent blocked on a lock (queueing delay).
+	WaitSteps int
+}
+
+// DeadlocksPerCommit is the instability headline metric.
+func (r Result) DeadlocksPerCommit() float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	return float64(r.Deadlocks) / float64(r.Commits)
+}
+
+// resource identifies one lockable unit: an item's copy at one replica.
+type resource struct{ replica, item int }
+
+// client is one in-flight transaction slot.
+type client struct {
+	id        int
+	script    []resource // locks still to acquire, in order
+	held      []resource
+	remaining int // transactions left to complete
+	waitingOn int // client id blocked on, or -1
+}
+
+// Run executes the simulation deterministically: clients take lock-acquire
+// steps round-robin; a client whose next lock is held waits; a wait-for
+// cycle aborts the requester (deadlock), which releases everything and
+// counts a new transaction attempt is NOT restarted — aborted work is
+// simply lost, matching the reconciliation-free eager model's user-visible
+// failures.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nClients := cfg.Nodes * cfg.ClientsPerNode
+
+	clients := make([]*client, nClients)
+	for i := range clients {
+		clients[i] = &client{id: i, remaining: cfg.TxnsPerClient, waitingOn: -1}
+	}
+	owner := make(map[resource]int) // resource -> client id
+
+	newScript := func() []resource {
+		seen := make(map[int]bool, cfg.ItemsPerTxn)
+		items := make([]int, 0, cfg.ItemsPerTxn)
+		for len(items) < cfg.ItemsPerTxn {
+			it := rng.Intn(cfg.Items)
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		var script []resource
+		for _, it := range items {
+			for r := 0; r < cfg.Nodes; r++ {
+				script = append(script, resource{replica: r, item: it})
+			}
+		}
+		// Eager update-anywhere has no global lock ordering: each
+		// transaction contacts replicas/items in its own order.
+		rng.Shuffle(len(script), func(i, j int) {
+			script[i], script[j] = script[j], script[i]
+		})
+		return script
+	}
+	release := func(c *client) {
+		for _, res := range c.held {
+			delete(owner, res)
+		}
+		c.held = nil
+		c.script = nil
+		c.waitingOn = -1
+	}
+	// cycleFrom reports whether following waitingOn pointers from start
+	// returns to start.
+	cycleFrom := func(start int) bool {
+		seen := make(map[int]bool)
+		cur := clients[start].waitingOn
+		for cur != -1 {
+			if cur == start {
+				return true
+			}
+			if seen[cur] {
+				return false
+			}
+			seen[cur] = true
+			cur = clients[cur].waitingOn
+		}
+		return false
+	}
+
+	var res Result
+	active := nClients
+	for active > 0 {
+		active = 0
+		for _, c := range clients {
+			if c.remaining == 0 && len(c.script) == 0 {
+				continue
+			}
+			active++
+			if len(c.script) == 0 {
+				// Start the next transaction.
+				if c.remaining == 0 {
+					continue
+				}
+				c.script = newScript()
+			}
+			next := c.script[0]
+			holder, taken := owner[next]
+			switch {
+			case !taken:
+				owner[next] = c.id
+				c.held = append(c.held, next)
+				c.script = c.script[1:]
+				c.waitingOn = -1
+				if len(c.script) == 0 {
+					// All locks held: commit and release.
+					res.Commits++
+					c.remaining--
+					release(c)
+				}
+			case holder == c.id:
+				c.script = c.script[1:]
+			default:
+				c.waitingOn = holder
+				if cycleFrom(c.id) {
+					res.Deadlocks++
+					c.remaining--
+					release(c)
+				} else {
+					res.WaitSteps++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Sweep runs the simulation across node counts with per-node traffic held
+// constant (total traffic scales with nodes, the [GHOS96] scale-up) and
+// returns one result per node count.
+func Sweep(seed int64, nodeCounts []int) []Result {
+	out := make([]Result, len(nodeCounts))
+	for i, n := range nodeCounts {
+		out[i] = Run(Config{Seed: seed + int64(n), Nodes: n})
+	}
+	return out
+}
+
+// String renders a result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("commits=%d deadlocks=%d waits=%d d/c=%.4f",
+		r.Commits, r.Deadlocks, r.WaitSteps, r.DeadlocksPerCommit())
+}

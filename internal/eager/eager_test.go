@@ -1,0 +1,52 @@
+package eager
+
+import "testing"
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Seed: 5, Nodes: 3}
+	r1, r2 := Run(cfg), Run(cfg)
+	if r1 != r2 {
+		t.Errorf("runs diverged: %v vs %v", r1, r2)
+	}
+}
+
+func TestSingleNodeSingleClientNeverDeadlocks(t *testing.T) {
+	r := Run(Config{Seed: 1, Nodes: 1, ClientsPerNode: 1})
+	if r.Deadlocks != 0 {
+		t.Errorf("deadlocks = %d with one client", r.Deadlocks)
+	}
+	if r.Commits != 50 {
+		t.Errorf("commits = %d, want 50", r.Commits)
+	}
+}
+
+func TestAllWorkAccounted(t *testing.T) {
+	cfg := Config{Seed: 2, Nodes: 4}.withDefaults()
+	r := Run(cfg)
+	want := cfg.Nodes * cfg.ClientsPerNode * cfg.TxnsPerClient
+	if r.Commits+r.Deadlocks != want {
+		t.Errorf("commits %d + deadlocks %d != %d attempts", r.Commits, r.Deadlocks, want)
+	}
+}
+
+// TestInstabilityShape reproduces the [GHOS96] headline: scaling nodes (and
+// with them traffic) blows deadlocks up far faster than linearly.
+func TestInstabilityShape(t *testing.T) {
+	rs := Sweep(7, []int{1, 2, 4, 8})
+	for i, r := range rs {
+		t.Logf("nodes=%d: %s", []int{1, 2, 4, 8}[i], r)
+	}
+	d2, d8 := rs[1].Deadlocks, rs[3].Deadlocks
+	if d2 == 0 {
+		t.Skip("no contention at 2 nodes; tune config")
+	}
+	// 4x the nodes (and 4x the traffic): superlinear growth means well
+	// above 4x the deadlocks per commit.
+	if rs[3].DeadlocksPerCommit() < 4*rs[1].DeadlocksPerCommit() {
+		t.Errorf("deadlock rate not superlinear: 2 nodes %.4f, 8 nodes %.4f",
+			rs[1].DeadlocksPerCommit(), rs[3].DeadlocksPerCommit())
+	}
+	if d8 <= d2 {
+		t.Errorf("deadlocks did not grow: %d -> %d", d2, d8)
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"tiermerge/internal/expr"
+	"tiermerge/internal/model"
+)
+
+// exprGT builds the predicate item > c.
+func exprGT(it model.Item, c model.Value) expr.Pred {
+	return expr.GT(expr.Var(it), expr.Const(c))
+}
+
+// exprAddConst builds the update expression item + c.
+func exprAddConst(it model.Item, c model.Value) expr.Expr {
+	return expr.Add(expr.Var(it), expr.Const(c))
+}
+
+// exprAddVars builds the update expression a + b + c.
+func exprAddVars(a, b model.Item, c model.Value) expr.Expr {
+	return expr.Add(expr.Var(a), expr.Add(expr.Var(b), expr.Const(c)))
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tiermerge/internal/eager"
+)
+
+// E0Motivation reproduces the instability result the paper opens with
+// ([GHOS96], quoted in Section 1): under eager update-anywhere replication,
+// "a ten-fold increase in nodes and traffic gives a thousand fold increase
+// in deadlocks". The deterministic lock-contention simulation sweeps the
+// node count with per-node traffic held constant and reports the deadlock
+// blow-up — the reason two-tier replication (and therefore this paper's
+// merging protocol) exists.
+func E0Motivation() *Table {
+	t := &Table{
+		ID:    "E0",
+		Title: "Motivation ([GHOS96] via Section 1): eager update-anywhere instability",
+		Header: []string{
+			"nodes", "commits", "deadlocks", "deadlocks/commit", "wait steps",
+		},
+	}
+	nodes := []int{1, 2, 4, 8}
+	rs := eager.Sweep(7, nodes)
+	for i, r := range rs {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(nodes[i]),
+			fmt.Sprint(r.Commits),
+			fmt.Sprint(r.Deadlocks),
+			fmt.Sprintf("%.4f", r.DeadlocksPerCommit()),
+			fmt.Sprint(r.WaitSteps),
+		})
+	}
+	rate2, rate8 := rs[1].DeadlocksPerCommit(), rs[3].DeadlocksPerCommit()
+	superlinear := rate2 > 0 && rate8 >= 4*rate2
+	t.Checks = append(t.Checks,
+		Check{Name: "deadlock rate grows superlinearly in nodes",
+			OK:   superlinear,
+			Note: fmt.Sprintf("2 nodes %.4f -> 8 nodes %.4f (%.0fx for 4x nodes)", rate2, rate8, rate8/rate2)},
+		Check{Name: "deadlocks grow monotonically",
+			OK: rs[0].Deadlocks <= rs[1].Deadlocks &&
+				rs[1].Deadlocks <= rs[2].Deadlocks &&
+				rs[2].Deadlocks <= rs[3].Deadlocks},
+	)
+	return t
+}

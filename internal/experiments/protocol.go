@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tiermerge/internal/graph"
+	"tiermerge/internal/replica"
+	"tiermerge/internal/sim"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// E7Strategies reproduces the Figure 2 / Section 2.2 comparison: merge
+// fallbacks under Strategy 1 vs Strategy 2 as fleets overlap, and the
+// growth of merge work as the resynchronization window stretches.
+func E7Strategies() *Table {
+	t := &Table{
+		ID:    "E7",
+		Title: "Figure 2 / Section 2.2: origin strategies and time windows",
+		Header: []string{
+			"mobiles", "s1 fallbacks", "s2 fallbacks", "window", "graph ops", "merges",
+		},
+	}
+	s1Total, s2Total := int64(0), int64(0)
+	for _, mobiles := range []int{2, 4, 8} {
+		base := sim.Scenario{
+			Seed: 77, Mobiles: mobiles, Rounds: 3, TxnsPerRound: 4, Items: 32,
+		}
+		sc1 := base
+		sc1.Origin = replica.Strategy1
+		r1, err := sim.Run(sc1)
+		if err != nil {
+			panic(err)
+		}
+		sc2 := base
+		sc2.Origin = replica.Strategy2
+		r2, err := sim.Run(sc2)
+		if err != nil {
+			panic(err)
+		}
+		s1Total += r1.Counts.MergeFallbacks
+		s2Total += r2.Counts.MergeFallbacks
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(mobiles),
+			fmt.Sprint(r1.Counts.MergeFallbacks),
+			fmt.Sprint(r2.Counts.MergeFallbacks),
+			"-", "-", "-",
+		})
+	}
+	// Window-length sweep: merge work (base graph operations) grows with
+	// the window because the base history each merge scans gets longer —
+	// the cost the paper's periodic resynchronization bounds.
+	for _, winEvery := range []int{1, 2, 4, 0} {
+		sc := sim.Scenario{
+			Seed: 78, Mobiles: 4, Rounds: 8, TxnsPerRound: 4, Items: 32,
+			WindowEveryRounds: winEvery,
+		}
+		r, err := sim.Run(sc)
+		if err != nil {
+			panic(err)
+		}
+		win := fmt.Sprint(winEvery)
+		if winEvery == 0 {
+			win = "never"
+		}
+		t.Rows = append(t.Rows, []string{
+			"-", "-", "-", win,
+			fmt.Sprint(r.Counts.BaseGraphOps),
+			fmt.Sprint(r.Counts.MergesPerformed),
+		})
+	}
+	graphOpsRow := func(win string) int64 {
+		for _, row := range t.Rows {
+			if row[3] == win {
+				var v int64
+				fmt.Sscan(row[4], &v)
+				return v
+			}
+		}
+		return -1
+	}
+	t.Checks = append(t.Checks,
+		Check{Name: "Strategy 1 exhibits fallbacks", OK: s1Total > 0,
+			Note: fmt.Sprintf("total %d", s1Total)},
+		Check{Name: "Strategy 2 never falls back", OK: s2Total == 0},
+		Check{Name: "longer windows cost more merge work",
+			OK: graphOpsRow("1") < graphOpsRow("never")},
+	)
+	return t
+}
+
+// E8ProtocolComparison reproduces the Section 7.1 analysis: merging vs
+// reprocessing cost swept over fleet size and conflict rate, locating the
+// crossover where a small SAV makes reprocessing cheaper.
+func E8ProtocolComparison() *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "Section 7.1: merging vs reprocessing cost",
+		Header: []string{
+			"sweep", "value", "saved%", "merge base", "reproc base",
+			"merge total", "reproc total", "winner",
+		},
+	}
+	mergingWinsBig := false
+	reprocWinsSmall := false
+	run := func(sweep string, label string, sc sim.Scenario) {
+		sc.Protocol = sim.Merging
+		mr, err := sim.Run(sc)
+		if err != nil {
+			panic(err)
+		}
+		sc.Protocol = sim.Reprocessing
+		rr, err := sim.Run(sc)
+		if err != nil {
+			panic(err)
+		}
+		savedPct := 0.0
+		if mr.TentativeRun > 0 {
+			savedPct = 100 * float64(mr.Counts.TxnsSaved) / float64(mr.TentativeRun)
+		}
+		winner := "merging"
+		if rr.Cost.Total() < mr.Cost.Total() {
+			winner = "reprocessing"
+		}
+		if winner == "merging" && savedPct > 60 {
+			mergingWinsBig = true
+		}
+		if winner == "reprocessing" && savedPct < 30 {
+			reprocWinsSmall = true
+		}
+		t.Rows = append(t.Rows, []string{
+			sweep, label, fmt.Sprintf("%.1f", savedPct),
+			fmt.Sprint(mr.Cost.BaseCompute), fmt.Sprint(rr.Cost.BaseCompute),
+			fmt.Sprint(mr.Cost.Total()), fmt.Sprint(rr.Cost.Total()), winner,
+		})
+	}
+	for _, mobiles := range []int{2, 8, 32} {
+		run("mobiles", fmt.Sprint(mobiles), sim.Scenario{
+			Seed: 42, Mobiles: mobiles, Rounds: 3, TxnsPerRound: 8,
+			Items: 512, PCommutative: 0.7,
+		})
+	}
+	for _, items := range []int{1024, 64, 8} {
+		run("items", fmt.Sprint(items), sim.Scenario{
+			Seed: 7, Mobiles: 8, Rounds: 3, TxnsPerRound: 6,
+			Items: items, PCommutative: 0.7,
+		})
+	}
+	t.Checks = append(t.Checks,
+		Check{Name: "merging wins when SAV is large", OK: mergingWinsBig},
+		Check{Name: "reprocessing wins when SAV is small", OK: reprocWinsSmall},
+	)
+	return t
+}
+
+// E9BackoutStrategies compares the Davidson back-out strategies: the size
+// and cost of B each produces as the conflict rate rises.
+func E9BackoutStrategies() *Table {
+	t := &Table{
+		ID:    "E9",
+		Title: "Back-out strategies: |B| and total back-out cost",
+		Header: []string{
+			"items", "strategy", "sum |B|", "sum cost", "acyclic failures",
+		},
+	}
+	const trials = 60
+	strategies := []graph.Strategy{
+		graph.TwoCycle{}, graph.GreedyCost{}, graph.GreedyDegree{},
+		graph.Exhaustive{MaxCandidates: 18}, graph.AllCyclic{},
+	}
+	optBeaten := false
+	for _, items := range []int{4, 8, 16} {
+		type tally struct {
+			b, cost, fail int
+		}
+		tallies := make([]tally, len(strategies))
+		gen := workload.NewGenerator(workload.Config{
+			Seed: 9000 + int64(items), Items: items, PCommutative: 0.5,
+		})
+		origin := gen.OriginState()
+		for i := 0; i < trials; i++ {
+			am, err := gen.RunHistory(tx.Tentative, 8, origin)
+			if err != nil {
+				panic(err)
+			}
+			ab, err := gen.RunHistory(tx.Base, 6, origin)
+			if err != nil {
+				panic(err)
+			}
+			g := graph.BuildFromHistories(am, ab)
+			costs := make([]int, len(strategies))
+			valid := make([]bool, len(strategies))
+			for si, s := range strategies {
+				b, err := s.ComputeB(g)
+				if err != nil {
+					tallies[si].fail++
+					continue
+				}
+				c := 0
+				for _, v := range b {
+					c += g.Cost(v)
+				}
+				costs[si], valid[si] = c, true
+				tallies[si].b += len(b)
+				tallies[si].cost += c
+			}
+			// Index 3 is the exhaustive optimum; no heuristic may beat it
+			// on the same graph.
+			if valid[3] {
+				for si := 0; si < 3; si++ {
+					if valid[si] && costs[si] < costs[3] {
+						optBeaten = true
+					}
+				}
+			}
+		}
+		for si, s := range strategies {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(items), s.Name(),
+				fmt.Sprint(tallies[si].b), fmt.Sprint(tallies[si].cost),
+				fmt.Sprint(tallies[si].fail),
+			})
+		}
+	}
+	t.Checks = append(t.Checks,
+		Check{Name: "no heuristic beats exhaustive on cumulative cost", OK: !optBeaten},
+	)
+	return t
+}

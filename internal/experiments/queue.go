@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tiermerge/internal/replica"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// E11QueuePosition measures how a merger's fate degrades with its position
+// in the reconnect queue: every mobile checks out the same window origin
+// (Strategy 2), works the same amount, and reconnects one after another.
+// Later mergers face a longer base history — every earlier merger's
+// forwarded updates and re-executions — so their saved fraction falls and
+// their merge work grows. This is the mechanism behind Section 2.2's
+// warning that "the back-out cost of mergers will increase substantially as
+// the base history grows longer and longer", measured per position rather
+// than per window length (E7 covers the latter).
+func E11QueuePosition() *Table {
+	t := &Table{
+		ID:    "E11",
+		Title: "Section 2.2 mechanism: merge outcomes vs reconnect-queue position",
+		Header: []string{
+			"position", "saved", "backed out", "base history len at merge",
+		},
+	}
+	const (
+		mobiles = 10
+		txns    = 8
+	)
+	gen := workload.NewGenerator(workload.Config{Seed: 6001, Items: 48, PCommutative: 0.6})
+	origin := gen.OriginState()
+	b := replica.NewBaseCluster(origin, replica.Config{})
+	nodes := make([]*replica.MobileNode, mobiles)
+	for i := range nodes {
+		nodes[i] = replica.NewMobileNode(fmt.Sprintf("m%d", i+1), b)
+	}
+	gens := make([]*workload.Generator, mobiles)
+	for i := range gens {
+		gens[i] = workload.NewGenerator(workload.Config{
+			Seed: 6100 + int64(i), Items: 48, PCommutative: 0.6,
+		})
+	}
+	// Everyone works while disconnected.
+	for i, m := range nodes {
+		for k := 0; k < txns; k++ {
+			if err := m.Run(gens[i].Txn(tx.Tentative)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	// Reconnect in queue order.
+	firstSaved, lastSaved := -1, -1
+	firstHist, lastHist := -1, -1
+	for i, m := range nodes {
+		histLen := b.HistoryLen()
+		out, err := m.ConnectMerge(b)
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(i + 1),
+			fmt.Sprint(out.Saved),
+			fmt.Sprint(out.Reprocessed + out.Failed),
+			fmt.Sprint(histLen),
+		})
+		if i == 0 {
+			firstSaved, firstHist = out.Saved, histLen
+		}
+		if i == mobiles-1 {
+			lastSaved, lastHist = out.Saved, histLen
+		}
+	}
+	t.Checks = append(t.Checks,
+		Check{Name: "base history grows along the queue", OK: lastHist > firstHist,
+			Note: fmt.Sprintf("%d -> %d entries", firstHist, lastHist)},
+		Check{Name: "later mergers save no more than the first",
+			OK:   lastSaved <= firstSaved,
+			Note: fmt.Sprintf("saved %d -> %d", firstSaved, lastSaved)},
+	)
+	return t
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tiermerge/internal/sim"
+)
+
+// E12WireFidelity grounds the Section 7.1 communication weights: the same
+// fleet scenario runs once with the modeled byte accounting (per-entry
+// weights from cost.DefaultWeights) and once over the message-passing
+// transport, where every checkout/merge/reprocess is a real serialized
+// payload. The modeled and measured byte totals must stay within one order
+// of magnitude for the E8 cost comparisons to be meaningful.
+func E12WireFidelity() *Table {
+	t := &Table{
+		ID:    "E12",
+		Title: "Section 7.1 grounding: modeled vs real wire bytes",
+		Header: []string{
+			"mobiles", "modeled msgs", "modeled bytes", "wire requests", "wire bytes", "ratio",
+		},
+	}
+	ok := true
+	for _, mobiles := range []int{2, 6, 12} {
+		base := sim.Scenario{
+			Seed: 123, Mobiles: mobiles, Rounds: 3, TxnsPerRound: 5, Items: 64,
+		}
+		modeled, err := sim.Run(base)
+		if err != nil {
+			panic(err)
+		}
+		wired := base
+		wired.MessagePassing = true
+		real, err := sim.Run(wired)
+		if err != nil {
+			panic(err)
+		}
+		ratio := float64(real.WireBytes) / float64(modeled.Counts.Bytes)
+		if ratio < 0.1 || ratio > 10 {
+			ok = false
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(mobiles),
+			fmt.Sprint(modeled.Counts.Messages),
+			fmt.Sprint(modeled.Counts.Bytes),
+			fmt.Sprint(real.WireRequests),
+			fmt.Sprint(real.WireBytes),
+			fmt.Sprintf("%.2fx", ratio),
+		})
+	}
+	t.Checks = append(t.Checks,
+		Check{Name: "real wire bytes within 10x of the modeled bytes", OK: ok},
+	)
+	return t
+}

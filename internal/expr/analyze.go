@@ -1,0 +1,132 @@
+package expr
+
+import "tiermerge/internal/model"
+
+// UpdateShape classifies the algebraic shape of an update expression
+// x := f(x, ...) with respect to its target item x. The shape drives two
+// semantic analyses from the paper:
+//
+//   - commutativity / can-precede detection (Section 5): two updates to the
+//     same item commute when both are additive (x+δ1 then x+δ2 in either
+//     order) or both multiplicative;
+//   - compensating-transaction synthesis (Section 6.1): an additive update
+//     inverts to x := x - δ, a unit-factor multiplicative update inverts to
+//     itself, other shapes have no syntactic inverse.
+type UpdateShape int
+
+// Update shapes, from most to least structured.
+const (
+	// ShapeAdditive means f(x, ...) = x + δ where δ does not reference x.
+	ShapeAdditive UpdateShape = iota + 1
+	// ShapeMultiplicative means f(x, ...) = x * φ where φ does not
+	// reference x.
+	ShapeMultiplicative
+	// ShapeAssign means f does not reference x at all (x := c, an
+	// overwrite; still not a blind write because the executor reads x's
+	// old value first, per the Section 3 assumption).
+	ShapeAssign
+	// ShapeOther is anything else (e.g. x := x + x/100, or x := min(x, y)).
+	ShapeOther
+)
+
+func (s UpdateShape) String() string {
+	switch s {
+	case ShapeAdditive:
+		return "additive"
+	case ShapeMultiplicative:
+		return "multiplicative"
+	case ShapeAssign:
+		return "assign"
+	case ShapeOther:
+		return "other"
+	default:
+		return "unknown"
+	}
+}
+
+// Analysis is the result of classifying an update expression against its
+// target item.
+type Analysis struct {
+	Shape UpdateShape
+	// Delta is the δ of an additive shape (x := x + Delta) or the φ of a
+	// multiplicative shape (x := x * Delta); nil otherwise.
+	Delta Expr
+}
+
+// Analyze classifies e as an update expression for target item x.
+//
+// The recognizer is purely syntactic and sound: when it reports
+// ShapeAdditive or ShapeMultiplicative the algebraic identity genuinely
+// holds, because it only matches x appearing exactly once in the recognized
+// position with the residue independent of x. Unrecognized-but-actually-
+// additive expressions degrade safely to ShapeOther.
+func Analyze(e Expr, x model.Item) Analysis {
+	if !References(e, x) {
+		return Analysis{Shape: ShapeAssign}
+	}
+	if d, ok := additiveDelta(e, x); ok {
+		return Analysis{Shape: ShapeAdditive, Delta: d}
+	}
+	if f, ok := multiplicativeFactor(e, x); ok {
+		return Analysis{Shape: ShapeMultiplicative, Delta: f}
+	}
+	return Analysis{Shape: ShapeOther}
+}
+
+// additiveDelta matches e against x + δ, δ + x, x - δ and plain x (δ = 0),
+// recursing through nested additions so that e.g. (x + a) + b is recognized
+// with δ = a + b.
+func additiveDelta(e Expr, x model.Item) (Expr, bool) {
+	if v, ok := e.(varExpr); ok && v.it == x {
+		return Const(0), true
+	}
+	b, ok := e.(binExpr)
+	if !ok {
+		return nil, false
+	}
+	switch b.op {
+	case OpAdd:
+		lRefs, rRefs := References(b.l, x), References(b.r, x)
+		switch {
+		case lRefs && !rRefs:
+			if d, ok := additiveDelta(b.l, x); ok {
+				return Add(d, b.r), true
+			}
+		case rRefs && !lRefs:
+			if d, ok := additiveDelta(b.r, x); ok {
+				return Add(b.l, d), true
+			}
+		}
+	case OpSub:
+		if References(b.l, x) && !References(b.r, x) {
+			if d, ok := additiveDelta(b.l, x); ok {
+				return Sub(d, b.r), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// multiplicativeFactor matches e against x * φ and φ * x, recursing through
+// nested multiplications.
+func multiplicativeFactor(e Expr, x model.Item) (Expr, bool) {
+	if v, ok := e.(varExpr); ok && v.it == x {
+		return Const(1), true
+	}
+	b, ok := e.(binExpr)
+	if !ok || b.op != OpMul {
+		return nil, false
+	}
+	lRefs, rRefs := References(b.l, x), References(b.r, x)
+	switch {
+	case lRefs && !rRefs:
+		if f, ok := multiplicativeFactor(b.l, x); ok {
+			return Mul(f, b.r), true
+		}
+	case rRefs && !lRefs:
+		if f, ok := multiplicativeFactor(b.r, x); ok {
+			return Mul(b.l, f), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,256 @@
+package expr
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"tiermerge/internal/model"
+)
+
+// mapEnv is a trivial Env over two maps.
+type mapEnv struct {
+	items  map[model.Item]model.Value
+	params map[string]model.Value
+}
+
+func (e mapEnv) ItemValue(it model.Item) (model.Value, error) { return e.items[it], nil }
+func (e mapEnv) ParamValue(n string) (model.Value, error) {
+	v, ok := e.params[n]
+	if !ok {
+		return 0, &UnknownParamError{Name: n}
+	}
+	return v, nil
+}
+
+func env(items map[model.Item]model.Value, params map[string]model.Value) Env {
+	return mapEnv{items: items, params: params}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	e := env(map[model.Item]model.Value{"x": 7, "y": 3}, map[string]model.Value{"p": 5})
+	tests := []struct {
+		name string
+		give Expr
+		want model.Value
+	}{
+		{"const", Const(42), 42},
+		{"var", Var("x"), 7},
+		{"param", Param("p"), 5},
+		{"add", Add(Var("x"), Var("y")), 10},
+		{"sub", Sub(Var("x"), Var("y")), 4},
+		{"mul", Mul(Var("x"), Var("y")), 21},
+		{"div", Div(Var("x"), Var("y")), 2},
+		{"mod", Bin(OpMod, Var("x"), Var("y")), 1},
+		{"min", Bin(OpMin, Var("x"), Var("y")), 3},
+		{"max", Bin(OpMax, Var("x"), Var("y")), 7},
+		{"neg", Neg(Var("y")), -3},
+		{"nested", Add(Mul(Var("x"), Const(2)), Sub(Param("p"), Var("y"))), 16},
+		{"missing item is zero", Var("zzz"), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.give.Eval(e)
+			if err != nil {
+				t.Fatalf("Eval(%s): %v", tt.give, err)
+			}
+			if got != tt.want {
+				t.Errorf("Eval(%s) = %d, want %d", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	e := env(nil, nil)
+	if _, err := Div(Const(1), Const(0)).Eval(e); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("div by zero: got %v, want ErrDivideByZero", err)
+	}
+	if _, err := Bin(OpMod, Const(1), Const(0)).Eval(e); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("mod by zero: got %v, want ErrDivideByZero", err)
+	}
+	var upe *UnknownParamError
+	if _, err := Param("nope").Eval(e); !errors.As(err, &upe) {
+		t.Errorf("unknown param: got %v, want UnknownParamError", err)
+	} else if upe.Name != "nope" {
+		t.Errorf("unknown param name = %q, want %q", upe.Name, "nope")
+	}
+}
+
+func TestItemsAndParams(t *testing.T) {
+	e := Add(Mul(Var("x"), Param("a")), Sub(Var("y"), Var("x")))
+	items := ItemsOf(e)
+	if !items.Has("x") || !items.Has("y") || len(items) != 2 {
+		t.Errorf("ItemsOf = %v, want {x, y}", items)
+	}
+	params := ParamsOf(e)
+	if _, ok := params["a"]; !ok || len(params) != 1 {
+		t.Errorf("ParamsOf = %v, want {a}", params)
+	}
+	if !References(e, "x") || References(e, "z") {
+		t.Error("References misreported")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	e := Add(Var("x"), Mul(Var("y"), Var("x")))
+	s := e.Subst("x", Const(3))
+	got, err := s.Eval(env(map[model.Item]model.Value{"y": 4}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Errorf("subst eval = %d, want 15", got)
+	}
+	if References(s, "x") {
+		t.Errorf("subst result %s still references x", s)
+	}
+	// The original expression is unchanged.
+	if !References(e, "x") {
+		t.Error("Subst mutated the receiver")
+	}
+}
+
+func TestAnalyzeShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		give Expr
+		item model.Item
+		want UpdateShape
+	}{
+		{"plain add", Add(Var("x"), Const(5)), "x", ShapeAdditive},
+		{"add reversed", Add(Const(5), Var("x")), "x", ShapeAdditive},
+		{"sub", Sub(Var("x"), Param("amt")), "x", ShapeAdditive},
+		{"nested add", Add(Add(Var("x"), Const(1)), Const(2)), "x", ShapeAdditive},
+		{"bare var", Var("x"), "x", ShapeAdditive},
+		{"mul", Mul(Var("x"), Const(2)), "x", ShapeMultiplicative},
+		{"mul reversed", Mul(Const(2), Var("x")), "x", ShapeMultiplicative},
+		{"assign const", Const(9), "x", ShapeAssign},
+		{"assign other items", Add(Var("y"), Var("z")), "x", ShapeAssign},
+		{"self proportional", Add(Var("x"), Div(Var("x"), Const(10))), "x", ShapeOther},
+		{"sub from const", Sub(Const(100), Var("x")), "x", ShapeOther},
+		{"max", Bin(OpMax, Var("x"), Const(0)), "x", ShapeOther},
+		{"x twice", Add(Var("x"), Var("x")), "x", ShapeOther},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Analyze(tt.give, tt.item).Shape; got != tt.want {
+				t.Errorf("Analyze(%s, %s) = %v, want %v", tt.give, tt.item, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestAdditiveDeltaIdentity property-checks the soundness of the additive
+// recognizer: whenever Analyze reports additive with delta δ, evaluating the
+// original expression equals x + δ for arbitrary values.
+func TestAdditiveDeltaIdentity(t *testing.T) {
+	shapes := []Expr{
+		Add(Var("x"), Param("a")),
+		Sub(Var("x"), Add(Var("y"), Const(3))),
+		Add(Var("y"), Var("x")),
+		Add(Add(Var("x"), Var("y")), Param("a")),
+	}
+	for _, e := range shapes {
+		a := Analyze(e, "x")
+		if a.Shape != ShapeAdditive {
+			t.Fatalf("expected %s additive, got %v", e, a.Shape)
+		}
+		f := func(x, y, p int32) bool {
+			en := env(
+				map[model.Item]model.Value{"x": model.Value(x), "y": model.Value(y)},
+				map[string]model.Value{"a": model.Value(p)},
+			)
+			orig, err1 := e.Eval(en)
+			d, err2 := a.Delta.Eval(en)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			return orig == model.Value(x)+d
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("additive identity for %s: %v", e, err)
+		}
+	}
+}
+
+// TestMultiplicativeFactorIdentity property-checks the multiplicative
+// recognizer the same way.
+func TestMultiplicativeFactorIdentity(t *testing.T) {
+	e := Mul(Const(3), Mul(Var("x"), Param("a")))
+	a := Analyze(e, "x")
+	if a.Shape != ShapeMultiplicative {
+		t.Fatalf("expected multiplicative, got %v", a.Shape)
+	}
+	f := func(x, p int16) bool {
+		en := env(
+			map[model.Item]model.Value{"x": model.Value(x)},
+			map[string]model.Value{"a": model.Value(p)},
+		)
+		orig, err1 := e.Eval(en)
+		fac, err2 := a.Delta.Eval(en)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return orig == model.Value(x)*fac
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("multiplicative identity: %v", err)
+	}
+}
+
+func TestPredEval(t *testing.T) {
+	e := env(map[model.Item]model.Value{"x": 5, "y": 10}, nil)
+	tests := []struct {
+		name string
+		give Pred
+		want bool
+	}{
+		{"gt true", GT(Var("y"), Var("x")), true},
+		{"gt false", GT(Var("x"), Var("y")), false},
+		{"ge equal", GE(Var("x"), Const(5)), true},
+		{"lt", LT(Var("x"), Const(6)), true},
+		{"le", LE(Var("x"), Const(4)), false},
+		{"eq", EQ(Var("x"), Const(5)), true},
+		{"ne", NE(Var("x"), Const(5)), false},
+		{"and", And(GT(Var("x"), Const(0)), GT(Var("y"), Const(0))), true},
+		{"and short", And(GT(Var("x"), Const(9)), GT(Var("y"), Const(0))), false},
+		{"or", Or(GT(Var("x"), Const(9)), GT(Var("y"), Const(9))), true},
+		{"not", Not(EQ(Var("x"), Const(5))), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.give.Eval(e)
+			if err != nil {
+				t.Fatalf("Eval(%s): %v", tt.give, err)
+			}
+			if got != tt.want {
+				t.Errorf("Eval(%s) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPredItems(t *testing.T) {
+	p := And(GT(Var("x"), Const(0)), Or(EQ(Var("y"), Param("a")), Not(LT(Var("z"), Const(1)))))
+	items := PredItemsOf(p)
+	for _, it := range []model.Item{"x", "y", "z"} {
+		if !items.Has(it) {
+			t.Errorf("PredItemsOf missing %s", it)
+		}
+	}
+	if len(items) != 3 {
+		t.Errorf("PredItemsOf = %v, want 3 items", items)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Add(Var("x"), Mul(Param("a"), Const(2)))
+	if got, want := e.String(), "(x + ($a * 2))"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	p := And(GT(Var("x"), Const(0)), NE(Var("y"), Const(1)))
+	if got, want := p.String(), "(x > 0 && y != 1)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,238 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tiermerge/internal/model"
+)
+
+// Wire format. Expressions and predicates serialize as single-key JSON
+// objects discriminated by that key:
+//
+//	{"const": 5}
+//	{"var": "x"}
+//	{"param": "amt"}
+//	{"bin": {"op": "+", "l": ..., "r": ...}}
+//
+//	{"cmp": {"op": ">", "l": ..., "r": ...}}
+//	{"and": [p, q]}   {"or": [p, q]}   {"not": p}
+//
+// The format is the on-disk/on-wire representation of transaction code used
+// by the write-ahead log (non-canned systems "record the codes of
+// transactions when they are executed", Section 5.1) and by the
+// reprocessing protocol's code shipping (Section 7.1).
+
+type wireBin struct {
+	Op string          `json:"op"`
+	L  json.RawMessage `json:"l"`
+	R  json.RawMessage `json:"r"`
+}
+
+type wireExpr struct {
+	Const *model.Value `json:"const,omitempty"`
+	Var   *model.Item  `json:"var,omitempty"`
+	Param *string      `json:"param,omitempty"`
+	Bin   *wireBin     `json:"bin,omitempty"`
+}
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpMin: "min", OpMax: "max",
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		m[n] = op
+	}
+	return m
+}()
+
+// MarshalExpr encodes an expression in the wire format.
+func MarshalExpr(e Expr) ([]byte, error) {
+	switch n := e.(type) {
+	case constExpr:
+		v := n.v
+		return json.Marshal(wireExpr{Const: &v})
+	case varExpr:
+		it := n.it
+		return json.Marshal(wireExpr{Var: &it})
+	case paramExpr:
+		p := n.name
+		return json.Marshal(wireExpr{Param: &p})
+	case binExpr:
+		l, err := MarshalExpr(n.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := MarshalExpr(n.r)
+		if err != nil {
+			return nil, err
+		}
+		name, ok := opNames[n.op]
+		if !ok {
+			return nil, fmt.Errorf("expr: cannot encode operator %v", n.op)
+		}
+		return json.Marshal(wireExpr{Bin: &wireBin{Op: name, L: l, R: r}})
+	default:
+		return nil, fmt.Errorf("expr: cannot encode %T", e)
+	}
+}
+
+// UnmarshalExpr decodes a wire-format expression.
+func UnmarshalExpr(data []byte) (Expr, error) {
+	var w wireExpr
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("expr: decode: %w", err)
+	}
+	switch {
+	case w.Const != nil:
+		return Const(*w.Const), nil
+	case w.Var != nil:
+		return Var(*w.Var), nil
+	case w.Param != nil:
+		return Param(*w.Param), nil
+	case w.Bin != nil:
+		op, ok := opByName[w.Bin.Op]
+		if !ok {
+			return nil, fmt.Errorf("expr: unknown operator %q", w.Bin.Op)
+		}
+		l, err := UnmarshalExpr(w.Bin.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := UnmarshalExpr(w.Bin.R)
+		if err != nil {
+			return nil, err
+		}
+		return Bin(op, l, r), nil
+	default:
+		return nil, fmt.Errorf("expr: empty expression object")
+	}
+}
+
+type wireCmp struct {
+	Op string          `json:"op"`
+	L  json.RawMessage `json:"l"`
+	R  json.RawMessage `json:"r"`
+}
+
+type wirePred struct {
+	Cmp *wireCmp          `json:"cmp,omitempty"`
+	And []json.RawMessage `json:"and,omitempty"`
+	Or  []json.RawMessage `json:"or,omitempty"`
+	Not json.RawMessage   `json:"not,omitempty"`
+}
+
+var cmpNames = map[CmpOp]string{
+	CmpEQ: "==", CmpNE: "!=", CmpLT: "<", CmpLE: "<=", CmpGT: ">", CmpGE: ">=",
+}
+
+var cmpByName = func() map[string]CmpOp {
+	m := make(map[string]CmpOp, len(cmpNames))
+	for op, n := range cmpNames {
+		m[n] = op
+	}
+	return m
+}()
+
+// MarshalPred encodes a predicate in the wire format.
+func MarshalPred(p Pred) ([]byte, error) {
+	switch n := p.(type) {
+	case cmpPred:
+		l, err := MarshalExpr(n.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := MarshalExpr(n.r)
+		if err != nil {
+			return nil, err
+		}
+		name, ok := cmpNames[n.op]
+		if !ok {
+			return nil, fmt.Errorf("expr: cannot encode comparison %v", n.op)
+		}
+		return json.Marshal(wirePred{Cmp: &wireCmp{Op: name, L: l, R: r}})
+	case andPred:
+		l, err := MarshalPred(n.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := MarshalPred(n.r)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(wirePred{And: []json.RawMessage{l, r}})
+	case orPred:
+		l, err := MarshalPred(n.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := MarshalPred(n.r)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(wirePred{Or: []json.RawMessage{l, r}})
+	case notPred:
+		inner, err := MarshalPred(n.p)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(wirePred{Not: inner})
+	default:
+		return nil, fmt.Errorf("expr: cannot encode predicate %T", p)
+	}
+}
+
+// UnmarshalPred decodes a wire-format predicate.
+func UnmarshalPred(data []byte) (Pred, error) {
+	var w wirePred
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("expr: decode predicate: %w", err)
+	}
+	switch {
+	case w.Cmp != nil:
+		op, ok := cmpByName[w.Cmp.Op]
+		if !ok {
+			return nil, fmt.Errorf("expr: unknown comparison %q", w.Cmp.Op)
+		}
+		l, err := UnmarshalExpr(w.Cmp.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := UnmarshalExpr(w.Cmp.R)
+		if err != nil {
+			return nil, err
+		}
+		return Cmp(op, l, r), nil
+	case len(w.And) == 2:
+		l, err := UnmarshalPred(w.And[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := UnmarshalPred(w.And[1])
+		if err != nil {
+			return nil, err
+		}
+		return And(l, r), nil
+	case len(w.Or) == 2:
+		l, err := UnmarshalPred(w.Or[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := UnmarshalPred(w.Or[1])
+		if err != nil {
+			return nil, err
+		}
+		return Or(l, r), nil
+	case len(w.Not) > 0:
+		inner, err := UnmarshalPred(w.Not)
+		if err != nil {
+			return nil, err
+		}
+		return Not(inner), nil
+	default:
+		return nil, fmt.Errorf("expr: empty predicate object")
+	}
+}

@@ -1,0 +1,117 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"tiermerge/internal/model"
+)
+
+// randExpr builds a random expression tree of bounded depth over items
+// a..d and parameters p/q.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Const(model.Value(rng.Int63n(200) - 100))
+		case 1:
+			return Var(model.Item(string(rune('a' + rng.Intn(4)))))
+		default:
+			return Param([]string{"p", "q"}[rng.Intn(2)])
+		}
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax}
+	return Bin(ops[rng.Intn(len(ops))], randExpr(rng, depth-1), randExpr(rng, depth-1))
+}
+
+// randPred builds a random predicate of bounded depth.
+func randPred(rng *rand.Rand, depth int) Pred {
+	if depth == 0 || rng.Intn(3) == 0 {
+		ops := []CmpOp{CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE}
+		return Cmp(ops[rng.Intn(len(ops))], randExpr(rng, 1), randExpr(rng, 1))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And(randPred(rng, depth-1), randPred(rng, depth-1))
+	case 1:
+		return Or(randPred(rng, depth-1), randPred(rng, depth-1))
+	default:
+		return Not(randPred(rng, depth-1))
+	}
+}
+
+type codecEnv struct{ rng *rand.Rand }
+
+func (e codecEnv) ItemValue(model.Item) (model.Value, error) {
+	return model.Value(e.rng.Int63n(100)), nil
+}
+func (e codecEnv) ParamValue(string) (model.Value, error) {
+	return model.Value(e.rng.Int63n(100)), nil
+}
+
+// TestExprCodecRoundTrip property-checks Marshal/Unmarshal over random
+// trees: the decoded expression renders and evaluates identically.
+func TestExprCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	for trial := 0; trial < 500; trial++ {
+		orig := randExpr(rng, 4)
+		data, err := MarshalExpr(orig)
+		if err != nil {
+			t.Fatalf("trial %d: marshal %s: %v", trial, orig, err)
+		}
+		got, err := UnmarshalExpr(data)
+		if err != nil {
+			t.Fatalf("trial %d: unmarshal %s: %v", trial, data, err)
+		}
+		// Structural identity via the deterministic String form.
+		if got.String() != orig.String() {
+			t.Fatalf("trial %d: %s != %s", trial, got, orig)
+		}
+		// Behavioural identity on a deterministic env (same seed for both).
+		seed := rng.Int63()
+		v1, err1 := orig.Eval(codecEnv{rng: rand.New(rand.NewSource(seed))})
+		v2, err2 := got.Eval(codecEnv{rng: rand.New(rand.NewSource(seed))})
+		if (err1 == nil) != (err2 == nil) || (err1 == nil && v1 != v2) {
+			t.Fatalf("trial %d: eval divergence: %v/%v vs %v/%v", trial, v1, err1, v2, err2)
+		}
+	}
+}
+
+// TestPredCodecRoundTrip does the same for predicates.
+func TestPredCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	for trial := 0; trial < 500; trial++ {
+		orig := randPred(rng, 3)
+		data, err := MarshalPred(orig)
+		if err != nil {
+			t.Fatalf("trial %d: marshal %s: %v", trial, orig, err)
+		}
+		got, err := UnmarshalPred(data)
+		if err != nil {
+			t.Fatalf("trial %d: unmarshal %s: %v", trial, data, err)
+		}
+		if got.String() != orig.String() {
+			t.Fatalf("trial %d: %s != %s", trial, got, orig)
+		}
+	}
+}
+
+func TestExprCodecRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		``, `{}`, `{"bin":{"op":"?","l":{"const":1},"r":{"const":2}}}`,
+		`{"bin":{"op":"+","l":{},"r":{"const":2}}}`,
+		`[1,2]`,
+	} {
+		if _, err := UnmarshalExpr([]byte(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	for _, bad := range []string{
+		``, `{}`, `{"cmp":{"op":"~","l":{"const":1},"r":{"const":2}}}`,
+		`{"and":[{"cmp":{"op":">","l":{"const":1},"r":{"const":2}}}]}`,
+	} {
+		if _, err := UnmarshalPred([]byte(bad)); err == nil {
+			t.Errorf("accepted predicate %q", bad)
+		}
+	}
+}

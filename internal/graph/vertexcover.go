@@ -1,0 +1,128 @@
+package graph
+
+import "sort"
+
+// Davidson's "breaking two-cycles optimally" treats the two-cycles among
+// tentative transactions as an undirected graph and backs out a minimum-
+// weight vertex cover of it (every two-cycle must lose at least one
+// endpoint, and weights are the back-out costs). This file provides that
+// cover: exact branch-and-bound for the small conflict graphs real merges
+// produce, with a greedy fallback beyond a size limit.
+
+// minVertexCover returns a minimum-total-weight vertex cover of the
+// undirected edge set over the given candidate vertices. weight maps vertex
+// -> cost. Vertices not incident to any edge are never chosen. exactLimit
+// bounds the exact search; larger instances use the classic
+// highest-degree-first greedy 2-approximation.
+func minVertexCover(edges [][2]int, weight map[int]int, exactLimit int) []int {
+	// Collect incident vertices.
+	incident := make(map[int][]int) // vertex -> edge indices
+	for ei, e := range edges {
+		incident[e[0]] = append(incident[e[0]], ei)
+		incident[e[1]] = append(incident[e[1]], ei)
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	verts := make([]int, 0, len(incident))
+	for v := range incident {
+		verts = append(verts, v)
+	}
+	sort.Ints(verts)
+	if len(verts) > exactLimit {
+		return greedyCover(edges, incident, weight)
+	}
+	return exactCover(edges, verts, weight)
+}
+
+// exactCover enumerates subsets in increasing weight via branch and bound
+// on the first uncovered edge (take either endpoint), which visits at most
+// 2^|edges| branches but in practice collapses quickly.
+func exactCover(edges [][2]int, verts []int, weight map[int]int) []int {
+	bestCost := 1 << 30
+	var best []int
+	inCover := make(map[int]bool)
+
+	var covered func() int // index of first uncovered edge, or -1
+	covered = func() int {
+		for ei, e := range edges {
+			if !inCover[e[0]] && !inCover[e[1]] {
+				return ei
+			}
+		}
+		return -1
+	}
+
+	var cur []int
+	curCost := 0
+	var rec func()
+	rec = func() {
+		if curCost >= bestCost {
+			return
+		}
+		ei := covered()
+		if ei == -1 {
+			bestCost = curCost
+			best = append([]int(nil), cur...)
+			return
+		}
+		for _, v := range []int{edges[ei][0], edges[ei][1]} {
+			inCover[v] = true
+			cur = append(cur, v)
+			curCost += weight[v]
+			rec()
+			curCost -= weight[v]
+			cur = cur[:len(cur)-1]
+			inCover[v] = false
+		}
+	}
+	rec()
+	sort.Ints(best)
+	return best
+}
+
+// greedyCover is the highest-degree-per-weight greedy fallback.
+func greedyCover(edges [][2]int, incident map[int][]int, weight map[int]int) []int {
+	coveredEdge := make([]bool, len(edges))
+	remaining := len(edges)
+	var cover []int
+	inCover := make(map[int]bool)
+	for remaining > 0 {
+		best, bestScore := -1, -1.0
+		for v, eis := range incident {
+			if inCover[v] {
+				continue
+			}
+			deg := 0
+			for _, ei := range eis {
+				if !coveredEdge[ei] {
+					deg++
+				}
+			}
+			if deg == 0 {
+				continue
+			}
+			w := weight[v]
+			if w <= 0 {
+				w = 1
+			}
+			score := float64(deg) / float64(w)
+			if score > bestScore || (score == bestScore && v < best) {
+				best, bestScore = v, score
+			}
+		}
+		if best == -1 {
+			break // defensive; cannot happen while remaining > 0
+		}
+		inCover[best] = true
+		cover = append(cover, best)
+		for _, ei := range incident[best] {
+			if !coveredEdge[ei] {
+				coveredEdge[ei] = true
+				remaining--
+			}
+		}
+	}
+	sort.Ints(cover)
+	return cover
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func coverWeight(cover []int, w map[int]int) int {
+	total := 0
+	for _, v := range cover {
+		total += w[v]
+	}
+	return total
+}
+
+func isCover(edges [][2]int, cover []int) bool {
+	in := make(map[int]bool, len(cover))
+	for _, v := range cover {
+		in[v] = true
+	}
+	for _, e := range edges {
+		if !in[e[0]] && !in[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMinVertexCoverSmall(t *testing.T) {
+	unit := func(vs ...int) map[int]int {
+		m := make(map[int]int)
+		for _, v := range vs {
+			m[v] = 1
+		}
+		return m
+	}
+	tests := []struct {
+		name   string
+		edges  [][2]int
+		weight map[int]int
+		want   int // optimal total weight
+	}{
+		{"single edge", [][2]int{{1, 2}}, unit(1, 2), 1},
+		{"path of three", [][2]int{{1, 2}, {2, 3}}, unit(1, 2, 3), 1},
+		{"triangle", [][2]int{{1, 2}, {2, 3}, {1, 3}}, unit(1, 2, 3), 2},
+		{"star", [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, unit(0, 1, 2, 3, 4), 1},
+		{"weighted edge", [][2]int{{1, 2}}, map[int]int{1: 10, 2: 3}, 3},
+		{"weighted star beats center",
+			[][2]int{{0, 1}, {0, 2}},
+			map[int]int{0: 100, 1: 1, 2: 1}, 2},
+		{"empty", nil, unit(), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := minVertexCover(tt.edges, tt.weight, 20)
+			if !isCover(tt.edges, got) {
+				t.Fatalf("not a cover: %v", got)
+			}
+			if w := coverWeight(got, tt.weight); w != tt.want {
+				t.Errorf("cover %v weight %d, want %d", got, w, tt.want)
+			}
+		})
+	}
+}
+
+// TestMinVertexCoverExactVsBrute validates the branch-and-bound against
+// brute-force subset enumeration on fuzzed graphs.
+func TestMinVertexCoverExactVsBrute(t *testing.T) {
+	next := uint64(31337)
+	rnd := func(n int) int {
+		next = next*6364136223846793005 + 1442695040888963407
+		return int(next>>33) % n
+	}
+	for trial := 0; trial < 200; trial++ {
+		nV := 2 + rnd(7)
+		nE := 1 + rnd(10)
+		var edges [][2]int
+		weight := make(map[int]int)
+		for i := 0; i < nE; i++ {
+			u, v := rnd(nV), rnd(nV)
+			if u == v {
+				continue
+			}
+			edges = append(edges, [2]int{u, v})
+			weight[u] = 1 + u%3
+			weight[v] = 1 + v%3
+		}
+		got := minVertexCover(edges, weight, 20)
+		if !isCover(edges, got) {
+			t.Fatalf("trial %d: not a cover", trial)
+		}
+		// Brute force optimum.
+		verts := make([]int, 0, len(weight))
+		for v := range weight {
+			verts = append(verts, v)
+		}
+		sort.Ints(verts)
+		best := 1 << 30
+		for mask := 0; mask < 1<<len(verts); mask++ {
+			var c []int
+			w := 0
+			for i, v := range verts {
+				if mask&(1<<i) != 0 {
+					c = append(c, v)
+					w += weight[v]
+				}
+			}
+			if w < best && isCover(edges, c) {
+				best = w
+			}
+		}
+		if w := coverWeight(got, weight); w != best {
+			t.Fatalf("trial %d: cover weight %d, optimum %d (edges %v)", trial, w, best, edges)
+		}
+	}
+}
+
+// TestGreedyFallbackIsCover checks the over-limit path still covers.
+func TestGreedyFallbackIsCover(t *testing.T) {
+	var edges [][2]int
+	weight := make(map[int]int)
+	for i := 0; i < 40; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+		weight[i], weight[i+1] = 1, 1
+	}
+	got := minVertexCover(edges, weight, 10) // force greedy
+	if !isCover(edges, got) {
+		t.Fatal("greedy fallback produced a non-cover")
+	}
+}

@@ -1,0 +1,251 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New()
+	if err := m.Acquire("a", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire("b", "x", Shared) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second shared acquire blocked")
+	}
+	m.ReleaseAll("a")
+	m.ReleaseAll("b")
+}
+
+func TestExclusiveBlocksAndWakes(t *testing.T) {
+	m := New()
+	if err := m.Acquire("a", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := m.Acquire("b", "x", Exclusive); err != nil {
+			t.Errorf("b: %v", err)
+			return
+		}
+		got.Store(true)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() {
+		t.Fatal("b acquired while a held exclusive")
+	}
+	m.ReleaseAll("a")
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("b never woke")
+	}
+	if !got.Load() {
+		t.Fatal("b did not get the lock")
+	}
+	m.ReleaseAll("b")
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := New()
+	if err := m.Acquire("a", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("a", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("a", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll("a")
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := New()
+	if err := m.Acquire("a", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("a", "x", Exclusive); err != nil {
+		t.Fatalf("sole-holder upgrade failed: %v", err)
+	}
+	// An exclusive holder blocks shared requesters.
+	blocked := make(chan error, 1)
+	go func() { blocked <- m.Acquire("b", "x", Shared) }()
+	select {
+	case <-blocked:
+		t.Fatal("shared granted against exclusive upgrade")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll("a")
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll("b")
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New()
+	if err := m.Acquire("a", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("b", "y", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire("a", "y", Exclusive) }() // a waits on b
+	time.Sleep(20 * time.Millisecond)
+	// b requesting x closes the cycle; b must be chosen as the victim.
+	err := m.Acquire("b", "x", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("got %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll("b") // victim aborts
+	if err := <-done; err != nil {
+		t.Fatalf("a should proceed after victim aborts: %v", err)
+	}
+	m.ReleaseAll("a")
+}
+
+func TestReleaseAllWakesQueue(t *testing.T) {
+	m := New()
+	if err := m.Acquire("w", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = m.Acquire(ownerName(i), "x", Shared)
+			if errs[i] == nil {
+				m.ReleaseAll(ownerName(i))
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll("w")
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("reader %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentIncrementsAreSerial uses the lock manager to protect a
+// counter: with exclusive locking, no increments are lost.
+func TestConcurrentIncrementsAreSerial(t *testing.T) {
+	m := New()
+	var counter int
+	const workers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				owner := ownerName(w)
+				if err := m.Acquire(owner, "c", Exclusive); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				counter++
+				m.ReleaseAll(owner)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*rounds {
+		t.Errorf("counter = %d, want %d (lost updates)", counter, workers*rounds)
+	}
+	if m.Acquires() < workers*rounds {
+		t.Errorf("Acquires = %d, want >= %d", m.Acquires(), workers*rounds)
+	}
+}
+
+func TestHeldBy(t *testing.T) {
+	m := New()
+	if err := m.Acquire("a", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("a", "y", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HeldBy("a"); len(got) != 2 {
+		t.Errorf("HeldBy = %v, want 2 items", got)
+	}
+	m.ReleaseAll("a")
+	if got := m.HeldBy("a"); len(got) != 0 {
+		t.Errorf("HeldBy after release = %v", got)
+	}
+}
+
+func ownerName(i int) string { return string(rune('A' + i)) }
+
+// TestNoFalseDeadlockOnSingleResourceChurn is the regression test for a
+// stale-edge bug found by BenchmarkLockManagerContention: owners repeatedly
+// acquiring and releasing a single lock can never deadlock, no matter how
+// requests interleave — a cycle needs at least two resources.
+func TestNoFalseDeadlockOnSingleResourceChurn(t *testing.T) {
+	m := New()
+	const workers, rounds = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := ownerName(w)
+			for r := 0; r < rounds; r++ {
+				if err := m.Acquire(owner, "hot", Exclusive); err != nil {
+					errs <- err
+					return
+				}
+				m.ReleaseAll(owner)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("false deadlock on a single resource: %v", err)
+	}
+}
+
+// TestBlockersReflectLiveState: after a holder releases and re-requests,
+// no stale edge points at it.
+func TestBlockersReflectLiveState(t *testing.T) {
+	m := New()
+	if err := m.Acquire("a", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	go func() { done <- m.Acquire("b", "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	// a releases; b is granted. a immediately re-requests: b now blocks a,
+	// but there is no b->a edge, so no deadlock.
+	m.ReleaseAll("a")
+	go func() { done <- m.Acquire("a", "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll("b")
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("stale-edge deadlock: %v", err)
+		}
+	}
+	m.ReleaseAll("a")
+}

@@ -1,0 +1,381 @@
+// Package merge implements the merging protocol of Section 2.1: build the
+// precedence graph over the tentative and base histories, compute the
+// back-out set B, rewrite the tentative history to move B (and the affected
+// transactions that cannot be saved) to the end, prune the rewritten history
+// to obtain the repaired history's effect, and forward only the final values
+// of the items the repaired history wrote.
+package merge
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tiermerge/internal/graph"
+	"tiermerge/internal/history"
+	"tiermerge/internal/model"
+	"tiermerge/internal/prune"
+	"tiermerge/internal/rewrite"
+	"tiermerge/internal/tx"
+)
+
+// Rewriter selects the back-out/rewriting algorithm for step 3.
+type Rewriter int
+
+// Rewriter choices.
+const (
+	// RewriteClosure discards B ∪ AG outright (the Davidson baseline; the
+	// only choice that supports blind writes).
+	RewriteClosure Rewriter = iota + 1
+	// RewriteCanFollow is Algorithm 1: saves exactly G − AG.
+	RewriteCanFollow
+	// RewriteCanPrecede is Algorithm 2: saves G − AG plus every affected
+	// transaction the can-precede relation admits.
+	RewriteCanPrecede
+	// RewriteCBT is the commutes-backward-through baseline of Theorem 4.
+	RewriteCBT
+	// RewriteCanFollowBW is can-follow rewriting generalized to blind
+	// writes (the Section 3 adaptation the paper mentions): like
+	// RewriteCanFollow, plus an explicit write-write collision test.
+	RewriteCanFollowBW
+)
+
+func (r Rewriter) String() string {
+	switch r {
+	case RewriteClosure:
+		return "closure"
+	case RewriteCanFollow:
+		return "can-follow"
+	case RewriteCanPrecede:
+		return "can-follow+can-precede"
+	case RewriteCBT:
+		return "commutes-backward-through"
+	case RewriteCanFollowBW:
+		return "can-follow-bw"
+	default:
+		return "unknown"
+	}
+}
+
+// Pruner selects the step 4 pruning approach.
+type Pruner int
+
+// Pruner choices.
+const (
+	// PruneAuto tries compensation and falls back to undo when some
+	// transaction has no compensator.
+	PruneAuto Pruner = iota + 1
+	// PruneCompensation uses fixed compensating transactions (Section 6.1).
+	PruneCompensation
+	// PruneUndo uses before-image undo plus undo-repair actions
+	// (Section 6.2).
+	PruneUndo
+)
+
+func (p Pruner) String() string {
+	switch p {
+	case PruneAuto:
+		return "auto"
+	case PruneCompensation:
+		return "compensation"
+	case PruneUndo:
+		return "undo"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a merge.
+type Options struct {
+	// Strategy computes B (default graph.TwoCycle{}).
+	Strategy graph.Strategy
+	// Rewriter selects the rewriting algorithm. When left zero it defaults
+	// to RewriteCanPrecede, degrading to RewriteCanFollowBW if the
+	// tentative history contains blind writes (which the Section 3
+	// rewriting model excludes); an explicitly chosen rewriter is never
+	// overridden.
+	Rewriter Rewriter
+	// Detector decides can-precede for RewriteCanPrecede and RewriteCBT
+	// (default rewrite.StaticDetector{}).
+	Detector rewrite.PrecedeDetector
+	// Pruner selects the pruning approach (default PruneAuto).
+	Pruner Pruner
+	// Verify re-executes the repaired history from the origin state and
+	// compares it against the pruned state, failing the merge on mismatch.
+	// Intended for tests and debugging; defaults off.
+	Verify bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Strategy == nil {
+		o.Strategy = graph.TwoCycle{}
+	}
+	if o.Rewriter == 0 {
+		o.Rewriter = RewriteCanPrecede
+	}
+	if o.Detector == nil {
+		o.Detector = rewrite.StaticDetector{}
+	}
+	if o.Pruner == 0 {
+		o.Pruner = PruneAuto
+	}
+	return o
+}
+
+// Report is the outcome of one merge.
+type Report struct {
+	// Graph is the precedence graph G(Hm, Hb).
+	Graph *graph.Graph
+	// Conflict reports whether the graph had a cycle (B non-empty).
+	Conflict bool
+	// BadIDs are the transactions backed out (B), in history order.
+	BadIDs []string
+	// AffectedIDs are AG, the reads-from closure of B, in history order.
+	AffectedIDs []string
+	// SavedIDs are the transactions whose work the merge preserved, in
+	// repaired-history order.
+	SavedIDs []string
+	// Reexecute lists the tentative transactions the base tier must
+	// re-execute (B plus the affected transactions that were not saved),
+	// in original history order.
+	Reexecute []*tx.Transaction
+	// ForwardUpdates holds, for each item modified by the repaired history,
+	// its value in the repaired history's final state — the only data the
+	// mobile node ships to the base tier for the saved transactions
+	// (Section 2.1 step 5).
+	ForwardUpdates map[model.Item]model.Value
+	// RepairedState is the full final state of the repaired history on the
+	// mobile replica.
+	RepairedState model.State
+	// Repaired is the repaired history H_r itself.
+	Repaired *history.History
+	// RewriteResult carries the rewritten history with fixes, when a
+	// rewriting algorithm ran (nil for RewriteClosure).
+	RewriteResult *rewrite.Result
+	// PruneMethod records which pruning approach actually ran.
+	PruneMethod string
+	// Options echoes the effective options.
+	Options Options
+}
+
+// Merge runs the merging protocol for one tentative history against the
+// base history it raced with. Both augmented histories must have been run
+// from the same origin state (Strategy 2 of Section 2.2 guarantees this in
+// the full protocol).
+func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
+	defaulted := opts.Rewriter == 0
+	opts = opts.withDefaults()
+	if defaulted {
+		for i := 0; i < hm.H.Len(); i++ {
+			if hm.H.Txn(i).HasBlindWrites() {
+				opts.Rewriter = RewriteCanFollowBW
+				break
+			}
+		}
+	}
+	rep := &Report{Options: opts}
+
+	// Step 1: precedence graph.
+	g := graph.BuildFromHistories(hm, hb)
+	rep.Graph = g
+
+	// Step 2: back-out set.
+	var badPos map[int]bool
+	if g.Acyclic(nil) {
+		badPos = map[int]bool{}
+	} else {
+		rep.Conflict = true
+		b, err := opts.Strategy.ComputeB(g)
+		if err != nil {
+			return nil, fmt.Errorf("merge: back-out: %w", err)
+		}
+		badPos = make(map[int]bool, len(b))
+		for _, v := range b {
+			badPos[v] = true // tentative vertex index == Hm position
+		}
+	}
+
+	// Steps 3 and 4: rewrite and prune.
+	if err := rewriteAndPrune(rep, hm, badPos, opts); err != nil {
+		return nil, err
+	}
+
+	// Step 5: forward only final values of items the repaired history
+	// modified.
+	rep.ForwardUpdates = forwardUpdates(hm, rep)
+
+	if opts.Verify {
+		if err := verifyRepair(hm, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+func rewriteAndPrune(rep *Report, hm *history.Augmented, badPos map[int]bool, opts Options) error {
+	switch opts.Rewriter {
+	case RewriteClosure:
+		kept, affected := rewrite.ClosureBackout(hm, badPos)
+		rep.Repaired = kept
+		rep.BadIDs = idsAt(hm, badPos)
+		rep.AffectedIDs = idsAt(hm, affected)
+		rep.SavedIDs = kept.IDs()
+		rep.RepairedState = repairedStateByLog(hm, badPos, affected)
+		rep.PruneMethod = "log-restore"
+		for i := 0; i < hm.H.Len(); i++ {
+			if badPos[i] || affected[i] {
+				rep.Reexecute = append(rep.Reexecute, hm.H.Txn(i))
+			}
+		}
+		return nil
+	case RewriteCanFollow, RewriteCanPrecede, RewriteCBT, RewriteCanFollowBW:
+		var (
+			res *rewrite.Result
+			err error
+		)
+		switch opts.Rewriter {
+		case RewriteCanFollow:
+			res, err = rewrite.Algorithm1(hm, badPos)
+		case RewriteCanPrecede:
+			res, err = rewrite.Algorithm2(hm, badPos, opts.Detector)
+		case RewriteCanFollowBW:
+			res, err = rewrite.Algorithm1BW(hm, badPos)
+		default:
+			res, err = rewrite.CBTR(hm, badPos, opts.Detector)
+		}
+		if err != nil {
+			return fmt.Errorf("merge: rewrite: %w", err)
+		}
+		rep.RewriteResult = res
+		rep.Repaired = res.Repaired()
+		rep.BadIDs = idsAt(hm, badPos)
+		rep.AffectedIDs = idsAt(hm, res.Affected)
+		rep.SavedIDs = res.SavedIDs()
+		for i := res.PrefixLen; i < res.Rewritten.Len(); i++ {
+			rep.Reexecute = append(rep.Reexecute, res.Rewritten.Txn(i))
+		}
+		sortByOriginalOrder(rep.Reexecute, hm)
+		state, method, err := pruneResult(res, hm.Final(), opts.Pruner)
+		if err != nil {
+			return fmt.Errorf("merge: prune: %w", err)
+		}
+		rep.RepairedState = state
+		rep.PruneMethod = method
+		return nil
+	default:
+		return fmt.Errorf("merge: unknown rewriter %d", opts.Rewriter)
+	}
+}
+
+func pruneResult(res *rewrite.Result, final model.State, p Pruner) (model.State, string, error) {
+	switch p {
+	case PruneCompensation:
+		s, _, err := prune.ByCompensation(res, final)
+		return s, "compensation", err
+	case PruneUndo:
+		s, _, err := prune.ByUndo(res, final)
+		return s, "undo", err
+	case PruneAuto:
+		s, _, err := prune.ByCompensation(res, final)
+		if err == nil {
+			return s, "compensation", nil
+		}
+		var notInv *tx.NotInvertibleError
+		if !errors.As(err, &notInv) {
+			return nil, "", err
+		}
+		s, _, err = prune.ByUndo(res, final)
+		return s, "undo", err
+	default:
+		return nil, "", fmt.Errorf("unknown pruner %d", p)
+	}
+}
+
+// forwardUpdates extracts, from the repaired state, the value of every item
+// some saved transaction wrote. Write sets are taken from the original
+// effects: rewriting never changes which items a transaction writes (branch
+// decisions are order-invariant for every saved transaction).
+func forwardUpdates(hm *history.Augmented, rep *Report) map[model.Item]model.Value {
+	saved := make(map[string]bool, len(rep.SavedIDs))
+	for _, id := range rep.SavedIDs {
+		saved[id] = true
+	}
+	out := make(map[model.Item]model.Value)
+	for i := 0; i < hm.H.Len(); i++ {
+		if !saved[hm.H.Txn(i).ID] {
+			continue
+		}
+		for it := range hm.Effects[i].WriteSet {
+			out[it] = rep.RepairedState.Get(it)
+		}
+	}
+	return out
+}
+
+// repairedStateByLog computes the repaired history's final state for the
+// closure back-out directly from the log: every item updated by a removed
+// transaction is restored to the value written by its last surviving writer
+// (or its origin value). Surviving (G − AG) transactions write the same
+// values with or without B ∪ AG present, because by construction they read
+// nothing B ∪ AG wrote.
+func repairedStateByLog(hm *history.Augmented, bad, affected map[int]bool) model.State {
+	cur := hm.Final().Clone()
+	removed := func(i int) bool { return bad[i] || affected[i] }
+	touched := make(model.ItemSet)
+	for i := 0; i < hm.H.Len(); i++ {
+		if removed(i) {
+			for it := range hm.Effects[i].WriteSet {
+				touched.Add(it)
+			}
+		}
+	}
+	for it := range touched {
+		v := hm.States[0].Get(it) // origin value if no surviving writer
+		for i := 0; i < hm.H.Len(); i++ {
+			if removed(i) {
+				continue
+			}
+			if w, ok := hm.Effects[i].Writes[it]; ok {
+				v = w
+			}
+		}
+		cur.Set(it, v)
+	}
+	return cur
+}
+
+// verifyRepair re-executes the repaired history from the origin state and
+// compares against the pruned state (the oracle of Theorem 5 and the
+// closure restore).
+func verifyRepair(hm *history.Augmented, rep *Report) error {
+	aug, err := history.Run(rep.Repaired, hm.States[0])
+	if err != nil {
+		return fmt.Errorf("merge: verify: re-execute repaired: %w", err)
+	}
+	if !aug.Final().Equal(rep.RepairedState) {
+		return fmt.Errorf("merge: verify: pruned state %s != re-executed state %s",
+			rep.RepairedState, aug.Final())
+	}
+	return nil
+}
+
+func idsAt(hm *history.Augmented, set map[int]bool) []string {
+	pos := make([]int, 0, len(set))
+	for p := range set {
+		pos = append(pos, p)
+	}
+	sort.Ints(pos)
+	ids := make([]string, len(pos))
+	for i, p := range pos {
+		ids[i] = hm.H.Txn(p).ID
+	}
+	return ids
+}
+
+func sortByOriginalOrder(ts []*tx.Transaction, hm *history.Augmented) {
+	pos := make(map[*tx.Transaction]int, hm.H.Len())
+	for i := 0; i < hm.H.Len(); i++ {
+		pos[hm.H.Txn(i)] = i
+	}
+	sort.Slice(ts, func(i, j int) bool { return pos[ts[i]] < pos[ts[j]] })
+}

@@ -1,0 +1,347 @@
+package merge
+
+import (
+	"reflect"
+	"testing"
+
+	"tiermerge/internal/graph"
+	"tiermerge/internal/history"
+	"tiermerge/internal/model"
+	"tiermerge/internal/papertest"
+	"tiermerge/internal/rewrite"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+func runPair(t *testing.T, e *papertest.Example1) (*history.Augmented, *history.Augmented) {
+	t.Helper()
+	am, err := history.Run(history.New(e.Mobile()...), e.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := history.Run(history.New(e.BaseTxns()...), e.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return am, ab
+}
+
+// TestExample1Merge runs the full merging protocol on the paper's Example 1:
+// conflict detected, B = {Tm3}, AG = {Tm4}, saved = {Tm1, Tm2}, and the
+// merged history Tb1 Tb2 Tm1 Tm2 is reproduced and validated against the
+// forwarded updates.
+func TestExample1Merge(t *testing.T) {
+	e := papertest.NewExample1()
+	am, ab := runPair(t, e)
+	rep, err := Merge(am, ab, Options{Rewriter: RewriteClosure, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Conflict {
+		t.Fatal("conflict not detected")
+	}
+	if !reflect.DeepEqual(rep.BadIDs, []string{"Tm3"}) {
+		t.Errorf("B = %v, want [Tm3]", rep.BadIDs)
+	}
+	if !reflect.DeepEqual(rep.AffectedIDs, []string{"Tm4"}) {
+		t.Errorf("AG = %v, want [Tm4]", rep.AffectedIDs)
+	}
+	if !reflect.DeepEqual(rep.SavedIDs, []string{"Tm1", "Tm2"}) {
+		t.Errorf("saved = %v, want [Tm1 Tm2]", rep.SavedIDs)
+	}
+	// Re-execution list: Tm3 then Tm4, original order.
+	gotRe := make([]string, len(rep.Reexecute))
+	for i, r := range rep.Reexecute {
+		gotRe[i] = r.ID
+	}
+	if !reflect.DeepEqual(gotRe, []string{"Tm3", "Tm4"}) {
+		t.Errorf("reexecute = %v, want [Tm3 Tm4]", gotRe)
+	}
+	merged, err := VerifyMerge(rep, am, ab, e.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.IDs(); !reflect.DeepEqual(got, []string{"Tb1", "Tb2", "Tm1", "Tm2"}) {
+		t.Errorf("merged history = %v, want the paper's [Tb1 Tb2 Tm1 Tm2]", got)
+	}
+}
+
+// TestExample1ForwardedValues pins the concrete forwarded values: only
+// items written by Tm1 and Tm2, at their repaired-history values.
+func TestExample1ForwardedValues(t *testing.T) {
+	e := papertest.NewExample1()
+	am, ab := runPair(t, e)
+	rep, err := Merge(am, ab, Options{Rewriter: RewriteClosure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repaired history Tm1 Tm2 from origin {d1..d6 = 10..60}:
+	// Tm1: d1=11, d2=21; Tm2: d3 = 30+21 = 51, d4=7, d5=9, d6=11.
+	want := map[model.Item]model.Value{
+		"d1": 11, "d2": 21, "d3": 51, "d4": 7, "d5": 9, "d6": 11,
+	}
+	if len(rep.ForwardUpdates) != len(want) {
+		t.Errorf("forwarded %v, want %v", rep.ForwardUpdates, want)
+	}
+	for it, v := range want {
+		if rep.ForwardUpdates[it] != v {
+			t.Errorf("forwarded %s = %d, want %d", it, rep.ForwardUpdates[it], v)
+		}
+	}
+}
+
+// TestMergeNoConflict merges a disjoint pair of histories: everything is
+// saved, nothing re-executed.
+func TestMergeNoConflict(t *testing.T) {
+	origin := model.StateOf(map[model.Item]model.Value{"a": 1, "z": 2})
+	m := workload.Deposit("Tm1", tx.Tentative, "a", 5)
+	b := workload.Deposit("Tb1", tx.Base, "z", 7)
+	am, err := history.Run(history.New(m), origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := history.Run(history.New(b), origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range []Rewriter{RewriteClosure, RewriteCanFollow, RewriteCanPrecede, RewriteCBT} {
+		rep, err := Merge(am, ab, Options{Rewriter: rw, Verify: true})
+		if err != nil {
+			t.Fatalf("%s: %v", rw, err)
+		}
+		if rep.Conflict {
+			t.Errorf("%s: spurious conflict", rw)
+		}
+		if !reflect.DeepEqual(rep.SavedIDs, []string{"Tm1"}) {
+			t.Errorf("%s: saved %v", rw, rep.SavedIDs)
+		}
+		if len(rep.Reexecute) != 0 {
+			t.Errorf("%s: reexecute %v", rw, rep.Reexecute)
+		}
+		if rep.ForwardUpdates["a"] != 6 {
+			t.Errorf("%s: forwarded a = %d, want 6", rw, rep.ForwardUpdates["a"])
+		}
+		if _, err := VerifyMerge(rep, am, ab, origin); err != nil {
+			t.Errorf("%s: %v", rw, err)
+		}
+	}
+}
+
+// TestMergeRewriterComparison runs all four rewriters over random
+// conflicting history pairs and checks (a) each merge verifies end-to-end,
+// and (b) the saved-set ordering closure == can-follow ⊆ can-precede and
+// CBTR ⊆ can-precede (Theorems 3 and 4 at protocol level).
+func TestMergeRewriterComparison(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 81, Items: 12, PCommutative: 0.7})
+	origin := gen.OriginState()
+	for trial := 0; trial < 100; trial++ {
+		am, err := gen.RunHistory(tx.Tentative, 8, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := gen.RunHistory(tx.Base, 6, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved := make(map[Rewriter]map[string]bool)
+		for _, rw := range []Rewriter{RewriteClosure, RewriteCanFollow, RewriteCanPrecede, RewriteCBT} {
+			rep, err := Merge(am, ab, Options{Rewriter: rw, Verify: true})
+			if err != nil {
+				t.Fatalf("trial %d, %s: %v", trial, rw, err)
+			}
+			if _, err := VerifyMerge(rep, am, ab, origin); err != nil {
+				t.Fatalf("trial %d, %s: %v", trial, rw, err)
+			}
+			set := make(map[string]bool, len(rep.SavedIDs))
+			for _, id := range rep.SavedIDs {
+				set[id] = true
+			}
+			saved[rw] = set
+		}
+		if !reflect.DeepEqual(saved[RewriteClosure], saved[RewriteCanFollow]) {
+			t.Fatalf("trial %d: closure %v != can-follow %v",
+				trial, saved[RewriteClosure], saved[RewriteCanFollow])
+		}
+		for id := range saved[RewriteCanFollow] {
+			if !saved[RewriteCanPrecede][id] {
+				t.Fatalf("trial %d: can-follow saved %s, can-precede did not", trial, id)
+			}
+		}
+		for id := range saved[RewriteCBT] {
+			if !saved[RewriteCanPrecede][id] {
+				t.Fatalf("trial %d: CBTR saved %s, can-precede did not", trial, id)
+			}
+		}
+	}
+}
+
+// TestMergePruners checks both pruning modes give identical merges.
+func TestMergePruners(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 91, Items: 10, PCommutative: 0.8})
+	origin := gen.OriginState()
+	for trial := 0; trial < 60; trial++ {
+		am, err := gen.RunHistory(tx.Tentative, 6, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := gen.RunHistory(tx.Base, 4, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var states []model.State
+		for _, pr := range []Pruner{PruneAuto, PruneUndo} {
+			rep, err := Merge(am, ab, Options{Pruner: pr, Verify: true})
+			if err != nil {
+				t.Fatalf("trial %d, %s: %v", trial, pr, err)
+			}
+			states = append(states, rep.RepairedState)
+		}
+		if !states[0].Equal(states[1]) {
+			t.Fatalf("trial %d: pruners disagree: %s vs %s", trial, states[0], states[1])
+		}
+	}
+}
+
+// TestMergeStrategiesAgreeOnSoundness runs every back-out strategy through
+// full verified merges.
+func TestMergeStrategiesAgreeOnSoundness(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 101, Items: 8})
+	origin := gen.OriginState()
+	strategies := []graph.Strategy{
+		graph.TwoCycle{}, graph.GreedyCost{}, graph.GreedyDegree{},
+		graph.AllCyclic{},
+	}
+	for trial := 0; trial < 40; trial++ {
+		am, err := gen.RunHistory(tx.Tentative, 6, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := gen.RunHistory(tx.Base, 5, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range strategies {
+			rep, err := Merge(am, ab, Options{Strategy: s, Verify: true})
+			if err != nil {
+				t.Fatalf("trial %d, %s: %v", trial, s.Name(), err)
+			}
+			if _, err := VerifyMerge(rep, am, ab, origin); err != nil {
+				t.Fatalf("trial %d, %s: %v", trial, s.Name(), err)
+			}
+		}
+	}
+}
+
+// TestMergeDetectorModes runs Algorithm 2 merges with the dynamic detector
+// and checks end-to-end verification still holds.
+func TestMergeDetectorModes(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 111, Items: 8, PCommutative: 0.9})
+	origin := gen.OriginState()
+	det := &rewrite.DynamicDetector{Rng: gen.Rand(), Samples: 96}
+	for trial := 0; trial < 30; trial++ {
+		am, err := gen.RunHistory(tx.Tentative, 6, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := gen.RunHistory(tx.Base, 4, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Merge(am, ab, Options{Detector: det, Verify: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, err := VerifyMerge(rep, am, ab, origin); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestMergeBlindWriteRewriter runs Example 1 through the blind-write
+// generalization of can-follow rewriting; it must agree with the closure
+// merge on every outcome while additionally producing a rewritten extended
+// history.
+func TestMergeBlindWriteRewriter(t *testing.T) {
+	e := papertest.NewExample1()
+	am, ab := runPair(t, e)
+	cl, err := Merge(am, ab, Options{Rewriter: RewriteClosure, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := Merge(am, ab, Options{Rewriter: RewriteCanFollowBW, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bw.SavedIDs, cl.SavedIDs) {
+		t.Errorf("BW saved %v, closure saved %v", bw.SavedIDs, cl.SavedIDs)
+	}
+	if !reflect.DeepEqual(bw.ForwardUpdates, cl.ForwardUpdates) {
+		t.Errorf("BW forwards %v, closure forwards %v", bw.ForwardUpdates, cl.ForwardUpdates)
+	}
+	if bw.RewriteResult == nil {
+		t.Fatal("BW merge produced no rewritten history")
+	}
+	// Tm3 and Tm4 — the tail — are additive, so compensation applies even
+	// though the saved Tm2 carries blind writes (only tail members need
+	// compensators).
+	if bw.PruneMethod != "compensation" {
+		t.Errorf("prune method = %s, want compensation", bw.PruneMethod)
+	}
+	if _, err := VerifyMerge(bw, am, ab, e.Origin); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeRejectsBadOptions covers the option-validation paths.
+func TestMergeRejectsBadOptions(t *testing.T) {
+	e := papertest.NewExample1()
+	am, ab := runPair(t, e)
+	if _, err := Merge(am, ab, Options{Rewriter: Rewriter(99)}); err == nil {
+		t.Error("unknown rewriter accepted")
+	}
+	// Blind writes route only through closure/BW; plain can-follow errors.
+	if _, err := Merge(am, ab, Options{Rewriter: RewriteCanFollow}); err == nil {
+		t.Error("can-follow accepted blind writes")
+	}
+}
+
+// TestMergeEmptyTentativeHistory merges nothing cleanly.
+func TestMergeEmptyTentativeHistory(t *testing.T) {
+	origin := model.StateOf(map[model.Item]model.Value{"x": 1})
+	hm, err := history.Run(&history.History{}, origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := history.Run(history.New(workload.Deposit("Tb1", tx.Base, "x", 1)), origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Merge(hm, hb, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Conflict || len(rep.SavedIDs) != 0 || len(rep.ForwardUpdates) != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+// TestMergeDefaultDegradesToBlindWriteRewriter: a defaulted rewriter
+// handles blind-write histories by switching to the BW variant; an
+// explicit choice still errors.
+func TestMergeDefaultDegradesToBlindWriteRewriter(t *testing.T) {
+	e := papertest.NewExample1()
+	am, ab := runPair(t, e)
+	rep, err := Merge(am, ab, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Options.Rewriter != RewriteCanFollowBW {
+		t.Errorf("defaulted rewriter = %v, want degradation to can-follow-bw", rep.Options.Rewriter)
+	}
+	if !reflect.DeepEqual(rep.SavedIDs, []string{"Tm1", "Tm2"}) {
+		t.Errorf("saved = %v", rep.SavedIDs)
+	}
+	if _, err := Merge(am, ab, Options{Rewriter: RewriteCanPrecede}); err == nil {
+		t.Error("explicit can-precede must still reject blind writes")
+	}
+}

@@ -1,0 +1,196 @@
+// Package papertest builds executable versions of the paper's worked
+// examples, shared by the test suites, the benchmarks and the quickstart
+// example. Each constructor documents how the executable profile realizes
+// the paper's declared read/write sets.
+package papertest
+
+import (
+	"tiermerge/internal/expr"
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+)
+
+// Example1 is the paper's Example 1 / Figure 1. Declared footprints:
+//
+//	READSET(Tm1) = WRITESET(Tm1) = {d1, d2}
+//	READSET(Tm2) = {d2, d3},        WRITESET(Tm2) = {d3, d4, d5, d6}
+//	READSET(Tm3) = {d4, d5, d6},    WRITESET(Tm3) = {d4, d6}
+//	READSET(Tm4) = WRITESET(Tm4) = {d6}
+//	READSET(Tb1) = WRITESET(Tb1) = {d5}
+//	READSET(Tb2) = {d1, d5},        WRITESET(Tb2) = {}
+//
+// Tm2's writes to d4, d5, d6 are blind (its read set excludes them), which
+// is why this example runs through the closure-based merge rather than the
+// rewriting algorithms. Note on fidelity: the OCR'd paper text lists no
+// READSET for Tm3, but its Figure 1 walk-through states "Tm3 read the item
+// d5 which is then updated by Tb1", so d5 (with the non-blind bases d4, d6)
+// must be in Tm3's read set; the sets above are the unique completion
+// consistent with the figure's cycle.
+type Example1 struct {
+	Tm1, Tm2, Tm3, Tm4 *tx.Transaction
+	Tb1, Tb2           *tx.Transaction
+	Origin             model.State
+}
+
+// NewExample1 constructs the example.
+func NewExample1() *Example1 {
+	e := &Example1{
+		Tm1: tx.MustNew("Tm1", tx.Tentative,
+			tx.Update("d1", expr.Add(expr.Var("d1"), expr.Const(1))),
+			tx.Update("d2", expr.Add(expr.Var("d2"), expr.Const(1))),
+		),
+		Tm2: tx.MustNew("Tm2", tx.Tentative,
+			tx.Update("d3", expr.Add(expr.Var("d3"), expr.Var("d2"))),
+			tx.Assign("d4", expr.Const(7)),
+			tx.Assign("d5", expr.Const(9)),
+			tx.Assign("d6", expr.Const(11)),
+		),
+		Tm3: tx.MustNew("Tm3", tx.Tentative,
+			tx.Read("d5"),
+			tx.Update("d4", expr.Add(expr.Var("d4"), expr.Var("d5"))),
+			tx.Update("d6", expr.Add(expr.Var("d6"), expr.Const(1))),
+		),
+		Tm4: tx.MustNew("Tm4", tx.Tentative,
+			tx.Update("d6", expr.Add(expr.Var("d6"), expr.Const(1))),
+		),
+		Tb1: tx.MustNew("Tb1", tx.Base,
+			tx.Update("d5", expr.Add(expr.Var("d5"), expr.Const(100))),
+		),
+		Tb2: tx.MustNew("Tb2", tx.Base,
+			tx.Read("d1"),
+			tx.Read("d5"),
+		),
+		Origin: model.StateOf(map[model.Item]model.Value{
+			"d1": 10, "d2": 20, "d3": 30, "d4": 40, "d5": 50, "d6": 60,
+		}),
+	}
+	return e
+}
+
+// Mobile returns Hm = Tm1 Tm2 Tm3 Tm4.
+func (e *Example1) Mobile() []*tx.Transaction {
+	return []*tx.Transaction{e.Tm1, e.Tm2, e.Tm3, e.Tm4}
+}
+
+// BaseTxns returns Hb = Tb1 Tb2.
+func (e *Example1) BaseTxns() []*tx.Transaction {
+	return []*tx.Transaction{e.Tb1, e.Tb2}
+}
+
+// H4 is the motivating example of Section 5.1:
+//
+//	H4: B1 G2 G3
+//	B1: if u > 10 then x := x + 100, y := y - 20
+//	G2: u := u - 20
+//	G3: x := x + 10, z := z + 30
+//
+// Algorithm 1 yields G2 B1^{u} G3 (G3 sacrificed); Algorithm 2 additionally
+// saves G3 because G3 can precede B1^{u}.
+type H4 struct {
+	B1, G2, G3 *tx.Transaction
+	Origin     model.State
+}
+
+// NewH4 constructs the example with u > 10 so B1's branch fires, matching
+// the paper's narrative (undoing B1 must wipe G3's x increment).
+func NewH4() *H4 {
+	return &H4{
+		// B1 exactly as printed: both updates guarded by u > 10.
+		B1: tx.MustNew("B1", tx.Tentative,
+			tx.If(expr.GT(expr.Var("u"), expr.Const(10)),
+				tx.Update("x", expr.Add(expr.Var("x"), expr.Const(100))),
+				tx.Update("y", expr.Sub(expr.Var("y"), expr.Const(20))),
+			),
+		),
+		G2: tx.MustNew("G2", tx.Tentative,
+			tx.Update("u", expr.Sub(expr.Var("u"), expr.Const(20))),
+		),
+		G3: tx.MustNew("G3", tx.Tentative,
+			tx.Update("x", expr.Add(expr.Var("x"), expr.Const(10))),
+			tx.Update("z", expr.Add(expr.Var("z"), expr.Const(30))),
+		),
+		Origin: model.StateOf(map[model.Item]model.Value{
+			"u": 30, "x": 0, "y": 0, "z": 0,
+		}),
+	}
+}
+
+// Txns returns H4's transactions in history order.
+func (h *H4) Txns() []*tx.Transaction { return []*tx.Transaction{h.B1, h.G2, h.G3} }
+
+// H5 is the fix-interference example of Section 5.1:
+//
+//	H5: s0 T1 s1 T2 s2 T3 s3
+//	T1: if y > 200 then x := x + 100 else x := x * 2
+//	T2: y := y + 100
+//	T3: if y > 200 then x := x - 10 else x := x / 2
+//
+// T3 commutes backward through T1 over the reals, but NOT through T1^{F1}
+// with F1 = {y}: with x = 100 and fix value y = 150, T2 T1^{F1} T3 ends with
+// x = 190 while T2 T3 T1^{F1} ends with x = 180.
+type H5 struct {
+	T1, T2, T3 *tx.Transaction
+	Origin     model.State
+}
+
+// NewH5 constructs the example. The origin y = 150 reproduces the paper's
+// witness when T1 carries fix {y=150}.
+func NewH5() *H5 {
+	return &H5{
+		T1: tx.MustNew("T1", tx.Tentative,
+			tx.IfElse(expr.GT(expr.Var("y"), expr.Const(200)),
+				[]tx.Stmt{tx.Update("x", expr.Add(expr.Var("x"), expr.Const(100)))},
+				[]tx.Stmt{tx.Update("x", expr.Mul(expr.Var("x"), expr.Const(2)))},
+			),
+		),
+		T2: tx.MustNew("T2", tx.Tentative,
+			tx.Update("y", expr.Add(expr.Var("y"), expr.Const(100))),
+		),
+		T3: tx.MustNew("T3", tx.Tentative,
+			tx.IfElse(expr.GT(expr.Var("y"), expr.Const(200)),
+				[]tx.Stmt{tx.Update("x", expr.Sub(expr.Var("x"), expr.Const(10)))},
+				[]tx.Stmt{tx.Update("x", expr.Div(expr.Var("x"), expr.Const(2)))},
+			),
+		),
+		Origin: model.StateOf(map[model.Item]model.Value{"x": 100, "y": 150}),
+	}
+}
+
+// Separation is a three-transaction history on which the three rewriters
+// save strictly nested sets, demonstrating Theorems 3 and 4 together:
+//
+//	H: B1 G2 G3
+//	B1: if u > 10 then x := x + 100   (reads u, writes x)
+//	G2: u := u - 20                   (writes u)
+//	G3: u := u - 5; x := x + 10       (writes u and x)
+//
+// With B = {B1}: the closure/Algorithm 1 prefix is {G2} (G3 is affected
+// through x); CBTR saves nothing (both G2 and G3 write u, which B1 reads
+// with no fix to pin it); Algorithm 2 saves {G2, G3} (after G2's can-follow
+// move pins u in B1's fix, G3 can precede B1^{u}).
+type Separation struct {
+	B1, G2, G3 *tx.Transaction
+	Origin     model.State
+}
+
+// NewSeparation constructs the example.
+func NewSeparation() *Separation {
+	return &Separation{
+		B1: tx.MustNew("B1", tx.Tentative,
+			tx.If(expr.GT(expr.Var("u"), expr.Const(10)),
+				tx.Update("x", expr.Add(expr.Var("x"), expr.Const(100))),
+			),
+		),
+		G2: tx.MustNew("G2", tx.Tentative,
+			tx.Update("u", expr.Sub(expr.Var("u"), expr.Const(20))),
+		),
+		G3: tx.MustNew("G3", tx.Tentative,
+			tx.Update("u", expr.Sub(expr.Var("u"), expr.Const(5))),
+			tx.Update("x", expr.Add(expr.Var("x"), expr.Const(10))),
+		),
+		Origin: model.StateOf(map[model.Item]model.Value{"u": 30, "x": 0}),
+	}
+}
+
+// Txns returns the history order B1 G2 G3.
+func (s *Separation) Txns() []*tx.Transaction { return []*tx.Transaction{s.B1, s.G2, s.G3} }

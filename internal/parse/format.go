@@ -1,0 +1,123 @@
+package parse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tiermerge/internal/expr"
+	"tiermerge/internal/tx"
+)
+
+// FormatBody renders a transaction body in the profile language's concrete
+// syntax, such that ParseBody(FormatBody(b)) reconstructs a behaviourally
+// identical body (round-trip property, tested).
+func FormatBody(body []tx.Stmt) string {
+	parts := make([]string, len(body))
+	for i, s := range body {
+		parts[i] = formatStmt(s)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// FormatTransaction renders a full transaction declaration in scenario-file
+// syntax.
+func FormatTransaction(t *tx.Transaction) string {
+	var b strings.Builder
+	if t.Kind == tx.Base {
+		b.WriteString("base tx ")
+	} else {
+		b.WriteString("mobile tx ")
+	}
+	b.WriteString(t.ID)
+	if t.Type != "" {
+		b.WriteString(" type ")
+		b.WriteString(t.Type)
+	}
+	if len(t.Params) > 0 {
+		names := make([]string, 0, len(t.Params))
+		for n := range t.Params {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		pairs := make([]string, len(names))
+		for i, n := range names {
+			pairs[i] = fmt.Sprintf("%s = %d", n, t.Params[n])
+		}
+		b.WriteString(" (")
+		b.WriteString(strings.Join(pairs, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(" { ")
+	b.WriteString(FormatBody(t.Body))
+	b.WriteString(" }")
+	return b.String()
+}
+
+// FormatScenario renders a whole scenario file.
+func FormatScenario(sc *Scenario) string {
+	var b strings.Builder
+	b.WriteString("origin { ")
+	items := sc.Origin.Items()
+	for i, it := range items {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s = %d", it, sc.Origin.Get(it))
+	}
+	b.WriteString(" }\n\n")
+	for _, t := range sc.Mobile {
+		b.WriteString(FormatTransaction(t))
+		b.WriteByte('\n')
+	}
+	if len(sc.Mobile) > 0 && len(sc.Base) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, t := range sc.Base {
+		b.WriteString(FormatTransaction(t))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatStmt(s tx.Stmt) string {
+	switch st := s.(type) {
+	case *tx.ReadStmt:
+		return "read " + string(st.Item)
+	case *tx.UpdateStmt:
+		return fmt.Sprintf("%s := %s", st.Item, formatExpr(st.Expr))
+	case *tx.AssignStmt:
+		return fmt.Sprintf("%s :=! %s", st.Item, formatExpr(st.Expr))
+	case *tx.IfStmt:
+		var b strings.Builder
+		fmt.Fprintf(&b, "if %s { %s }", formatPred(st.Cond), FormatBody(st.Then))
+		if len(st.Else) > 0 {
+			fmt.Fprintf(&b, " else { %s }", FormatBody(st.Else))
+		}
+		return b.String()
+	default:
+		return fmt.Sprintf("/* unknown %T */", s)
+	}
+}
+
+// formatExpr renders an expression by re-parsing its String form's
+// structure: expr.String already produces fully parenthesized arithmetic
+// that the grammar accepts, except for parameters ("$p" is shared syntax)
+// and min/max (shared syntax). So String output is grammar-compatible as
+// is.
+func formatExpr(e expr.Expr) string { return e.String() }
+
+// formatPred renders a predicate. expr's Pred String forms are
+// grammar-compatible: comparisons print as "l op r", conjunctions as
+// "(p && q)", negations as "!(p)".
+func formatPred(p expr.Pred) string { return p.String() }
+
+// CanonicalizeScenario parses and re-renders a scenario source, yielding a
+// normalized form (useful for diffing scenario files).
+func CanonicalizeScenario(src string) (string, error) {
+	sc, err := ScenarioFile(src)
+	if err != nil {
+		return "", err
+	}
+	return FormatScenario(sc), nil
+}

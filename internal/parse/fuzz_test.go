@@ -1,0 +1,47 @@
+package parse
+
+import "testing"
+
+// FuzzBody guards the parser against panics and non-SyntaxError failures on
+// arbitrary input. Run with `go test -fuzz FuzzBody ./internal/parse`; the
+// seed corpus exercises every statement form as a plain test.
+func FuzzBody(f *testing.F) {
+	for _, seed := range []string{
+		"x := x + 1",
+		"x :=! 5; read y",
+		"if x > 0 && y < 3 { z := z / y } else { z := -z }",
+		"x := min(x, max(y, $p))",
+		"if !(a == b) || (c + 1) * 2 > 10 { d := d % 7 }",
+		"# comment\nx := x - 1",
+		"if { }", "x :=", ":= 5", "$", "((((", "你好 := 1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		body, err := Body(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted bodies must render and re-parse.
+		if _, err := Body(FormatBody(body)); err != nil {
+			t.Fatalf("format of accepted body does not re-parse: %q -> %q: %v",
+				src, FormatBody(body), err)
+		}
+	})
+}
+
+// FuzzScenario does the same for scenario files.
+func FuzzScenario(f *testing.F) {
+	f.Add("origin { x = 1 }\nmobile tx T { x := x + 1 }")
+	f.Add("base tx B (p = 2) { y := $p }")
+	f.Add("mobile tx")
+	f.Fuzz(func(t *testing.T, src string) {
+		sc, err := ScenarioFile(src)
+		if err != nil {
+			return
+		}
+		if _, err := ScenarioFile(FormatScenario(sc)); err != nil {
+			t.Fatalf("canonical form does not re-parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+// Package parse implements the textual profile language for transaction
+// bodies and scenario files. The concrete syntax mirrors the paper's
+// notation directly, e.g. Section 3's B1 is written
+//
+//	if x > 0 { y := y + z + 3 }
+//
+// and whole merge scenarios are described as
+//
+//	origin { x = 1; y = 7; z = 2 }
+//
+//	mobile tx B1          { if x > 0 { y := y + z + 3 } }
+//	mobile tx G2          { x := x - 1 }
+//	base   tx TB1 type w  { d5 := d5 + 100 }
+//	with TB1 amt = 30
+//
+// cmd/txrun parses such files and drives the merging protocol over them.
+package parse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokParam  // $name
+	tokAssign // :=
+	tokBlind  // :=!
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokSemi
+	tokComma
+	tokEq // =
+	tokOp // + - * / %
+	tokCmp
+	tokAndAnd
+	tokOrOr
+	tokBang
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokParam:
+		return "parameter"
+	case tokAssign:
+		return "':='"
+	case tokBlind:
+		return "':=!'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokSemi:
+		return "';'"
+	case tokComma:
+		return "','"
+	case tokEq:
+		return "'='"
+	case tokOp:
+		return "operator"
+	case tokCmp:
+		return "comparison"
+	case tokAndAnd:
+		return "'&&'"
+	case tokOrOr:
+		return "'||'"
+	case tokBang:
+		return "'!'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexed token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("parse: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lex tokenizes src. Comments run from '#' to end of line. Newlines are
+// insignificant (statements are ';'-separated).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	fail := func(msg string, args ...any) ([]token, error) {
+		return nil, &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(msg, args...)}
+	}
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	emit := func(kind tokKind, text string) {
+		toks = append(toks, token{kind: kind, text: text, line: line, col: col})
+		advance(len(text))
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '{':
+			emit(tokLBrace, "{")
+		case c == '}':
+			emit(tokRBrace, "}")
+		case c == '(':
+			emit(tokLParen, "(")
+		case c == ')':
+			emit(tokRParen, ")")
+		case c == ';':
+			emit(tokSemi, ";")
+		case c == ',':
+			emit(tokComma, ",")
+		case c == '+' || c == '*' || c == '/' || c == '%':
+			emit(tokOp, string(c))
+		case c == '-':
+			emit(tokOp, "-")
+		case c == ':':
+			switch {
+			case strings.HasPrefix(src[i:], ":=!"):
+				emit(tokBlind, ":=!")
+			case strings.HasPrefix(src[i:], ":="):
+				emit(tokAssign, ":=")
+			default:
+				return fail("unexpected ':'")
+			}
+		case c == '=':
+			if strings.HasPrefix(src[i:], "==") {
+				emit(tokCmp, "==")
+			} else {
+				emit(tokEq, "=")
+			}
+		case c == '!':
+			if strings.HasPrefix(src[i:], "!=") {
+				emit(tokCmp, "!=")
+			} else {
+				emit(tokBang, "!")
+			}
+		case c == '<':
+			if strings.HasPrefix(src[i:], "<=") {
+				emit(tokCmp, "<=")
+			} else {
+				emit(tokCmp, "<")
+			}
+		case c == '>':
+			if strings.HasPrefix(src[i:], ">=") {
+				emit(tokCmp, ">=")
+			} else {
+				emit(tokCmp, ">")
+			}
+		case c == '&':
+			if strings.HasPrefix(src[i:], "&&") {
+				emit(tokAndAnd, "&&")
+			} else {
+				return fail("unexpected '&'; did you mean '&&'?")
+			}
+		case c == '|':
+			if strings.HasPrefix(src[i:], "||") {
+				emit(tokOrOr, "||")
+			} else {
+				return fail("unexpected '|'; did you mean '||'?")
+			}
+		case c == '$':
+			j := i + 1
+			for j < n && isIdentChar(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return fail("'$' must be followed by a parameter name")
+			}
+			emit(tokParam, src[i:j])
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			emit(tokNumber, src[i:j])
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentChar(src[j]) {
+				j++
+			}
+			emit(tokIdent, src[i:j])
+		default:
+			return fail("unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

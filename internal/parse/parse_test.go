@@ -1,0 +1,300 @@
+package parse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tiermerge/internal/history"
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+func exec(t *testing.T, src string, s0 model.State, params map[string]model.Value) model.State {
+	t.Helper()
+	txn, err := Transaction("T", tx.Tentative, src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if params != nil {
+		txn.WithParams(params)
+	}
+	out, _, err := txn.Exec(s0, nil)
+	if err != nil {
+		t.Fatalf("exec %q: %v", src, err)
+	}
+	return out
+}
+
+func TestParseStatements(t *testing.T) {
+	s0 := model.StateOf(map[model.Item]model.Value{"x": 10, "y": 3, "z": 2})
+	tests := []struct {
+		src  string
+		item model.Item
+		want model.Value
+	}{
+		{"x := x + 1", "x", 11},
+		{"x := x - y", "x", 7},
+		{"x := x * 2 + y", "x", 23},
+		{"x := (x + y) * 2", "x", 26},
+		{"x := x / y", "x", 3},
+		{"x := x % y", "x", 1},
+		{"x := -y", "x", -3},
+		{"x := min(x, y)", "x", 3},
+		{"x := max(x, y)", "x", 10},
+		{"x :=! 99", "x", 99},
+		{"read y; x := x + y", "x", 13},
+		{"x := x + 1; y := y + x", "y", 14},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			out := exec(t, tt.src, s0, nil)
+			if got := out.Get(tt.item); got != tt.want {
+				t.Errorf("%s = %d, want %d", tt.item, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	out := exec(t, "x := x + $amt", model.StateOf(map[model.Item]model.Value{"x": 5}),
+		map[string]model.Value{"amt": 37})
+	if got := out.Get("x"); got != 42 {
+		t.Errorf("x = %d, want 42", got)
+	}
+}
+
+func TestParseConditionals(t *testing.T) {
+	tests := []struct {
+		src  string
+		x0   model.Value
+		want model.Value
+	}{
+		{"if x > 0 { y := y + 1 }", 5, 1},
+		{"if x > 0 { y := y + 1 }", -5, 0},
+		{"if x > 0 { y := y + 1 } else { y := y - 1 }", -5, -1},
+		{"if x > 0 && x < 10 { y := y + 1 }", 5, 1},
+		{"if x > 0 && x < 10 { y := y + 1 }", 50, 0},
+		{"if x < 0 || x > 10 { y := y + 1 }", 50, 1},
+		{"if !(x == 5) { y := y + 1 }", 5, 0},
+		{"if !(x == 5) { y := y + 1 }", 6, 1},
+		{"if (x > 0 && x < 10) || x == 42 { y := y + 1 }", 42, 1},
+		{"if (x + 1) * 2 > 10 { y := y + 1 }", 5, 1},
+		{"if (x + 1) * 2 > 10 { y := y + 1 }", 3, 0},
+		{"if x >= 5 { if x <= 5 { y := y + 1 } }", 5, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			s0 := model.StateOf(map[model.Item]model.Value{"x": tt.x0})
+			out := exec(t, tt.src, s0, nil)
+			if got := out.Get("y"); got != tt.want {
+				t.Errorf("x0=%d: y = %d, want %d", tt.x0, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestParsePaperB1 parses Section 3's B1 verbatim and reproduces the
+// paper's states.
+func TestParsePaperB1(t *testing.T) {
+	s0 := model.StateOf(map[model.Item]model.Value{"x": 1, "y": 7, "z": 2})
+	out := exec(t, "if x > 0 { y := y + z + 3 }", s0, nil)
+	if got := out.Get("y"); got != 12 {
+		t.Errorf("y = %d, want 12", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"x :=",
+		"x = 5",
+		"if x { y := 1 }",
+		"if x > { y := 1 }",
+		"if x > 0 { y := 1",
+		"read",
+		"x := y +",
+		"x := min(y)",
+		"x := $",
+		"x := 5 & 3",
+		"x := x + 1; x := x + 2", // validation: double update
+		"else { x := 1 }",
+	}
+	for _, src := range bad {
+		if _, err := Transaction("T", tx.Tentative, src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Body("x := x + 1;\n   y := ")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want SyntaxError", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestScenarioFile(t *testing.T) {
+	src := `
+# Section 3's example as a scenario
+origin { x = 1; y = 7; z = 2 }
+
+mobile tx B1 { if x > 0 { y := y + z + 3 } }
+mobile tx G2 { x := x - 1 }
+
+base tx TB1 type deposit (amt = 100) { z := z + $amt }
+`
+	sc, err := ScenarioFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Origin.Equal(model.StateOf(map[model.Item]model.Value{"x": 1, "y": 7, "z": 2})) {
+		t.Errorf("origin = %s", sc.Origin)
+	}
+	if len(sc.Mobile) != 2 || sc.Mobile[0].ID != "B1" || sc.Mobile[1].ID != "G2" {
+		t.Fatalf("mobile = %v", sc.Mobile)
+	}
+	if len(sc.Base) != 1 || sc.Base[0].ID != "TB1" {
+		t.Fatalf("base = %v", sc.Base)
+	}
+	if sc.Base[0].Type != "deposit" || sc.Base[0].Params["amt"] != 100 {
+		t.Errorf("base txn metadata: type=%q params=%v", sc.Base[0].Type, sc.Base[0].Params)
+	}
+	// The parsed histories execute: run Hm and check the paper's final
+	// state.
+	aug, err := history.Run(history.New(sc.Mobile...), sc.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.StateOf(map[model.Item]model.Value{"x": 0, "y": 12, "z": 2})
+	if !aug.Final().Equal(want) {
+		t.Errorf("Hm final = %s, want %s", aug.Final(), want)
+	}
+}
+
+func TestScenarioNegativeOrigin(t *testing.T) {
+	sc, err := ScenarioFile("origin { debt = -50 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Origin.Get("debt") != -50 {
+		t.Errorf("debt = %d", sc.Origin.Get("debt"))
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	bad := []string{
+		"mobile B1 { x := 1 }",                            // missing 'tx'
+		"mobile tx B1 { x := }",                           // bad body
+		"mobile tx B1 { x := x } mobile tx B1 { y := y }", // duplicate id
+		"origin { x 1 }",
+		"weird tx T {}",
+		"mobile tx T (amt) { x := x }",
+	}
+	for _, src := range bad {
+		if _, err := ScenarioFile(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+// TestRoundTripThroughString parses profiles and checks the rendered
+// statement text re-parses to the same behaviour.
+func TestRoundTripThroughString(t *testing.T) {
+	srcs := []string{
+		"x := x + 1",
+		"if u > 10 { x := x + 100; y := y - 20 }",
+		"x := min(x + 1, y * 2)",
+	}
+	s0 := model.StateOf(map[model.Item]model.Value{"u": 20, "x": 1, "y": 2})
+	for _, src := range srcs {
+		t1, err := Transaction("T", tx.Tentative, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Render each statement and re-parse the joined text.
+		parts := make([]string, len(t1.Body))
+		for i, s := range t1.Body {
+			parts[i] = s.String()
+		}
+		rendered := strings.Join(parts, "; ")
+		// The String form uses "then { ... }" which differs from the
+		// grammar; normalize it.
+		rendered = strings.ReplaceAll(rendered, " then ", " ")
+		rendered = strings.ReplaceAll(rendered, ":=!", ":=!")
+		t2, err := Transaction("T", tx.Tentative, rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", rendered, err)
+		}
+		o1, _, err := t1.Exec(s0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, _, err := t2.Exec(s0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o1.Equal(o2) {
+			t.Errorf("%q: round-trip diverges: %s vs %s", src, o1, o2)
+		}
+	}
+}
+
+// TestFormatParseRoundTrip property-checks FormatBody against the parser:
+// random generated transactions render to text that re-parses to
+// behaviourally identical profiles.
+func TestFormatParseRoundTrip(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 701, Items: 6})
+	s0 := gen.OriginState()
+	for trial := 0; trial < 300; trial++ {
+		orig := gen.Txn(tx.Tentative)
+		text := FormatBody(orig.Body)
+		re, err := Transaction(orig.ID, orig.Kind, text)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse %q: %v", trial, text, err)
+		}
+		re.WithParams(orig.Params)
+		o1, _, err1 := orig.Exec(s0, nil)
+		o2, _, err2 := re.Exec(s0, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error divergence on %q", trial, text)
+		}
+		if err1 == nil && !o1.Equal(o2) {
+			t.Fatalf("trial %d: %q diverged: %s vs %s", trial, text, o1, o2)
+		}
+	}
+}
+
+// TestScenarioCanonicalizeIdempotent: canonicalizing twice is a fixpoint.
+func TestScenarioCanonicalizeIdempotent(t *testing.T) {
+	src := `
+origin { x = 1; y = 7 }
+mobile tx B1 type guard (lim = 10) { if x > $lim { y := y + 1 } else { y := y - 1 } }
+base tx TB1 { y :=! 5 }
+`
+	once, err := CanonicalizeScenario(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := CanonicalizeScenario(once)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v\n%s", err, once)
+	}
+	if once != twice {
+		t.Errorf("not idempotent:\n%s\nvs\n%s", once, twice)
+	}
+}
+
+// TestFormatTransactionHeader renders metadata correctly.
+func TestFormatTransactionHeader(t *testing.T) {
+	txn := workload.Deposit("D1", tx.Base, "x", 30)
+	got := FormatTransaction(txn)
+	want := "base tx D1 type deposit (amt = 30) { x := (x + $amt) }"
+	if got != want {
+		t.Errorf("FormatTransaction = %q, want %q", got, want)
+	}
+}

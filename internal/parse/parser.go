@@ -1,0 +1,382 @@
+package parse
+
+import (
+	"fmt"
+	"strconv"
+
+	"tiermerge/internal/expr"
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+)
+
+// parser consumes a token slice with single-token lookahead and positional
+// backtracking (used to disambiguate '(' between grouped predicates and
+// parenthesized expressions).
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(m int) { p.pos = m }
+
+func (p *parser) errf(t token, msg string, args ...any) error {
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(msg, args...)}
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, p.errf(t, "expected %s, found %q", kind, t.text)
+	}
+	return p.next(), nil
+}
+
+// keyword consumes an identifier with the given text.
+func (p *parser) keyword(word string) error {
+	t := p.peek()
+	if t.kind != tokIdent || t.text != word {
+		return p.errf(t, "expected %q, found %q", word, t.text)
+	}
+	p.next()
+	return nil
+}
+
+// atKeyword reports whether the next token is the given identifier.
+func (p *parser) atKeyword(word string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == word
+}
+
+// Body parses a statement block source like
+// "x := x + 1; if u > 10 { y := y - 2 }" into a transaction body.
+func Body(src string) ([]tx.Stmt, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Transaction parses a body and assembles a validated transaction.
+func Transaction(id string, kind tx.Kind, src string) (*tx.Transaction, error) {
+	body, err := Body(src)
+	if err != nil {
+		return nil, err
+	}
+	return tx.New(id, kind, body...)
+}
+
+// stmts parses statements until the terminator kind (not consumed).
+func (p *parser) stmts(end tokKind) ([]tx.Stmt, error) {
+	var out []tx.Stmt
+	for {
+		for p.peek().kind == tokSemi {
+			p.next()
+		}
+		if p.peek().kind == end || p.peek().kind == tokEOF {
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) stmt() (tx.Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected a statement, found %q", t.text)
+	}
+	switch t.text {
+	case "read":
+		p.next()
+		it, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return tx.Read(model.Item(it.text)), nil
+	case "if":
+		return p.ifStmt()
+	default:
+		// item := expr  |  item :=! expr
+		item := p.next()
+		op := p.peek()
+		switch op.kind {
+		case tokAssign:
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return tx.Update(model.Item(item.text), e), nil
+		case tokBlind:
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return tx.Assign(model.Item(item.text), e), nil
+		default:
+			return nil, p.errf(op, "expected ':=' or ':=!' after %q, found %q", item.text, op.text)
+		}
+	}
+}
+
+func (p *parser) ifStmt() (tx.Stmt, error) {
+	if err := p.keyword("if"); err != nil {
+		return nil, err
+	}
+	cond, err := p.pred()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	thenB, err := p.stmts(tokRBrace)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	var elseB []tx.Stmt
+	if p.atKeyword("else") {
+		p.next()
+		if _, err := p.expect(tokLBrace); err != nil {
+			return nil, err
+		}
+		elseB, err = p.stmts(tokRBrace)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	return tx.IfElse(cond, thenB, elseB), nil
+}
+
+// pred parses a predicate: or-chains of and-chains of unary predicates.
+func (p *parser) pred() (expr.Pred, error) {
+	l, err := p.andPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOrOr {
+		p.next()
+		r, err := p.andPred()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) andPred() (expr.Pred, error) {
+	l, err := p.unaryPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAndAnd {
+		p.next()
+		r, err := p.unaryPred()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) unaryPred() (expr.Pred, error) {
+	t := p.peek()
+	if t.kind == tokBang {
+		p.next()
+		inner, err := p.unaryPred()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(inner), nil
+	}
+	if t.kind == tokLParen {
+		// Ambiguous: '(' may group a predicate or open a parenthesized
+		// arithmetic expression that starts a comparison. Try the grouped
+		// predicate first; backtrack to a comparison on failure or when a
+		// comparison operator follows the closing paren.
+		mark := p.save()
+		p.next()
+		if inner, err := p.pred(); err == nil {
+			if _, err := p.expect(tokRParen); err == nil {
+				after := p.peek().kind
+				if after != tokCmp && after != tokOp {
+					return inner, nil
+				}
+			}
+		}
+		p.restore(mark)
+	}
+	return p.cmp()
+}
+
+func (p *parser) cmp() (expr.Pred, error) {
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.peek()
+	if opTok.kind != tokCmp {
+		return nil, p.errf(opTok, "expected a comparison operator, found %q", opTok.text)
+	}
+	p.next()
+	r, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var op expr.CmpOp
+	switch opTok.text {
+	case "==":
+		op = expr.CmpEQ
+	case "!=":
+		op = expr.CmpNE
+	case "<":
+		op = expr.CmpLT
+	case "<=":
+		op = expr.CmpLE
+	case ">":
+		op = expr.CmpGT
+	case ">=":
+		op = expr.CmpGE
+	}
+	return expr.Cmp(op, l, r), nil
+}
+
+// expr parses additive chains of multiplicative chains of factors.
+func (p *parser) expr() (expr.Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.next().text
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			l = expr.Add(l, r)
+		} else {
+			l = expr.Sub(l, r)
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) term() (expr.Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp &&
+		(p.peek().text == "*" || p.peek().text == "/" || p.peek().text == "%") {
+		op := p.next().text
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "*":
+			l = expr.Mul(l, r)
+		case "/":
+			l = expr.Div(l, r)
+		default:
+			l = expr.Bin(expr.OpMod, l, r)
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) factor() (expr.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad number %q: %v", t.text, err)
+		}
+		return expr.Const(model.Value(v)), nil
+	case tokParam:
+		p.next()
+		return expr.Param(t.text[1:]), nil
+	case tokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokOp:
+		if t.text == "-" {
+			p.next()
+			inner, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Neg(inner), nil
+		}
+	case tokIdent:
+		if t.text == "min" || t.text == "max" {
+			p.next()
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+			b, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			op := expr.OpMin
+			if t.text == "max" {
+				op = expr.OpMax
+			}
+			return expr.Bin(op, a, b), nil
+		}
+		p.next()
+		return expr.Var(model.Item(t.text)), nil
+	}
+	return nil, p.errf(t, "expected an expression, found %q", t.text)
+}

@@ -1,0 +1,41 @@
+package prune
+
+import (
+	"testing"
+
+	"tiermerge/internal/history"
+	"tiermerge/internal/papertest"
+	"tiermerge/internal/rewrite"
+)
+
+// TestUndoPrunesBlindWriteRewrite prunes an Algorithm1BW rewrite of the
+// paper's Example 1 by undo and lands on the re-execution oracle. (With
+// blind writes in the tail, compensation is unavailable — blind writes have
+// no syntactic inverse — so undo is the mandated path.)
+func TestUndoPrunesBlindWriteRewrite(t *testing.T) {
+	e := papertest.NewExample1()
+	a, err := history.Run(history.New(e.Mobile()...), e.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rewrite.Algorithm1BW(a, map[int]bool{2: true}) // B = {Tm3}
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, uras, err := ByUndo(res, a.Final())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := history.Run(res.Repaired(), e.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(oracle.Final()) {
+		t.Errorf("undo state %s != oracle %s", got, oracle.Final())
+	}
+	// Algorithm1BW saves no affected transactions, so no undo-repair
+	// actions are needed.
+	if len(uras) != 0 {
+		t.Errorf("URAs = %v, want none", uras)
+	}
+}

@@ -1,0 +1,19 @@
+package prune
+
+import (
+	"tiermerge/internal/expr"
+	"tiermerge/internal/model"
+)
+
+// exprExpr aliases the expression interface for compact test helpers.
+type exprExpr = expr.Expr
+
+// addVar builds x + y (as an update expression for x).
+func addVar(x, y model.Item) expr.Expr {
+	return expr.Add(expr.Var(x), expr.Var(y))
+}
+
+// addConst builds x + c (as an update expression for x).
+func addConst(x model.Item, c model.Value) expr.Expr {
+	return expr.Add(expr.Var(x), expr.Const(c))
+}

@@ -1,0 +1,129 @@
+package recovery
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tiermerge/internal/history"
+	"tiermerge/internal/model"
+	"tiermerge/internal/papertest"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// TestExciseH4 excises B1 from the paper's H4 and recovers the G2 G3
+// state without re-execution.
+func TestExciseH4(t *testing.T) {
+	h := papertest.NewH4()
+	a, err := history.Run(history.New(h.Txns()...), h.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Excise(a, []string{"B1"}, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.SavedIDs, []string{"G2", "G3"}) {
+		t.Errorf("saved = %v, want [G2 G3]", rep.SavedIDs)
+	}
+	if len(rep.ResubmitIDs) != 0 {
+		t.Errorf("resubmit = %v, want none (G3 saved by can-precede)", rep.ResubmitIDs)
+	}
+	want := model.StateOf(map[model.Item]model.Value{"u": 10, "x": 10, "z": 30})
+	if !rep.RepairedState.Equal(want) {
+		t.Errorf("repaired = %s, want %s", rep.RepairedState, want)
+	}
+}
+
+// TestExciseCanFollowOnly restricts to Algorithm 1: G3 is lost and flagged
+// for resubmission.
+func TestExciseCanFollowOnly(t *testing.T) {
+	h := papertest.NewH4()
+	a, err := history.Run(history.New(h.Txns()...), h.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Excise(a, []string{"B1"}, Options{CanFollowOnly: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.SavedIDs, []string{"G2"}) {
+		t.Errorf("saved = %v, want [G2]", rep.SavedIDs)
+	}
+	if !reflect.DeepEqual(rep.ResubmitIDs, []string{"G3"}) {
+		t.Errorf("resubmit = %v, want [G3]", rep.ResubmitIDs)
+	}
+	if !reflect.DeepEqual(rep.AffectedIDs, []string{"G3"}) {
+		t.Errorf("affected = %v, want [G3]", rep.AffectedIDs)
+	}
+}
+
+// TestExciseUnknownID rejects bad IDs not in the history.
+func TestExciseUnknownID(t *testing.T) {
+	h := papertest.NewH4()
+	a, err := history.Run(history.New(h.Txns()...), h.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Excise(a, []string{"nope"}, Options{}); !errors.Is(err, ErrUnknownTransaction) {
+		t.Errorf("got %v, want ErrUnknownTransaction", err)
+	}
+}
+
+// TestExciseRandom property-checks excision on random workloads: the
+// repaired state always equals re-executing the saved transactions, and
+// bad transactions never survive.
+func TestExciseRandom(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 501, Items: 8, PCommutative: 0.7})
+	origin := gen.OriginState()
+	for trial := 0; trial < 150; trial++ {
+		a, err := gen.RunHistory(tx.Tentative, 10, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		badPos := gen.RandomBadSet(10, 0.2)
+		var badIDs []string
+		for pos := range badPos {
+			badIDs = append(badIDs, a.H.Txn(pos).ID)
+		}
+		rep, err := Excise(a, badIDs, Options{Verify: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		saved := make(map[string]bool)
+		for _, id := range rep.SavedIDs {
+			saved[id] = true
+		}
+		for _, id := range badIDs {
+			if saved[id] {
+				t.Fatalf("trial %d: bad transaction %s survived", trial, id)
+			}
+		}
+		// saved ∪ resubmit ∪ bad covers the history.
+		if len(rep.SavedIDs)+len(rep.ResubmitIDs)+len(badIDs) != a.H.Len() {
+			t.Fatalf("trial %d: partition broken: %d+%d+%d != %d",
+				trial, len(rep.SavedIDs), len(rep.ResubmitIDs), len(badIDs), a.H.Len())
+		}
+	}
+}
+
+// TestExciseEverything removes all transactions: repaired state is the
+// origin.
+func TestExciseEverything(t *testing.T) {
+	h := papertest.NewH4()
+	a, err := history.Run(history.New(h.Txns()...), h.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Excise(a, []string{"B1", "G2", "G3"}, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SavedIDs) != 0 {
+		t.Errorf("saved = %v", rep.SavedIDs)
+	}
+	if !rep.RepairedState.Equal(h.Origin) {
+		t.Errorf("repaired = %s, want origin %s", rep.RepairedState, h.Origin)
+	}
+}

@@ -1,0 +1,72 @@
+package replica
+
+import (
+	"fmt"
+
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+)
+
+// Acceptance decides whether a re-executed tentative transaction's base
+// outcome is acceptable. Two-tier replication's contract (inherited from
+// [GHOS96], and restated by the paper: "here we assume that the differences
+// between the result of a tentative transaction in Hm and that in the
+// merged history are acceptable") is that tentative results are provisional
+// — the base re-execution may differ, and an application-supplied
+// acceptance criterion decides how much difference the user tolerates.
+// Rejected re-executions are not committed; they are reported to the user
+// as failed, with the reason.
+//
+// tentative is the effect the transaction had on the mobile replica; base
+// is the effect the re-execution would have on master data. A nil
+// Acceptance accepts everything.
+type Acceptance func(t *tx.Transaction, tentative, base *tx.Effect) error
+
+// AcceptSameWrites accepts only re-executions that write exactly the values
+// the tentative run wrote — the strictest criterion; any interleaved
+// conflicting work rejects.
+func AcceptSameWrites(t *tx.Transaction, tentative, base *tx.Effect) error {
+	if len(tentative.Writes) != len(base.Writes) {
+		return fmt.Errorf("wrote %d items tentatively, %d at base",
+			len(tentative.Writes), len(base.Writes))
+	}
+	for it, tv := range tentative.Writes {
+		bv, ok := base.Writes[it]
+		if !ok {
+			return fmt.Errorf("tentative wrote %s, base did not", it)
+		}
+		if bv != tv {
+			return fmt.Errorf("%s: tentative %d, base %d", it, tv, bv)
+		}
+	}
+	return nil
+}
+
+// AcceptWithinDrift builds a criterion accepting re-executions whose
+// written values deviate from the tentative values by at most tol per item
+// (and whose written item sets agree) — e.g. a price that moved a little is
+// fine, a flipped branch is not.
+func AcceptWithinDrift(tol model.Value) Acceptance {
+	return func(t *tx.Transaction, tentative, base *tx.Effect) error {
+		for it, tv := range tentative.Writes {
+			bv, ok := base.Writes[it]
+			if !ok {
+				return fmt.Errorf("tentative wrote %s, base did not", it)
+			}
+			d := bv - tv
+			if d < 0 {
+				d = -d
+			}
+			if d > tol {
+				return fmt.Errorf("%s drifted by %d (> %d): tentative %d, base %d",
+					it, d, tol, tv, bv)
+			}
+		}
+		for it := range base.Writes {
+			if _, ok := tentative.Writes[it]; !ok {
+				return fmt.Errorf("base wrote %s, tentative did not", it)
+			}
+		}
+		return nil
+	}
+}

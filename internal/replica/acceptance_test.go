@@ -1,0 +1,95 @@
+package replica
+
+import (
+	"testing"
+
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// TestAcceptSameWritesRejectsDrift: a backed-out deposit re-executed after
+// a conflicting base write produces a different final value; the strict
+// criterion rejects it, the nil criterion accepts it.
+func TestAcceptSameWritesRejectsDrift(t *testing.T) {
+	scenario := func(acc Acceptance) *ConnectOutcome {
+		b := NewBaseCluster(origin(), Config{Acceptance: acc})
+		m := NewMobileNode("m1", b)
+		// Tentative deposit: x 100 -> 105.
+		if err := m.Run(workload.Deposit("Tm1", tx.Tentative, "x", 5)); err != nil {
+			t.Fatal(err)
+		}
+		// Base deposit forces a conflict AND shifts the re-execution base:
+		// re-executed Tm1 writes 112, tentative wrote 105.
+		if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 7)); err != nil {
+			t.Fatal(err)
+		}
+		out, err := m.ConnectMerge(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	lax := scenario(nil)
+	if lax.Reprocessed != 1 || lax.Failed != 0 {
+		t.Errorf("nil acceptance: %+v, want committed re-execution", lax)
+	}
+	strict := scenario(AcceptSameWrites)
+	if strict.Failed != 1 || strict.Reprocessed != 0 {
+		t.Errorf("strict acceptance: %+v, want rejected re-execution", strict)
+	}
+}
+
+// TestAcceptWithinDrift tolerates small deviations and rejects large ones.
+func TestAcceptWithinDrift(t *testing.T) {
+	scenario := func(baseAmt model.Value, tol model.Value) *ConnectOutcome {
+		b := NewBaseCluster(origin(), Config{Acceptance: AcceptWithinDrift(tol)})
+		m := NewMobileNode("m1", b)
+		if err := m.Run(workload.Deposit("Tm1", tx.Tentative, "x", 5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", baseAmt)); err != nil {
+			t.Fatal(err)
+		}
+		out, err := m.ConnectMerge(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if out := scenario(3, 10); out.Failed != 0 || out.Reprocessed != 1 {
+		t.Errorf("drift 3 <= tol 10 rejected: %+v", out)
+	}
+	if out := scenario(50, 10); out.Failed != 1 || out.Reprocessed != 0 {
+		t.Errorf("drift 50 > tol 10 accepted: %+v", out)
+	}
+}
+
+// TestRejectedReexecutionNotCommitted: a rejected re-execution leaves no
+// trace on master data.
+func TestRejectedReexecutionNotCommitted(t *testing.T) {
+	b := NewBaseCluster(origin(), Config{Acceptance: AcceptSameWrites})
+	m := NewMobileNode("m1", b)
+	if err := m.Run(workload.Deposit("Tm1", tx.Tentative, "x", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 7)); err != nil {
+		t.Fatal(err)
+	}
+	histBefore := b.HistoryLen()
+	out, err := m.ConnectMerge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Master carries only the base deposit.
+	if got := b.Master().Get("x"); got != 107 {
+		t.Errorf("master x = %d, want 107 (tentative deposit rejected)", got)
+	}
+	if b.HistoryLen() != histBefore {
+		t.Errorf("rejected re-execution appended to the base history")
+	}
+}

@@ -1,0 +1,533 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sync"
+	"tiermerge/internal/cost"
+	"tiermerge/internal/expr"
+	"tiermerge/internal/graph"
+	"tiermerge/internal/history"
+	"tiermerge/internal/lockmgr"
+	"tiermerge/internal/merge"
+	"tiermerge/internal/model"
+
+	"tiermerge/internal/tx"
+	"tiermerge/internal/wal"
+)
+
+// ErrNotBase is returned when a tentative transaction is submitted through
+// the base-transaction interface.
+var ErrNotBase = errors.New("replica: transaction is not a base transaction")
+
+// baseEntry is one committed position of the base history within the
+// current time window.
+type baseEntry struct {
+	t     *tx.Transaction
+	eff   *tx.Effect
+	after model.State // state snapshot after this entry
+}
+
+// BaseCluster is the base tier: the master copy of every item, the
+// serializable base history of the current time window, a strict-2PL lock
+// manager, and the merge/reprocess endpoints mobile nodes connect to.
+type BaseCluster struct {
+	mu  sync.Mutex
+	cfg Config
+	lm  *lockmgr.Manager
+
+	master       model.State
+	windowID     int
+	windowOrigin model.State
+	entries      []baseEntry
+	followers    []*follower
+
+	counters cost.Counters
+	seq      int
+	journal  *wal.Writer
+}
+
+// NewBaseCluster builds a base cluster over the initial master state.
+func NewBaseCluster(initial model.State, cfg Config) *BaseCluster {
+	cfg = cfg.withDefaults()
+	b := &BaseCluster{
+		cfg:          cfg,
+		lm:           lockmgr.New(),
+		master:       initial.Clone(),
+		windowID:     1,
+		windowOrigin: initial.Clone(),
+	}
+	b.initFollowers()
+	return b
+}
+
+// Counters exposes the cluster's cost counters.
+func (b *BaseCluster) Counters() *cost.Counters { return &b.counters }
+
+// Weights returns the active cost weights.
+func (b *BaseCluster) Weights() cost.Weights { return b.cfg.Weights }
+
+// Master returns a copy of the current master state.
+func (b *BaseCluster) Master() model.State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.master.Clone()
+}
+
+// WindowID returns the current time-window identifier.
+func (b *BaseCluster) WindowID() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.windowID
+}
+
+// HistoryLen returns the number of base transactions committed in the
+// current window.
+func (b *BaseCluster) HistoryLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// AdvanceWindow starts a new time window: the current master state becomes
+// the shared origin for every tentative history begun in the window
+// (Section 2.2's periodic resynchronization). Mobile nodes still carrying
+// tentative work from an earlier window will fall back to reprocessing when
+// they connect.
+func (b *BaseCluster) AdvanceWindow() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.windowID++
+	b.windowOrigin = b.master.Clone()
+	b.entries = nil
+	if err := b.logWindow(); err != nil {
+		panic(fmt.Sprintf("replica: base journal failed: %v", err))
+	}
+	return b.windowID
+}
+
+// ExecBase runs one base transaction against master data under strict 2PL
+// and appends it to the base history. It charges query, lock and forced-log
+// costs plus lazy propagation to the other base replicas.
+func (b *BaseCluster) ExecBase(t *tx.Transaction) error {
+	if t.Kind != tx.Base {
+		return fmt.Errorf("%w: %s", ErrNotBase, t.ID)
+	}
+	items := t.StaticReadSet().Union(t.StaticWriteSet()).Items()
+	writes := t.StaticWriteSet()
+	// Acquire locks in sorted order outside the cluster mutex; retry on
+	// deadlock (sorted acquisition makes deadlock impossible here, but the
+	// path is exercised by concurrent callers of mixed order in tests).
+	for attempt := 0; ; attempt++ {
+		if err := b.acquireAll(t.ID, items, writes); err != nil {
+			if errors.Is(err, lockmgr.ErrDeadlock) && attempt < 10 {
+				b.lm.ReleaseAll(t.ID)
+				continue
+			}
+			b.lm.ReleaseAll(t.ID)
+			return fmt.Errorf("replica: locks for %s: %w", t.ID, err)
+		}
+		break
+	}
+	defer b.lm.ReleaseAll(t.ID)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	eff, err := t.ExecInPlace(b.master, nil)
+	if err != nil {
+		return fmt.Errorf("replica: exec base %s: %w", t.ID, err)
+	}
+	b.entries = append(b.entries, baseEntry{t: t, eff: eff, after: b.master.Clone()})
+	b.chargeBaseExec(t, eff)
+	if err := b.logCommit(t, eff); err != nil {
+		return fmt.Errorf("replica: journal %s: %w", t.ID, err)
+	}
+	return nil
+}
+
+func (b *BaseCluster) acquireAll(owner string, items []model.Item, writes model.ItemSet) error {
+	for _, it := range items {
+		mode := lockmgr.Shared
+		if writes.Has(it) {
+			mode = lockmgr.Exclusive
+		}
+		if err := b.lm.Acquire(owner, it, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chargeBaseExec records the execution costs of one base transaction.
+// Caller holds b.mu.
+func (b *BaseCluster) chargeBaseExec(t *tx.Transaction, eff *tx.Effect) {
+	nStmts := int64(t.StmtCount())
+	nLocks := int64(len(eff.ReadSet.Union(eff.WriteSet)))
+	b.counters.Update(func(c *cost.Counts) {
+		c.BaseQueries += nStmts
+		c.BaseLocks += nLocks
+		c.BaseForcedWrites++
+	})
+	// Lazy propagation of the new values to the other base replicas.
+	b.propagate(t.ID, eff.Writes)
+}
+
+// stateAt returns the base state at history position pos of the current
+// window (0 = window origin). Caller holds b.mu.
+func (b *BaseCluster) stateAt(pos int) model.State {
+	if pos == 0 {
+		return b.windowOrigin
+	}
+	return b.entries[pos-1].after
+}
+
+// baseAugmented materializes the base sub-history entries[pos:] as an
+// augmented history (the Hb a merge runs against). Caller holds b.mu.
+func (b *BaseCluster) baseAugmented(pos int) *history.Augmented {
+	n := len(b.entries) - pos
+	h := &history.History{Entries: make([]history.Entry, n)}
+	aug := &history.Augmented{
+		H:       h,
+		States:  make([]model.State, n+1),
+		Effects: make([]*tx.Effect, n),
+	}
+	aug.States[0] = b.stateAt(pos)
+	for i := 0; i < n; i++ {
+		e := b.entries[pos+i]
+		h.Entries[i] = history.Entry{T: e.t}
+		aug.Effects[i] = e.eff
+		aug.States[i+1] = e.after
+	}
+	return aug
+}
+
+// forwardTxn builds the synthetic base transaction that installs a merge's
+// forwarded updates. Its read set equals its write set — the saved
+// tentative transactions read every item they wrote (no blind writes
+// against the shared origin) — so later merges detect conflicts with it
+// exactly as with any other base transaction.
+func (b *BaseCluster) forwardTxn(mobileID string, updates map[model.Item]model.Value) *tx.Transaction {
+	b.seq++
+	items := make([]model.Item, 0, len(updates))
+	for it := range updates {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	body := make([]tx.Stmt, len(items))
+	for i, it := range items {
+		body[i] = tx.Update(it, expr.Const(updates[it]))
+	}
+	t := &tx.Transaction{
+		ID:   fmt.Sprintf("U%s.%d", mobileID, b.seq),
+		Type: "forwarded-updates",
+		Kind: tx.Base,
+		Body: body,
+	}
+	return t
+}
+
+// reprocessOne re-executes one tentative transaction as a base transaction:
+// transform, execute on master, validate against the acceptance criterion,
+// append to the base history, charge costs, and report the result back to
+// the mobile user. Caller holds b.mu. Failed re-executions — the
+// transaction is not defined on the current master state, or its base
+// outcome violates the acceptance criterion — are reported, not committed.
+// tentEff is the transaction's effect on the mobile replica (nil when
+// unknown), which the acceptance criterion compares against.
+func (b *BaseCluster) reprocessOne(t *tx.Transaction, tentEff *tx.Effect) (ok bool) {
+	w := b.cfg.Weights
+	// Code + arguments travel mobile -> base; the result travels back.
+	b.counters.Msg(w, int64(t.StmtCount())*w.CodeBytesPerStmt+int64(t.ParamCount())*w.ArgBytes)
+	b.counters.Msg(w, w.ResultBytes)
+	base := &tx.Transaction{
+		ID:          t.ID + "@base",
+		Type:        t.Type,
+		Kind:        tx.Base,
+		Params:      t.Params,
+		Body:        t.Body,
+		InverseBody: t.InverseBody,
+	}
+	scratch := b.master.Clone()
+	eff, err := base.ExecInPlace(scratch, nil)
+	nLocks := int64(len(base.StaticReadSet().Union(base.StaticWriteSet())))
+	b.counters.Update(func(c *cost.Counts) {
+		c.BaseTransforms++
+		c.BaseQueries += int64(base.StmtCount())
+		c.BaseLocks += nLocks
+		c.TxnsReprocessed++
+		c.MobileReports++
+	})
+	if err != nil {
+		return false
+	}
+	if b.cfg.Acceptance != nil && tentEff != nil {
+		if err := b.cfg.Acceptance(t, tentEff, eff); err != nil {
+			return false
+		}
+	}
+	b.master = scratch
+	b.counters.Update(func(c *cost.Counts) { c.BaseForcedWrites++ })
+	b.entries = append(b.entries, baseEntry{t: base, eff: eff, after: b.master.Clone()})
+	b.propagate(base.ID, eff.Writes)
+	if err := b.logCommit(base, eff); err != nil {
+		panic(fmt.Sprintf("replica: base journal failed: %v", err))
+	}
+	return true
+}
+
+// applyForwarded installs a merge's forwarded updates as one base
+// transaction with a single forced log write (Section 7.1: "all the updates
+// need be forced to durable logs only once"). Caller holds b.mu. Returns
+// the entry index of the installed transaction, or -1 when there was
+// nothing to forward.
+func (b *BaseCluster) applyForwarded(mobileID string, updates map[model.Item]model.Value) int {
+	if len(updates) == 0 {
+		return -1
+	}
+	ft := b.forwardTxn(mobileID, updates)
+	eff, err := ft.ExecInPlace(b.master, nil)
+	if err != nil {
+		// Const-assignments cannot fail; a failure is a programming error.
+		panic(fmt.Sprintf("replica: forwarded updates failed: %v", err))
+	}
+	b.entries = append(b.entries, baseEntry{t: ft, eff: eff, after: b.master.Clone()})
+	b.counters.Update(func(c *cost.Counts) {
+		c.BaseApplies += int64(len(updates))
+		c.BaseLocks += int64(len(updates))
+		c.BaseForcedWrites++
+	})
+	b.propagate(ft.ID, eff.Writes)
+	if err := b.logCommit(ft, eff); err != nil {
+		panic(fmt.Sprintf("replica: base journal failed: %v", err))
+	}
+	return len(b.entries) - 1
+}
+
+// Merge runs the merging protocol for a connected mobile node. It validates
+// the checkout token (window and, under Strategy 1, origin position),
+// executes the merge, installs forwarded updates, re-executes backed-out
+// transactions, and charges every Section 7.1 cost component.
+func (b *BaseCluster) Merge(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w := b.cfg.Weights
+
+	if ck.WindowID != b.windowID {
+		return b.fallbackReprocess(hm, FallbackWindowExpired), nil
+	}
+	pos := 0
+	if b.cfg.Origin == Strategy1 {
+		pos = ck.Pos
+		if pos > len(b.entries) || !ck.Origin.Equal(b.stateAt(pos)) {
+			return b.fallbackReprocess(hm, FallbackOriginInvalid), nil
+		}
+	}
+
+	// Communication, mobile -> base: read/write sets of Hm plus G(Hm).
+	var setEntries, localEdges int64
+	mobAcc := graph.AccessesOf(hm)
+	for _, a := range mobAcc {
+		setEntries += int64(len(a.ReadSet) + len(a.WriteSet))
+	}
+	gm := graph.Build(mobAcc, nil)
+	for v := 0; v < gm.Len(); v++ {
+		localEdges += int64(len(gm.Succ(v)))
+	}
+	b.counters.Msg(w, setEntries*w.SetEntryBytes+localEdges*w.GraphEdgeBytes)
+	b.counters.Update(func(c *cost.Counts) {
+		c.SetEntriesSent += setEntries
+		c.GraphEdgesSent += localEdges
+		c.MobileGraphOps += int64(gm.Len()) + localEdges
+	})
+
+	hb := b.baseAugmented(pos)
+	rep, err := merge.Merge(hm, hb, b.cfg.MergeOptions)
+	if err != nil {
+		return nil, fmt.Errorf("replica: merge: %w", err)
+	}
+
+	// Base computing: building G(Hm, Hb) and computing B.
+	var fullEdges int64
+	for v := 0; v < rep.Graph.Len(); v++ {
+		fullEdges += int64(len(rep.Graph.Succ(v)))
+	}
+	rewriteOps := int64(hm.H.Len()) // scan cost even when nothing moves
+	if rep.RewriteResult != nil {
+		rewriteOps += int64(rep.RewriteResult.PairChecks)
+	}
+	b.counters.Update(func(c *cost.Counts) {
+		c.BaseGraphOps += int64(rep.Graph.Len()) + fullEdges
+		c.BaseBackoutOps += fullEdges + int64(len(rep.BadIDs))*int64(rep.Graph.Len())
+		// Base -> mobile: the set B.
+		c.MobileRewriteOps += rewriteOps // actual pair checks, O(n^2) worst case
+		c.MobilePruneOps += int64(len(rep.Reexecute) + len(rep.AffectedIDs))
+	})
+	b.counters.Msg(w, int64(len(rep.BadIDs))*w.SetEntryBytes)
+
+	// Strategy 1 serializes the saved work at the checkout position; that
+	// is only possible when no committed base transaction after it
+	// conflicts with the forwarded updates (otherwise durable history
+	// would change).
+	insertAt := len(b.entries)
+	if b.cfg.Origin == Strategy1 && len(rep.ForwardUpdates) > 0 {
+		updItems := make(model.ItemSet, len(rep.ForwardUpdates))
+		for it := range rep.ForwardUpdates {
+			updItems.Add(it)
+		}
+		for i := pos; i < len(b.entries); i++ {
+			if !b.entries[i].eff.ReadSet.Disjoint(updItems) ||
+				!b.entries[i].eff.WriteSet.Disjoint(updItems) {
+				return b.fallbackReprocess(hm, FallbackInsertConflict), nil
+			}
+		}
+		insertAt = pos
+	}
+
+	// Mobile -> base: the forwarded updates.
+	b.counters.Msg(w, int64(len(rep.ForwardUpdates))*w.UpdateEntryBytes)
+	b.counters.Update(func(c *cost.Counts) {
+		c.UpdatesSent += int64(len(rep.ForwardUpdates))
+		c.TxnsSaved += int64(len(rep.SavedIDs))
+		c.TxnsBackedOut += int64(len(rep.Reexecute))
+		c.MergesPerformed++
+	})
+
+	b.installForwarded(ck.MobileID, rep.ForwardUpdates, insertAt)
+
+	// Step 6: re-execute each backed-out tentative transaction, comparing
+	// against its tentative effect for acceptance.
+	effByTxn := make(map[*tx.Transaction]*tx.Effect, hm.H.Len())
+	for i := 0; i < hm.H.Len(); i++ {
+		effByTxn[hm.H.Txn(i)] = hm.Effects[i]
+	}
+	out := &ConnectOutcome{Merged: true, Report: rep, BadIDs: rep.BadIDs, Saved: len(rep.SavedIDs)}
+	for _, t := range rep.Reexecute {
+		if b.reprocessOne(t, effByTxn[t]) {
+			out.Reprocessed++
+		} else {
+			out.Failed++
+		}
+	}
+	return out, nil
+}
+
+// installForwarded installs the forwarded updates at the given history
+// position (always the tail under Strategy 2; possibly earlier under
+// Strategy 1, after the conflict check). For an interior insert the stored
+// after-states of later entries are patched — legal because the conflict
+// check guaranteed no later entry touches the forwarded items. Caller holds
+// b.mu.
+func (b *BaseCluster) installForwarded(mobileID string, updates map[model.Item]model.Value, at int) {
+	if len(updates) == 0 {
+		return
+	}
+	if at >= len(b.entries) {
+		b.applyForwarded(mobileID, updates)
+		return
+	}
+	ft := b.forwardTxn(mobileID, updates)
+	st := b.stateAt(at).Clone()
+	eff, err := ft.ExecInPlace(st, nil)
+	if err != nil {
+		panic(fmt.Sprintf("replica: forwarded updates failed: %v", err))
+	}
+	entry := baseEntry{t: ft, eff: eff, after: st}
+	b.entries = append(b.entries, baseEntry{})
+	copy(b.entries[at+1:], b.entries[at:])
+	b.entries[at] = entry
+	for i := at + 1; i < len(b.entries); i++ {
+		b.entries[i].after = b.entries[i].after.Clone().Apply(updates)
+	}
+	b.master.Apply(updates)
+	b.counters.Update(func(c *cost.Counts) {
+		c.BaseApplies += int64(len(updates))
+		c.BaseLocks += int64(len(updates))
+		c.BaseForcedWrites++
+	})
+	b.propagate(ft.ID, eff.Writes)
+	// The journal is value-ordered, not position-ordered: replaying the
+	// forwarded transaction last still lands on the same master state
+	// because the insert-conflict check guaranteed no later committed entry
+	// touches these items.
+	if err := b.logCommit(ft, eff); err != nil {
+		panic(fmt.Sprintf("replica: base journal failed: %v", err))
+	}
+}
+
+// Reprocess runs the original two-tier protocol for a connected mobile
+// node: every tentative transaction is shipped to the base tier and
+// re-executed.
+func (b *BaseCluster) Reprocess(hm *history.Augmented) *ConnectOutcome {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fallbackReprocess(hm, FallbackNone)
+}
+
+// fallbackReprocess re-executes every transaction of hm at the base tier.
+// Caller holds b.mu.
+func (b *BaseCluster) fallbackReprocess(hm *history.Augmented, reason FallbackReason) *ConnectOutcome {
+	out := &ConnectOutcome{Fallback: reason}
+	if reason != FallbackNone {
+		b.counters.Update(func(c *cost.Counts) { c.MergeFallbacks++ })
+	}
+	for i := 0; i < hm.H.Len(); i++ {
+		if b.reprocessOne(hm.H.Txn(i), hm.Effects[i]) {
+			out.Reprocessed++
+		} else {
+			out.Failed++
+		}
+	}
+	return out
+}
+
+// Checkout is the token a mobile node receives when it synchronizes its
+// replica before disconnecting.
+type Checkout struct {
+	MobileID string
+	WindowID int
+	// Pos is the base-history position of the snapshot (Strategy 1 only).
+	Pos int
+	// Origin is the snapshot the tentative history starts from.
+	Origin model.State
+}
+
+// CheckoutReplica hands a mobile node its origin snapshot: the window
+// origin under Strategy 2, the live master state under Strategy 1. The
+// download is charged to the communication budget.
+func (b *BaseCluster) CheckoutReplica(mobileID string) Checkout {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w := b.cfg.Weights
+	ck := Checkout{MobileID: mobileID, WindowID: b.windowID}
+	if b.cfg.Origin == Strategy1 {
+		ck.Pos = len(b.entries)
+		ck.Origin = b.master.Clone()
+	} else {
+		ck.Origin = b.windowOrigin.Clone()
+	}
+	b.counters.Msg(w, int64(len(ck.Origin))*w.UpdateEntryBytes)
+	return ck
+}
+
+// Preview computes the merge report a connect would produce right now —
+// precedence graph, back-out set, saved set, forwarded updates — without
+// committing anything or charging costs. Mobile users call it to see what a
+// reconnect would cost them before going online ("what will I lose?").
+func (b *BaseCluster) Preview(ck Checkout, hm *history.Augmented) (*merge.Report, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ck.WindowID != b.windowID {
+		return nil, fmt.Errorf("replica: preview: window %d expired (current %d): everything would be reprocessed",
+			ck.WindowID, b.windowID)
+	}
+	pos := 0
+	if b.cfg.Origin == Strategy1 {
+		pos = ck.Pos
+		if pos > len(b.entries) || !ck.Origin.Equal(b.stateAt(pos)) {
+			return nil, fmt.Errorf("replica: preview: origin invalidated: everything would be reprocessed")
+		}
+	}
+	return merge.Merge(hm, b.baseAugmented(pos), b.cfg.MergeOptions)
+}

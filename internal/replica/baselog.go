@@ -1,0 +1,151 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/wal"
+)
+
+// Base-tier durability. The protocol's correctness leans on base
+// transactions being durable ("in order to ensure the durability of base
+// transactions, only tentative transactions can be put into B",
+// Section 2.1). The in-memory BaseCluster gains that durability through an
+// attached journal: the initial master snapshot, every committed entry —
+// ordinary base transactions, re-executed tentative transactions and
+// forwarded-update transactions alike — and every window advance are
+// appended; RecoverBaseCluster replays and verifies the whole log after a
+// crash.
+
+// AttachJournal starts journaling the cluster onto w: the current master
+// snapshot and window are recorded immediately, followed by every
+// subsequent commit and window advance. Entries committed in the current
+// window before attachment are journaled too, so attaching late still
+// yields a recoverable log.
+func (b *BaseCluster) AttachJournal(w io.Writer) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	jw := wal.NewWriter(w)
+	if err := jw.Checkout(b.windowID, 0, b.windowOrigin); err != nil {
+		return err
+	}
+	for _, e := range b.entries {
+		if err := jw.LogTxn(e.t, e.eff); err != nil {
+			return err
+		}
+	}
+	b.journal = jw
+	return nil
+}
+
+// logCommit journals one committed base entry. Caller holds b.mu. Journal
+// failures are returned to the committing path — a base that cannot force
+// its log must not acknowledge the commit.
+func (b *BaseCluster) logCommit(t *tx.Transaction, eff *tx.Effect) error {
+	if b.journal == nil {
+		return nil
+	}
+	return b.journal.LogTxn(t, eff)
+}
+
+// logWindow journals a window advance. Caller holds b.mu.
+func (b *BaseCluster) logWindow() error {
+	if b.journal == nil {
+		return nil
+	}
+	return b.journal.Window(b.windowID, b.windowOrigin)
+}
+
+// RecoverBaseCluster rebuilds a base cluster from its journal: the master
+// state, the current window and its origin, and the base history of the
+// current window (so pending mobile merges from that window still find
+// their base sub-histories). Every replayed commit is verified against its
+// logged write images.
+func RecoverBaseCluster(r io.Reader, cfg Config) (*BaseCluster, error) {
+	recs, err := wal.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("replica: recover base: %w", err)
+	}
+	if len(recs) == 0 || recs[0].Kind != wal.KindCheckout {
+		return nil, fmt.Errorf("replica: recover base: %w", wal.ErrCorrupt)
+	}
+	b := NewBaseCluster(model.StateOf(recs[0].Origin), cfg)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.windowID = recs[0].WindowID
+
+	var (
+		curTxn    *tx.Transaction
+		curWrites map[model.Item]model.Value
+	)
+	for _, rec := range recs[1:] {
+		switch rec.Kind {
+		case wal.KindBegin:
+			if curTxn != nil {
+				return nil, fmt.Errorf("replica: recover base: %w: begin %s while %s open",
+					wal.ErrCorrupt, rec.TxID, curTxn.ID)
+			}
+			t, err := tx.UnmarshalTransaction(rec.Txn)
+			if err != nil {
+				return nil, fmt.Errorf("replica: recover base: %w: %v", wal.ErrCorrupt, err)
+			}
+			curTxn = t
+			curWrites = make(map[model.Item]model.Value)
+		case wal.KindRead:
+			if curTxn == nil || curTxn.ID != rec.TxID {
+				return nil, fmt.Errorf("replica: recover base: %w: stray read for %s",
+					wal.ErrCorrupt, rec.TxID)
+			}
+		case wal.KindWrite:
+			if curTxn == nil || curTxn.ID != rec.TxID {
+				return nil, fmt.Errorf("replica: recover base: %w: stray write for %s",
+					wal.ErrCorrupt, rec.TxID)
+			}
+			curWrites[rec.Item] = rec.After
+		case wal.KindCommit:
+			if curTxn == nil || curTxn.ID != rec.TxID {
+				return nil, fmt.Errorf("replica: recover base: %w: stray commit for %s",
+					wal.ErrCorrupt, rec.TxID)
+			}
+			eff, err := curTxn.ExecInPlace(b.master, nil)
+			if err != nil {
+				return nil, fmt.Errorf("replica: recover base: replay %s: %w", curTxn.ID, err)
+			}
+			for it, v := range curWrites {
+				if eff.Writes[it] != v {
+					return nil, fmt.Errorf("replica: recover base: %w: %s wrote %s=%d, logged %d",
+						wal.ErrCorrupt, curTxn.ID, it, eff.Writes[it], v)
+				}
+			}
+			if len(curWrites) != len(eff.Writes) {
+				return nil, fmt.Errorf("replica: recover base: %w: %s write-count mismatch",
+					wal.ErrCorrupt, curTxn.ID)
+			}
+			b.entries = append(b.entries, baseEntry{t: curTxn, eff: eff, after: b.master.Clone()})
+			b.propagate(curTxn.ID, eff.Writes)
+			curTxn, curWrites = nil, nil
+		case wal.KindWindow:
+			if curTxn != nil {
+				return nil, fmt.Errorf("replica: recover base: %w: window advance mid-transaction",
+					wal.ErrCorrupt)
+			}
+			b.windowID = rec.WindowID
+			b.windowOrigin = model.StateOf(rec.Origin)
+			if !b.windowOrigin.Equal(b.master) {
+				return nil, fmt.Errorf("replica: recover base: %w: window origin diverges from replayed master",
+					wal.ErrCorrupt)
+			}
+			b.entries = nil
+		case wal.KindCheckout:
+			return nil, fmt.Errorf("replica: recover base: %w: duplicate checkout", wal.ErrCorrupt)
+		default:
+			return nil, fmt.Errorf("replica: recover base: %w: unknown record %q",
+				wal.ErrCorrupt, rec.Kind)
+		}
+	}
+	// A trailing open transaction tore during the crash: it was never
+	// acknowledged, so it is simply dropped.
+	return b, nil
+}

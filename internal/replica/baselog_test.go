@@ -1,0 +1,134 @@
+package replica
+
+import (
+	"bytes"
+	"testing"
+
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// TestBaseRecoveryRebuildsMasterAndWindow journals a busy base tier —
+// ordinary commits, merges (forwarded updates + re-executions), a window
+// advance — crashes it, and recovers an equivalent cluster.
+func TestBaseRecoveryRebuildsMasterAndWindow(t *testing.T) {
+	var journal bytes.Buffer
+	b := NewBaseCluster(origin(), Config{})
+	if err := b.AttachJournal(&journal); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 10)); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMobileNode("m1", b)
+	if err := m.Run(workload.Deposit("Tm1", tx.Tentative, "y", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(workload.SetPrice("Tm2", tx.Tentative, "x", 77)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ConnectMerge(b); err != nil {
+		t.Fatal(err)
+	}
+	b.AdvanceWindow()
+	if err := b.ExecBase(workload.Deposit("Tb2", tx.Base, "z", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := RecoverBaseCluster(bytes.NewReader(journal.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Master().Equal(b.Master()) {
+		t.Errorf("recovered master %s != %s", rec.Master(), b.Master())
+	}
+	if rec.WindowID() != b.WindowID() {
+		t.Errorf("recovered window %d != %d", rec.WindowID(), b.WindowID())
+	}
+	if rec.HistoryLen() != b.HistoryLen() {
+		t.Errorf("recovered window history len %d != %d", rec.HistoryLen(), b.HistoryLen())
+	}
+	// The recovered cluster keeps working: a mobile merges against it.
+	m2 := NewMobileNode("m2", rec)
+	if err := m2.Run(workload.Deposit("Tm3", tx.Tentative, "w", 9)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m2.ConnectMerge(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Merged || out.Saved != 1 {
+		t.Errorf("post-recovery merge: %+v", out)
+	}
+	if got := rec.Master().Get("w"); got != 409 {
+		t.Errorf("post-recovery w = %d, want 409", got)
+	}
+}
+
+// TestBaseRecoveryDropsTornTail: a commit torn mid-record is dropped — the
+// client was never acknowledged.
+func TestBaseRecoveryDropsTornTail(t *testing.T) {
+	var journal bytes.Buffer
+	b := NewBaseCluster(origin(), Config{})
+	if err := b.AttachJournal(&journal); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 10)); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfterFirst := journal.Len()
+	if err := b.ExecBase(workload.Deposit("Tb2", tx.Base, "x", 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear inside the second commit's records.
+	torn := journal.Bytes()[:sizeAfterFirst+20]
+	rec, err := RecoverBaseCluster(bytes.NewReader(torn), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Master().Get("x"); got != 110 {
+		t.Errorf("recovered x = %d, want 110 (second commit dropped)", got)
+	}
+}
+
+// TestBaseRecoveryDetectsTamper: a flipped write image fails verification.
+func TestBaseRecoveryDetectsTamper(t *testing.T) {
+	var journal bytes.Buffer
+	b := NewBaseCluster(origin(), Config{})
+	if err := b.AttachJournal(&journal); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 10)); err != nil {
+		t.Fatal(err)
+	}
+	s := journal.String()
+	tampered := bytes.Replace([]byte(s), []byte(`"after":110`), []byte(`"after":111`), 1)
+	if bytes.Equal(tampered, []byte(s)) {
+		t.Fatal("tamper target not found")
+	}
+	if _, err := RecoverBaseCluster(bytes.NewReader(tampered), Config{}); err == nil {
+		t.Error("tampered base journal recovered without error")
+	}
+}
+
+// TestBaseRecoveryLateAttach: attaching after commits still journals them.
+func TestBaseRecoveryLateAttach(t *testing.T) {
+	b := NewBaseCluster(origin(), Config{})
+	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 10)); err != nil {
+		t.Fatal(err)
+	}
+	var journal bytes.Buffer
+	if err := b.AttachJournal(&journal); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExecBase(workload.Deposit("Tb2", tx.Base, "y", 4)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverBaseCluster(bytes.NewReader(journal.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Master().Equal(b.Master()) {
+		t.Errorf("recovered %s != %s", rec.Master(), b.Master())
+	}
+}

@@ -1,0 +1,99 @@
+package replica
+
+import (
+	"testing"
+
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// TestFollowersLagThenConverge: followers trail the master until their
+// queues drain, then match it exactly.
+func TestFollowersLagThenConverge(t *testing.T) {
+	b := NewBaseCluster(origin(), Config{BaseNodes: 3})
+	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExecBase(workload.Deposit("Tb2", tx.Base, "y", 5)); err != nil {
+		t.Fatal(err)
+	}
+	lags := b.ReplicaLag()
+	if len(lags) != 2 || lags[0] != 2 || lags[1] != 2 {
+		t.Errorf("lags = %v, want [2 2]", lags)
+	}
+	// Follower state trails.
+	f0, err := b.FollowerState(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Get("x") != 100 {
+		t.Errorf("lagging follower x = %d, want 100 (pre-commit)", f0.Get("x"))
+	}
+	if applied := b.SyncReplicas(); applied != 4 {
+		t.Errorf("applied = %d, want 4", applied)
+	}
+	if !b.Converged() {
+		t.Error("followers did not converge to master")
+	}
+	f0, _ = b.FollowerState(0)
+	if f0.Get("x") != 110 || f0.Get("y") != 205 {
+		t.Errorf("synced follower = %s", f0)
+	}
+}
+
+// TestFollowersConvergeAfterMerges: merges and re-executions propagate too.
+func TestFollowersConvergeAfterMerges(t *testing.T) {
+	b := NewBaseCluster(origin(), Config{BaseNodes: 4})
+	m1 := NewMobileNode("m1", b)
+	m2 := NewMobileNode("m2", b)
+	if err := m1.Run(workload.Deposit("Tm1", tx.Tentative, "x", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(workload.SetPrice("Tm2", tx.Tentative, "x", 999)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "z", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.ConnectMerge(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.ConnectMerge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Converged() {
+		t.Error("followers diverged from master after merges")
+	}
+}
+
+// TestFollowerAutoDrainBound: a follower's queue never exceeds the lag
+// bound by more than one commit.
+func TestFollowerAutoDrainBound(t *testing.T) {
+	b := NewBaseCluster(origin(), Config{BaseNodes: 2})
+	for i := 0; i < maxReplicaLag*3; i++ {
+		if err := b.ExecBase(workload.Deposit(ids("Tb", 0, i%10), tx.Base, "x", 1)); err != nil {
+			t.Fatal(err)
+		}
+		if lag := b.ReplicaLag()[0]; lag > maxReplicaLag {
+			t.Fatalf("lag %d exceeds bound %d", lag, maxReplicaLag)
+		}
+	}
+	if !b.Converged() {
+		t.Error("not converged after drain")
+	}
+}
+
+// TestSingleNodeClusterHasNoFollowers: the default cluster keeps no
+// follower machinery.
+func TestSingleNodeClusterHasNoFollowers(t *testing.T) {
+	b := NewBaseCluster(origin(), Config{})
+	if got := b.ReplicaLag(); len(got) != 0 {
+		t.Errorf("ReplicaLag = %v, want empty", got)
+	}
+	if _, err := b.FollowerState(0); err == nil {
+		t.Error("FollowerState(0) on single-node cluster succeeded")
+	}
+	if !b.Converged() {
+		t.Error("single-node cluster trivially converged")
+	}
+}

@@ -1,0 +1,9 @@
+package replica
+
+import "tiermerge/internal/expr"
+
+// txDivByItem builds the update expression x := x + x/w, which fails when
+// item w is zero — used to exercise failed re-executions.
+func txDivByItem() expr.Expr {
+	return expr.Add(expr.Var("x"), expr.Div(expr.Var("x"), expr.Var("w")))
+}

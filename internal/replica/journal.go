@@ -1,0 +1,70 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+
+	"tiermerge/internal/tx"
+	"tiermerge/internal/wal"
+)
+
+// AttachJournal starts write-ahead logging of the node's current
+// disconnection period onto w: the current checkout is recorded
+// immediately and every subsequent tentative transaction is journaled with
+// its code, read values and write images. The journal covers one period —
+// after the next Checkout the caller attaches a fresh journal (or none).
+func (m *MobileNode) AttachJournal(w io.Writer) error {
+	jw := wal.NewWriter(w)
+	if err := jw.Checkout(m.ck.WindowID, m.ck.Pos, m.ck.Origin); err != nil {
+		return err
+	}
+	// Journal any transactions already run this period, so attaching late
+	// still yields a complete journal.
+	for i := 0; i < m.hist.Len(); i++ {
+		if err := jw.LogTxn(m.hist.Txn(i), m.effects[i]); err != nil {
+			return err
+		}
+	}
+	m.journal = jw
+	return nil
+}
+
+// logTentative journals one executed transaction when a journal is
+// attached.
+func (m *MobileNode) logTentative(t *tx.Transaction, eff *tx.Effect) error {
+	if m.journal == nil {
+		return nil
+	}
+	return m.journal.LogTxn(t, eff)
+}
+
+// RecoverMobileNode rebuilds a mobile node from its journal after a crash:
+// the committed prefix of the tentative history is replayed and verified
+// against the logged read values and write images; a torn trailing
+// transaction is dropped (its user never got an acknowledgement). The
+// recovered node holds the same checkout token it crashed with, so its next
+// connect merges (or falls back) exactly as the lost node would have.
+func RecoverMobileNode(id string, r io.Reader) (*MobileNode, error) {
+	recs, err := wal.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("replica: recover %s: %w", id, err)
+	}
+	rep, err := wal.Replay(recs)
+	if err != nil {
+		return nil, fmt.Errorf("replica: recover %s: %w", id, err)
+	}
+	m := &MobileNode{
+		ID: id,
+		ck: Checkout{
+			MobileID: id,
+			WindowID: rep.WindowID,
+			Pos:      rep.Pos,
+			Origin:   rep.Origin,
+		},
+		local:   rep.Augmented.Final().Clone(),
+		hist:    rep.Augmented.H,
+		states:  rep.Augmented.States,
+		effects: rep.Augmented.Effects,
+	}
+	return m, nil
+}

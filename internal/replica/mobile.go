@@ -1,0 +1,113 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+
+	"tiermerge/internal/history"
+	"tiermerge/internal/merge"
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/wal"
+)
+
+// ErrNotTentative is returned when a base transaction is submitted to a
+// mobile node.
+var ErrNotTentative = errors.New("replica: transaction is not a tentative transaction")
+
+// MobileNode is a disconnected-most-of-the-time node: it holds a tentative
+// replica checked out from the base tier and runs tentative transactions
+// against it, accumulating the tentative history it will reconcile on its
+// next connect.
+type MobileNode struct {
+	// ID names the node (e.g. "m3").
+	ID string
+
+	ck      Checkout
+	local   model.State
+	hist    *history.History
+	states  []model.State
+	effects []*tx.Effect
+	journal *wal.Writer
+}
+
+// NewMobileNode creates a mobile node and checks out its initial replica.
+func NewMobileNode(id string, b *BaseCluster) *MobileNode {
+	m := &MobileNode{ID: id}
+	m.Checkout(b)
+	return m
+}
+
+// Checkout (re)synchronizes the node's replica with the base tier and
+// starts a fresh, empty tentative history from the origin the cluster's
+// strategy dictates.
+func (m *MobileNode) Checkout(b *BaseCluster) {
+	m.ck = b.CheckoutReplica(m.ID)
+	m.local = m.ck.Origin.Clone()
+	m.hist = &history.History{}
+	m.states = []model.State{m.ck.Origin.Clone()}
+	m.effects = nil
+	m.journal = nil // journals cover one disconnection period
+}
+
+// Run executes one tentative transaction against the local tentative data,
+// appending it to the node's tentative history. The transaction produces
+// new tentative versions only; nothing reaches the base tier until the node
+// connects.
+func (m *MobileNode) Run(t *tx.Transaction) error {
+	if t.Kind != tx.Tentative {
+		return fmt.Errorf("%w: %s", ErrNotTentative, t.ID)
+	}
+	next, eff, err := t.Exec(m.local, nil)
+	if err != nil {
+		return fmt.Errorf("replica: tentative %s: %w", t.ID, err)
+	}
+	m.local = next
+	m.hist.Append(t)
+	m.states = append(m.states, next)
+	m.effects = append(m.effects, eff)
+	if err := m.logTentative(t, eff); err != nil {
+		return fmt.Errorf("replica: journal %s: %w", t.ID, err)
+	}
+	return nil
+}
+
+// Pending returns the number of tentative transactions awaiting
+// reconciliation.
+func (m *MobileNode) Pending() int { return m.hist.Len() }
+
+// Local returns a copy of the node's tentative database state.
+func (m *MobileNode) Local() model.State { return m.local.Clone() }
+
+// Augmented exposes the node's tentative history as an augmented run (the
+// Hm a merge consumes).
+func (m *MobileNode) Augmented() *history.Augmented {
+	return &history.Augmented{H: m.hist, States: m.states, Effects: m.effects}
+}
+
+// ConnectMerge connects to the base tier and reconciles via the merging
+// protocol, then checks out a fresh replica for the next disconnection
+// period.
+func (m *MobileNode) ConnectMerge(b *BaseCluster) (*ConnectOutcome, error) {
+	out, err := b.Merge(m.ck, m.Augmented())
+	if err != nil {
+		return nil, err
+	}
+	m.Checkout(b)
+	return out, nil
+}
+
+// ConnectReprocess connects to the base tier and reconciles via the
+// original two-tier protocol (re-execute everything), then checks out a
+// fresh replica.
+func (m *MobileNode) ConnectReprocess(b *BaseCluster) *ConnectOutcome {
+	out := b.Reprocess(m.Augmented())
+	m.Checkout(b)
+	return out
+}
+
+// PreviewMerge reports what ConnectMerge would do right now without
+// performing it.
+func (m *MobileNode) PreviewMerge(b *BaseCluster) (*merge.Report, error) {
+	return b.Preview(m.ck, m.Augmented())
+}

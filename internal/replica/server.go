@@ -1,0 +1,393 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"tiermerge/internal/history"
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/wal"
+)
+
+// Message-passing realization of the mobile/base split. The BaseCluster's
+// method API models the protocol's logic; BaseServer/Client realize it as
+// actual request/response messages between goroutines, with every payload
+// serialized through the wire codec — the mobile ships its journal (read
+// sets, write images and, for re-execution, transaction code), exactly the
+// artifacts Section 7.1's communication analysis prices. The server counts
+// real payload bytes so the modeled byte weights can be sanity-checked
+// against measured encodings.
+
+// ErrServerClosed is returned for requests after Close.
+var ErrServerClosed = errors.New("replica: base server closed")
+
+// errResponseLost models a response dropped in transit (fault injection);
+// clients retry on it.
+var errResponseLost = errors.New("replica: response lost in transit")
+
+// DropEveryNth makes the server discard every nth response — transport
+// fault injection for tests; 0 disables.
+func (s *BaseServer) DropEveryNth(n int64) { s.dropEveryNth = n }
+
+// reqKind tags server requests.
+type reqKind string
+
+const (
+	reqCheckout  reqKind = "checkout"
+	reqMerge     reqKind = "merge"
+	reqReprocess reqKind = "reprocess"
+	reqExecBase  reqKind = "execbase"
+)
+
+// wireReq is the serialized request envelope.
+type wireReq struct {
+	Kind     reqKind `json:"kind"`
+	MobileID string  `json:"mobile,omitempty"`
+	// Seq deduplicates reconnect attempts: a merge or reprocess is applied
+	// at most once per (mobile, seq); retries of an already-applied request
+	// get the cached response. Checkouts and base submissions are
+	// idempotent enough not to need it.
+	Seq     int64                      `json:"seq,omitempty"`
+	Window  int                        `json:"window,omitempty"`
+	Pos     int                        `json:"pos,omitempty"`
+	Origin  map[model.Item]model.Value `json:"origin,omitempty"`
+	Journal []byte                     `json:"journal,omitempty"` // wal records (JSON lines)
+	Txn     json.RawMessage            `json:"txn,omitempty"`
+}
+
+// wireResp is the serialized response envelope.
+type wireResp struct {
+	Err      string                     `json:"err,omitempty"`
+	Window   int                        `json:"window,omitempty"`
+	Pos      int                        `json:"pos,omitempty"`
+	Origin   map[model.Item]model.Value `json:"origin,omitempty"`
+	Merged   bool                       `json:"merged,omitempty"`
+	Fallback string                     `json:"fallback,omitempty"`
+	Saved    int                        `json:"saved,omitempty"`
+	Reproc   int                        `json:"reproc,omitempty"`
+	Failed   int                        `json:"failed,omitempty"`
+	BadIDs   []string                   `json:"bad,omitempty"`
+}
+
+type rpc struct {
+	payload []byte
+	reply   chan []byte
+}
+
+// BaseServer serves a BaseCluster over an in-process message channel; one
+// goroutine processes requests in arrival order (the always-connected base
+// site).
+type BaseServer struct {
+	b    *BaseCluster
+	req  chan rpc
+	stop chan struct{}
+	done chan struct{}
+
+	bytesIn, bytesOut atomic.Int64
+	requests          atomic.Int64
+
+	// applied caches, per mobile, the last reconnect seq handled and its
+	// response — the exactly-once guard for retried merges.
+	applied map[string]appliedReq
+
+	// dropEveryNth, when positive, silently discards every Nth response
+	// (fault injection for transport tests).
+	dropEveryNth int64
+	respCount    atomic.Int64
+}
+
+// appliedReq caches one handled reconnect.
+type appliedReq struct {
+	seq  int64
+	resp []byte
+}
+
+// ServeBase starts the server goroutine over the cluster. Callers must
+// Close it when done.
+func ServeBase(b *BaseCluster) *BaseServer {
+	s := &BaseServer{
+		b:       b,
+		req:     make(chan rpc),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		applied: make(map[string]appliedReq),
+	}
+	go s.loop()
+	return s
+}
+
+// Close stops the server goroutine and waits for it to exit.
+func (s *BaseServer) Close() {
+	close(s.stop)
+	<-s.done
+}
+
+// Stats returns the requests served and real payload bytes moved each way.
+func (s *BaseServer) Stats() (requests, bytesIn, bytesOut int64) {
+	return s.requests.Load(), s.bytesIn.Load(), s.bytesOut.Load()
+}
+
+func (s *BaseServer) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case r := <-s.req:
+			s.requests.Add(1)
+			s.bytesIn.Add(int64(len(r.payload)))
+			resp, mobileFacing := s.handle(r.payload)
+			s.bytesOut.Add(int64(len(resp)))
+			if n := s.dropEveryNth; n > 0 && mobileFacing && s.respCount.Add(1)%n == 0 {
+				// Fault injection: the response is lost on the wireless
+				// link; the client times out and retries. Only
+				// mobile-facing responses traverse that link.
+				r.reply <- nil
+				continue
+			}
+			r.reply <- resp
+		}
+	}
+}
+
+// call performs one round trip; it serializes on the server goroutine.
+func (s *BaseServer) call(req wireReq) (*wireResp, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: encode request: %w", err)
+	}
+	r := rpc{payload: payload, reply: make(chan []byte, 1)}
+	select {
+	case s.req <- r:
+	case <-s.stop:
+		return nil, ErrServerClosed
+	}
+	raw := <-r.reply
+	if raw == nil {
+		return nil, errResponseLost
+	}
+	var resp wireResp
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("replica: decode response: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("replica: server: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// handle processes one request payload and reports whether the response
+// traverses the mobile-facing link (fault injection only applies there).
+func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
+	var req wireReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return mustResp(wireResp{Err: fmt.Sprintf("bad request: %v", err)}), false
+	}
+	switch req.Kind {
+	case reqCheckout:
+		ck := s.b.CheckoutReplica(req.MobileID)
+		return mustResp(wireResp{Window: ck.WindowID, Pos: ck.Pos, Origin: ck.Origin}), true
+	case reqExecBase:
+		t, err := tx.UnmarshalTransaction(req.Txn)
+		if err != nil {
+			return mustResp(wireResp{Err: err.Error()}), false
+		}
+		if err := s.b.ExecBase(t); err != nil {
+			return mustResp(wireResp{Err: err.Error()}), false
+		}
+		return mustResp(wireResp{}), false
+	case reqMerge, reqReprocess:
+		// Exactly-once: a retry of an applied reconnect replays the cached
+		// response instead of merging the same journal twice.
+		if prev, ok := s.applied[req.MobileID]; ok && prev.seq == req.Seq {
+			return prev.resp, true
+		}
+		recs, err := wal.ReadAll(bytes.NewReader(req.Journal))
+		if err != nil {
+			return mustResp(wireResp{Err: err.Error()}), true
+		}
+		rep, err := wal.Replay(recs)
+		if err != nil {
+			return mustResp(wireResp{Err: err.Error()}), true
+		}
+		var out *ConnectOutcome
+		if req.Kind == reqReprocess {
+			out = s.b.Reprocess(rep.Augmented)
+		} else {
+			ck := Checkout{
+				MobileID: req.MobileID,
+				WindowID: rep.WindowID,
+				Pos:      rep.Pos,
+				Origin:   rep.Origin,
+			}
+			out, err = s.b.Merge(ck, rep.Augmented)
+			if err != nil {
+				return mustResp(wireResp{Err: err.Error()}), true
+			}
+		}
+		resp := wireResp{
+			Merged:   out.Merged,
+			Fallback: string(out.Fallback),
+			Saved:    out.Saved,
+			Reproc:   out.Reprocessed,
+			Failed:   out.Failed,
+		}
+		if out.Report != nil {
+			resp.BadIDs = out.Report.BadIDs
+		}
+		encoded := mustResp(resp)
+		s.applied[req.MobileID] = appliedReq{seq: req.Seq, resp: encoded}
+		return encoded, true
+	default:
+		return mustResp(wireResp{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}), false
+	}
+}
+
+func mustResp(r wireResp) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("replica: encode response: %v", err))
+	}
+	return b
+}
+
+// Client is a mobile node that talks to the base tier only through the
+// message channel: checkout, merge and reprocess all travel as serialized
+// payloads. Reconnects carry a sequence number and retry on lost
+// responses; the server's dedup cache makes them exactly-once.
+type Client struct {
+	node *MobileNode
+	srv  *BaseServer
+	seq  int64
+	// MaxRetries bounds reconnect retries on lost responses (default 3).
+	MaxRetries int
+}
+
+// Dial checks out a replica from the server and returns the connected
+// client.
+func Dial(id string, srv *BaseServer) (*Client, error) {
+	c := &Client{srv: srv, node: &MobileNode{ID: id}}
+	if err := c.checkout(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// checkout refreshes the client's replica over the wire, retrying lost
+// responses (checkouts are read-only, hence idempotent).
+func (c *Client) checkout() error {
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 3
+	}
+	var (
+		resp *wireResp
+		err  error
+	)
+	for attempt := 0; ; attempt++ {
+		resp, err = c.srv.call(wireReq{Kind: reqCheckout, MobileID: c.node.ID})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, errResponseLost) || attempt >= retries {
+			return err
+		}
+	}
+	c.node.ck = Checkout{
+		MobileID: c.node.ID,
+		WindowID: resp.Window,
+		Pos:      resp.Pos,
+		Origin:   model.StateOf(resp.Origin),
+	}
+	c.node.local = c.node.ck.Origin.Clone()
+	c.node.hist = &history.History{}
+	c.node.states = []model.State{c.node.ck.Origin.Clone()}
+	c.node.effects = nil
+	c.node.journal = nil
+	return nil
+}
+
+// Run executes a tentative transaction locally (no communication).
+func (c *Client) Run(t *tx.Transaction) error { return c.node.Run(t) }
+
+// Local returns the client's tentative state.
+func (c *Client) Local() model.State { return c.node.Local() }
+
+// Pending returns the number of unreconciled tentative transactions.
+func (c *Client) Pending() int { return c.node.Pending() }
+
+// marshalJournal serializes the node's whole period as wal records — the
+// payload a reconnect ships.
+func (c *Client) marshalJournal() ([]byte, error) {
+	var buf bytes.Buffer
+	w := wal.NewWriter(&buf)
+	if err := w.Checkout(c.node.ck.WindowID, c.node.ck.Pos, c.node.ck.Origin); err != nil {
+		return nil, err
+	}
+	for i := 0; i < c.node.hist.Len(); i++ {
+		if err := w.LogTxn(c.node.hist.Txn(i), c.node.effects[i]); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// connect performs a reconcile round trip of the given kind, retrying on
+// lost responses (the sequence number makes retries exactly-once), then
+// re-checks out.
+func (c *Client) connect(kind reqKind) (*ConnectOutcome, error) {
+	journal, err := c.marshalJournal()
+	if err != nil {
+		return nil, err
+	}
+	c.seq++
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 3
+	}
+	var resp *wireResp
+	for attempt := 0; ; attempt++ {
+		resp, err = c.srv.call(wireReq{
+			Kind: kind, MobileID: c.node.ID, Seq: c.seq, Journal: journal,
+		})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, errResponseLost) || attempt >= retries {
+			return nil, err
+		}
+	}
+	out := &ConnectOutcome{
+		Merged:      resp.Merged,
+		Fallback:    FallbackReason(resp.Fallback),
+		BadIDs:      resp.BadIDs,
+		Saved:       resp.Saved,
+		Reprocessed: resp.Reproc,
+		Failed:      resp.Failed,
+	}
+	if err := c.checkout(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ConnectMerge reconciles via the merging protocol over the wire.
+func (c *Client) ConnectMerge() (*ConnectOutcome, error) { return c.connect(reqMerge) }
+
+// ConnectReprocess reconciles via the reprocessing protocol over the wire.
+func (c *Client) ConnectReprocess() (*ConnectOutcome, error) { return c.connect(reqReprocess) }
+
+// ExecBaseRemote submits a base transaction over the wire (for tests and
+// tools that drive everything through the server).
+func (s *BaseServer) ExecBaseRemote(t *tx.Transaction) error {
+	code, err := tx.MarshalTransaction(t)
+	if err != nil {
+		return err
+	}
+	_, err = s.call(wireReq{Kind: reqExecBase, Txn: code})
+	return err
+}

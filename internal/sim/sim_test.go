@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"testing"
+
+	"tiermerge/internal/replica"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	sc := Scenario{Seed: 1, Mobiles: 3, Rounds: 2, TxnsPerRound: 4}
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.FinalMaster.Equal(r2.FinalMaster) {
+		t.Error("serial runs with the same seed diverged")
+	}
+	if r1.Counts != r2.Counts {
+		t.Errorf("counters diverged:\n%+v\n%+v", r1.Counts, r2.Counts)
+	}
+	if r1.TentativeRun != 3*2*4 {
+		t.Errorf("tentative run = %d, want 24", r1.TentativeRun)
+	}
+}
+
+func TestMergingReducesReprocessing(t *testing.T) {
+	base := Scenario{Seed: 7, Mobiles: 6, Rounds: 3, TxnsPerRound: 6, Items: 128}
+	mergeSc := base
+	mergeSc.Protocol = Merging
+	reprSc := base
+	reprSc.Protocol = Reprocessing
+
+	mr, err := Run(mergeSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Run(reprSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Counts.TxnsReprocessed != rr.TentativeRun {
+		t.Errorf("reprocessing re-executed %d of %d", rr.Counts.TxnsReprocessed, rr.TentativeRun)
+	}
+	if mr.Counts.TxnsReprocessed >= rr.Counts.TxnsReprocessed {
+		t.Errorf("merging reprocessed %d, reprocessing %d — merging must reprocess fewer",
+			mr.Counts.TxnsReprocessed, rr.Counts.TxnsReprocessed)
+	}
+	if mr.Counts.TxnsSaved == 0 {
+		t.Error("merging saved nothing")
+	}
+	if mr.Counts.TxnsSaved+mr.Counts.TxnsBackedOut != mr.TentativeRun {
+		t.Errorf("saved %d + backed out %d != run %d",
+			mr.Counts.TxnsSaved, mr.Counts.TxnsBackedOut, mr.TentativeRun)
+	}
+	// The headline claim: base-tier compute cost shrinks under merging.
+	if mr.Cost.BaseCompute >= rr.Cost.BaseCompute {
+		t.Errorf("merging base cost %d >= reprocessing %d",
+			mr.Cost.BaseCompute, rr.Cost.BaseCompute)
+	}
+}
+
+func TestStrategy1ProducesFallbacks(t *testing.T) {
+	base := Scenario{Seed: 3, Mobiles: 6, Rounds: 3, TxnsPerRound: 4, Items: 32}
+	s1 := base
+	s1.Origin = replica.Strategy1
+	s2 := base
+	s2.Origin = replica.Strategy2
+
+	r1, err := Run(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Counts.MergeFallbacks == 0 {
+		t.Error("Strategy 1 produced no merge fallbacks; anomaly not exercised")
+	}
+	if r2.Counts.MergeFallbacks != 0 {
+		t.Errorf("Strategy 2 produced %d fallbacks, want 0", r2.Counts.MergeFallbacks)
+	}
+}
+
+func TestWindowAdvancementBoundsHistory(t *testing.T) {
+	noWin := Scenario{Seed: 5, Mobiles: 4, Rounds: 6, TxnsPerRound: 4, Items: 48}
+	withWin := noWin
+	withWin.WindowEveryRounds = 2
+
+	rNo, err := Run(noWin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWin, err := Run(withWin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windowed runs re-anchor origins, so merges compare against shorter
+	// base histories: fewer graph operations at the base.
+	if rWin.Counts.BaseGraphOps >= rNo.Counts.BaseGraphOps {
+		t.Errorf("windowed graph ops %d >= unwindowed %d",
+			rWin.Counts.BaseGraphOps, rNo.Counts.BaseGraphOps)
+	}
+	// Nothing is lost: every tentative transaction is accounted for.
+	for _, r := range []*Result{rNo, rWin} {
+		if r.Counts.TxnsSaved+r.Counts.TxnsBackedOut+r.Counts.TxnsReprocessed < r.TentativeRun {
+			t.Errorf("transactions unaccounted: %+v run=%d", r.Counts, r.TentativeRun)
+		}
+	}
+}
+
+func TestConcurrentRunCompletes(t *testing.T) {
+	sc := Scenario{
+		Seed: 9, Mobiles: 8, Rounds: 3, TxnsPerRound: 5, Items: 64,
+		Concurrent: true,
+	}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TentativeRun != 8*3*5 {
+		t.Errorf("tentative run = %d, want 120", r.TentativeRun)
+	}
+	if r.Counts.TxnsSaved+r.Counts.TxnsBackedOut != r.TentativeRun {
+		t.Errorf("saved %d + backed out %d != run %d",
+			r.Counts.TxnsSaved, r.Counts.TxnsBackedOut, r.TentativeRun)
+	}
+	if r.Counts.MergesPerformed == 0 {
+		t.Error("no merges performed")
+	}
+}
+
+func TestConcurrentReprocessing(t *testing.T) {
+	sc := Scenario{
+		Seed: 11, Mobiles: 6, Rounds: 2, TxnsPerRound: 4,
+		Protocol: Reprocessing, Concurrent: true,
+	}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.TxnsReprocessed != r.TentativeRun {
+		t.Errorf("reprocessed %d of %d", r.Counts.TxnsReprocessed, r.TentativeRun)
+	}
+}
+
+// TestCrashInjectionRecoversFromJournals: crashed mobiles reconcile via
+// WAL recovery; no tentative work is lost or double-counted.
+func TestCrashInjectionRecoversFromJournals(t *testing.T) {
+	sc := Scenario{
+		Seed: 13, Mobiles: 5, Rounds: 4, TxnsPerRound: 4, Items: 64,
+		PCrash: 0.5,
+	}
+	r, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Crashes == 0 {
+		t.Fatal("no crashes injected at PCrash=0.5")
+	}
+	if r.TentativeRun != 5*4*4 {
+		t.Errorf("tentative run = %d, want 80", r.TentativeRun)
+	}
+	if r.Counts.TxnsSaved+r.Counts.TxnsBackedOut != r.TentativeRun {
+		t.Errorf("accounting broken: saved %d + backed out %d != %d",
+			r.Counts.TxnsSaved, r.Counts.TxnsBackedOut, r.TentativeRun)
+	}
+	// Determinism holds with crash injection too.
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FinalMaster.Equal(r2.FinalMaster) || r.Crashes != r2.Crashes {
+		t.Error("crash-injected runs diverged across identical seeds")
+	}
+}
+
+// TestAcceptancePlumbsThroughScenario: a strict criterion turns conflicted
+// re-executions into reported failures.
+func TestAcceptancePlumbsThroughScenario(t *testing.T) {
+	base := Scenario{Seed: 17, Mobiles: 4, Rounds: 3, TxnsPerRound: 5, Items: 16}
+	lax, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictSc := base
+	strictSc.Acceptance = replica.AcceptSameWrites
+	strict, err := Run(strictSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.FailedReexecutions <= lax.FailedReexecutions {
+		t.Errorf("strict acceptance failed %d <= lax %d",
+			strict.FailedReexecutions, lax.FailedReexecutions)
+	}
+}
+
+// TestHotSkewRaisesConflicts: concentrating accesses on a hot set must
+// increase back-outs relative to a uniform workload.
+func TestHotSkewRaisesConflicts(t *testing.T) {
+	uniform := Scenario{Seed: 23, Mobiles: 6, Rounds: 3, TxnsPerRound: 5, Items: 256}
+	skewed := uniform
+	skewed.HotItems = 4
+	skewed.PHot = 0.9
+	ru, err := Run(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Counts.TxnsBackedOut <= ru.Counts.TxnsBackedOut {
+		t.Errorf("skewed back-outs %d <= uniform %d",
+			rs.Counts.TxnsBackedOut, ru.Counts.TxnsBackedOut)
+	}
+}
+
+// TestMessagePassingMode drives the fleet through the server channel and
+// checks accounting plus real wire traffic.
+func TestMessagePassingMode(t *testing.T) {
+	r, err := Run(Scenario{
+		Seed: 29, Mobiles: 6, Rounds: 3, TxnsPerRound: 4, Items: 64,
+		MessagePassing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TentativeRun != 6*3*4 {
+		t.Errorf("tentative run = %d, want 72", r.TentativeRun)
+	}
+	if r.Counts.TxnsSaved+r.Counts.TxnsBackedOut != r.TentativeRun {
+		t.Errorf("accounting: saved %d + backedout %d != %d",
+			r.Counts.TxnsSaved, r.Counts.TxnsBackedOut, r.TentativeRun)
+	}
+	if r.WireRequests == 0 || r.WireBytes == 0 {
+		t.Errorf("no wire traffic recorded: reqs=%d bytes=%d", r.WireRequests, r.WireBytes)
+	}
+	// Real wire bytes should be the same order of magnitude as the modeled
+	// communication bytes (both count journals/updates/results).
+	if r.WireBytes < r.Counts.Bytes/10 || r.WireBytes > r.Counts.Bytes*50 {
+		t.Errorf("wire bytes %d wildly off modeled %d", r.WireBytes, r.Counts.Bytes)
+	}
+}
+
+// TestSkipConnectAccumulatesHistory: offline rounds pile work into bigger
+// merges but nothing is lost by the end.
+func TestSkipConnectAccumulatesHistory(t *testing.T) {
+	base := Scenario{Seed: 31, Mobiles: 4, Rounds: 5, TxnsPerRound: 4, Items: 64}
+	skip := base
+	skip.PSkipConnect = 0.6
+	rb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(skip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Counts.MergesPerformed >= rb.Counts.MergesPerformed {
+		t.Errorf("skipping produced %d merges, baseline %d — expected fewer, bigger merges",
+			rs.Counts.MergesPerformed, rb.Counts.MergesPerformed)
+	}
+	for _, r := range []*Result{rb, rs} {
+		if r.Counts.TxnsSaved+r.Counts.TxnsBackedOut != r.TentativeRun {
+			t.Errorf("accounting broken: %+v vs run %d", r.Counts, r.TentativeRun)
+		}
+	}
+}
+
+// TestMessagePassingWithLoss: a lossy transport (every 5th response
+// dropped) still reconciles every transaction exactly once.
+func TestMessagePassingWithLoss(t *testing.T) {
+	r, err := Run(Scenario{
+		Seed: 37, Mobiles: 4, Rounds: 3, TxnsPerRound: 4, Items: 64,
+		MessagePassing: true, DropEveryNth: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.TxnsSaved+r.Counts.TxnsBackedOut != r.TentativeRun {
+		t.Errorf("loss broke exactly-once accounting: saved %d + backedout %d != %d",
+			r.Counts.TxnsSaved, r.Counts.TxnsBackedOut, r.TentativeRun)
+	}
+}

@@ -1,0 +1,213 @@
+package tx
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tiermerge/internal/expr"
+	"tiermerge/internal/model"
+)
+
+func TestInvertAdditive(t *testing.T) {
+	tr := MustNew("T1", Tentative,
+		Update("x", expr.Add(expr.Var("x"), expr.Param("amt"))),
+		Update("y", expr.Sub(expr.Var("y"), expr.Const(5))),
+	).WithParams(map[string]model.Value{"amt": 30})
+	inv, err := Invert(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := model.StateOf(map[model.Item]model.Value{"x": 100, "y": 50})
+	s1, _, err := tr.Exec(s0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := inv.Exec(s1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Equal(s0) {
+		t.Errorf("T⁻¹(T(s)) = %s, want %s", s2, s0)
+	}
+}
+
+func TestInvertChainedUpdates(t *testing.T) {
+	// The second update's delta reads the first update's target; reverse-
+	// order inversion must still restore the state exactly.
+	tr := MustNew("T1", Tentative,
+		Update("x", expr.Add(expr.Var("x"), expr.Const(10))),
+		Update("y", expr.Add(expr.Var("y"), expr.Var("x"))), // reads post-update x
+	)
+	inv, err := Invert(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := model.StateOf(map[model.Item]model.Value{"x": 1, "y": 2})
+	s1, _, err := tr.Exec(s0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y += (1+10) => y=13, x=11
+	if s1.Get("y") != 13 {
+		t.Fatalf("setup: y = %d, want 13", s1.Get("y"))
+	}
+	s2, _, err := inv.Exec(s1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Equal(s0) {
+		t.Errorf("T⁻¹(T(s)) = %s, want %s", s2, s0)
+	}
+}
+
+func TestInvertConditional(t *testing.T) {
+	// Condition reads u, which the transaction does not write: invertible.
+	tr := MustNew("B1", Tentative,
+		If(expr.GT(expr.Var("u"), expr.Const(10)),
+			Update("x", expr.Add(expr.Var("x"), expr.Const(100))),
+			Update("y", expr.Sub(expr.Var("y"), expr.Const(20))),
+		),
+	)
+	inv, err := Invert(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []model.Value{0, 11, 30} {
+		s0 := model.StateOf(map[model.Item]model.Value{"u": u, "x": 1, "y": 2})
+		s1, _, err := tr.Exec(s0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _, err := inv.Exec(s1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s2.Equal(s0) {
+			t.Errorf("u=%d: T⁻¹(T(s)) = %s, want %s", u, s2, s0)
+		}
+	}
+}
+
+func TestInvertRejectsConditionOnWrittenItem(t *testing.T) {
+	tr := MustNew("T1", Tentative,
+		Update("x", expr.Add(expr.Var("x"), expr.Const(1))),
+		If(expr.GT(expr.Var("x"), expr.Const(0)),
+			Update("y", expr.Add(expr.Var("y"), expr.Const(1))),
+		),
+	)
+	_, err := Invert(tr)
+	var nie *NotInvertibleError
+	if !errors.As(err, &nie) {
+		t.Fatalf("got %v, want NotInvertibleError", err)
+	}
+}
+
+func TestInvertRejectsNonAdditive(t *testing.T) {
+	for _, tr := range []*Transaction{
+		MustNew("assign", Tentative, Update("x", expr.Const(5))),
+		MustNew("other", Tentative, Update("x", expr.Bin(expr.OpMax, expr.Var("x"), expr.Const(0)))),
+		MustNew("blind", Tentative, Assign("x", expr.Const(5))),
+		MustNew("mul3", Tentative, Update("x", expr.Mul(expr.Var("x"), expr.Const(3)))),
+	} {
+		if _, err := Invert(tr); err == nil {
+			t.Errorf("%s: expected NotInvertibleError", tr.ID)
+		}
+		if Invertible(tr) {
+			t.Errorf("%s: Invertible = true", tr.ID)
+		}
+	}
+}
+
+func TestInvertMultiplicativeUnit(t *testing.T) {
+	tr := MustNew("neg", Tentative, Update("x", expr.Mul(expr.Var("x"), expr.Const(-1))))
+	inv, err := Invert(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := model.StateOf(map[model.Item]model.Value{"x": 17})
+	s1, _, _ := tr.Exec(s0, nil)
+	s2, _, _ := inv.Exec(s1, nil)
+	if !s2.Equal(s0) {
+		t.Errorf("negate⁻¹(negate(s)) = %s, want %s", s2, s0)
+	}
+}
+
+func TestInvertExplicitBody(t *testing.T) {
+	// setprice is not syntactically invertible, but a canned system can
+	// register an explicit compensator (here: restore from a saved item).
+	tr := MustNew("T1", Tentative, Update("x", expr.Const(42))).
+		WithInverse(Update("x", expr.Param("old"))).
+		WithParams(map[string]model.Value{"old": 7})
+	inv, err := Invert(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := model.StateOf(map[model.Item]model.Value{"x": 7})
+	s1, _, _ := tr.Exec(s0, nil)
+	s2, _, err := inv.Exec(s1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Equal(s0) {
+		t.Errorf("explicit compensator = %s, want %s", s2, s0)
+	}
+}
+
+// TestLemma4FixedCompensation checks Lemma 4: for every consistent state on
+// which T^F is defined, T^(-1,F)(T^F(s)) = s, provided F ∩ writeset = ∅.
+// The fixed compensating transaction is Invert(T) executed with the same
+// fix.
+func TestLemma4FixedCompensation(t *testing.T) {
+	tr := MustNew("B1", Tentative,
+		If(expr.GT(expr.Var("u"), expr.Const(10)),
+			Update("x", expr.Add(expr.Var("x"), expr.Add(expr.Var("u"), expr.Const(100)))),
+			Update("y", expr.Sub(expr.Var("y"), expr.Var("v"))),
+		),
+	)
+	inv, err := Invert(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s := model.StateOf(map[model.Item]model.Value{
+			"u": model.Value(rng.Int63n(200) - 100),
+			"v": model.Value(rng.Int63n(200) - 100),
+			"x": model.Value(rng.Int63n(200) - 100),
+			"y": model.Value(rng.Int63n(200) - 100),
+		})
+		// Random fix over read-only items (F ∩ writeset = ∅).
+		fix := Fix{}
+		if rng.Intn(2) == 0 {
+			fix["u"] = model.Value(rng.Int63n(200) - 100)
+		}
+		if rng.Intn(2) == 0 {
+			fix["v"] = model.Value(rng.Int63n(200) - 100)
+		}
+		s1, _, err := tr.Exec(s, fix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _, err := inv.Exec(s1, fix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s2.Equal(s) {
+			t.Fatalf("iteration %d: T^(-1,F)(T^F(s)) = %s, want %s (fix %s)", i, s2, s, fix)
+		}
+	}
+}
+
+func TestInvertPreservesOriginal(t *testing.T) {
+	tr := MustNew("T1", Tentative, Update("x", expr.Add(expr.Var("x"), expr.Const(1))))
+	if _, err := Invert(tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Body) != 1 {
+		t.Error("Invert mutated the original body")
+	}
+	if got := tr.Body[0].String(); got != "x := (x + 1)" {
+		t.Errorf("body = %q", got)
+	}
+}

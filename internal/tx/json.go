@@ -1,0 +1,218 @@
+package tx
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tiermerge/internal/expr"
+	"tiermerge/internal/model"
+)
+
+// Wire format for statements and whole transactions, layered on the expr
+// wire format:
+//
+//	{"read": "x"}
+//	{"update": {"item": "x", "expr": E}}
+//	{"assign": {"item": "x", "expr": E}}
+//	{"if": {"cond": P, "then": [S...], "else": [S...]}}
+//
+//	{"id": "...", "type": "...", "kind": "tentative"|"base",
+//	 "params": {...}, "body": [S...], "inverse": [S...]}
+//
+// The write-ahead log stores transactions in this form (non-canned systems
+// record transaction code in the log, Section 5.1), and the cost model can
+// measure real shipped-code sizes from it.
+
+type wireUpdate struct {
+	Item model.Item      `json:"item"`
+	Expr json.RawMessage `json:"expr"`
+}
+
+type wireIf struct {
+	Cond json.RawMessage   `json:"cond"`
+	Then []json.RawMessage `json:"then,omitempty"`
+	Else []json.RawMessage `json:"else,omitempty"`
+}
+
+type wireStmt struct {
+	Read   *model.Item `json:"read,omitempty"`
+	Update *wireUpdate `json:"update,omitempty"`
+	Assign *wireUpdate `json:"assign,omitempty"`
+	If     *wireIf     `json:"if,omitempty"`
+}
+
+// MarshalStmt encodes one statement.
+func MarshalStmt(s Stmt) ([]byte, error) {
+	switch st := s.(type) {
+	case *ReadStmt:
+		it := st.Item
+		return json.Marshal(wireStmt{Read: &it})
+	case *UpdateStmt:
+		e, err := expr.MarshalExpr(st.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(wireStmt{Update: &wireUpdate{Item: st.Item, Expr: e}})
+	case *AssignStmt:
+		e, err := expr.MarshalExpr(st.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(wireStmt{Assign: &wireUpdate{Item: st.Item, Expr: e}})
+	case *IfStmt:
+		cond, err := expr.MarshalPred(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		w := &wireIf{Cond: cond}
+		for _, inner := range st.Then {
+			b, err := MarshalStmt(inner)
+			if err != nil {
+				return nil, err
+			}
+			w.Then = append(w.Then, b)
+		}
+		for _, inner := range st.Else {
+			b, err := MarshalStmt(inner)
+			if err != nil {
+				return nil, err
+			}
+			w.Else = append(w.Else, b)
+		}
+		return json.Marshal(wireStmt{If: w})
+	default:
+		return nil, fmt.Errorf("tx: cannot encode statement %T", s)
+	}
+}
+
+// UnmarshalStmt decodes one statement.
+func UnmarshalStmt(data []byte) (Stmt, error) {
+	var w wireStmt
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("tx: decode statement: %w", err)
+	}
+	switch {
+	case w.Read != nil:
+		return Read(*w.Read), nil
+	case w.Update != nil:
+		e, err := expr.UnmarshalExpr(w.Update.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return Update(w.Update.Item, e), nil
+	case w.Assign != nil:
+		e, err := expr.UnmarshalExpr(w.Assign.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return Assign(w.Assign.Item, e), nil
+	case w.If != nil:
+		cond, err := expr.UnmarshalPred(w.If.Cond)
+		if err != nil {
+			return nil, err
+		}
+		var thenB, elseB []Stmt
+		for _, b := range w.If.Then {
+			s, err := UnmarshalStmt(b)
+			if err != nil {
+				return nil, err
+			}
+			thenB = append(thenB, s)
+		}
+		for _, b := range w.If.Else {
+			s, err := UnmarshalStmt(b)
+			if err != nil {
+				return nil, err
+			}
+			elseB = append(elseB, s)
+		}
+		return IfElse(cond, thenB, elseB), nil
+	default:
+		return nil, fmt.Errorf("tx: empty statement object")
+	}
+}
+
+type wireTxn struct {
+	ID      string                 `json:"id"`
+	Type    string                 `json:"type,omitempty"`
+	Kind    string                 `json:"kind"`
+	Params  map[string]model.Value `json:"params,omitempty"`
+	Body    []json.RawMessage      `json:"body"`
+	Inverse []json.RawMessage      `json:"inverse,omitempty"`
+}
+
+// MarshalTransaction encodes a full transaction (profile, parameters and
+// any explicit compensator).
+func MarshalTransaction(t *Transaction) ([]byte, error) {
+	w := wireTxn{ID: t.ID, Type: t.Type, Params: t.Params}
+	switch t.Kind {
+	case Tentative:
+		w.Kind = "tentative"
+	case Base:
+		w.Kind = "base"
+	default:
+		return nil, fmt.Errorf("tx: cannot encode kind %v", t.Kind)
+	}
+	for _, s := range t.Body {
+		b, err := MarshalStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		w.Body = append(w.Body, b)
+	}
+	for _, s := range t.InverseBody {
+		b, err := MarshalStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		w.Inverse = append(w.Inverse, b)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalTransaction decodes a transaction and re-validates it against
+// the profile assumptions.
+func UnmarshalTransaction(data []byte) (*Transaction, error) {
+	var w wireTxn
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("tx: decode transaction: %w", err)
+	}
+	t := &Transaction{ID: w.ID, Type: w.Type, Params: w.Params}
+	switch w.Kind {
+	case "tentative":
+		t.Kind = Tentative
+	case "base":
+		t.Kind = Base
+	default:
+		return nil, fmt.Errorf("tx: unknown kind %q", w.Kind)
+	}
+	for _, b := range w.Body {
+		s, err := UnmarshalStmt(b)
+		if err != nil {
+			return nil, err
+		}
+		t.Body = append(t.Body, s)
+	}
+	for _, b := range w.Inverse {
+		s, err := UnmarshalStmt(b)
+		if err != nil {
+			return nil, err
+		}
+		t.InverseBody = append(t.InverseBody, s)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("tx: decoded transaction invalid: %w", err)
+	}
+	return t, nil
+}
+
+// EncodedSize returns the number of bytes of the transaction's wire form —
+// the real "code + arguments" payload the reprocessing protocol ships
+// (Section 7.1).
+func EncodedSize(t *Transaction) (int, error) {
+	b, err := MarshalTransaction(t)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}

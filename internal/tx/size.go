@@ -1,0 +1,21 @@
+package tx
+
+// StmtCount returns the total number of statements in the profile, counting
+// both branches of every conditional (the code-shipping size used by the
+// Section 7.1 communication-cost model).
+func (t *Transaction) StmtCount() int { return countStmts(t.Body) }
+
+func countStmts(body []Stmt) int {
+	n := 0
+	for _, s := range body {
+		n++
+		if st, ok := s.(*IfStmt); ok {
+			n += countStmts(st.Then) + countStmts(st.Else)
+		}
+	}
+	return n
+}
+
+// ParamCount returns the number of input arguments bound to the
+// transaction.
+func (t *Transaction) ParamCount() int { return len(t.Params) }

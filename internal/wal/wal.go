@@ -1,0 +1,289 @@
+// Package wal implements the mobile node's write-ahead log. The paper's
+// protocol is log-driven end to end: the precedence graph "can be built by
+// parsing the log for Hm and the log for Hb ... if read operations (or read
+// sets) are recorded in the log" (Section 7.1), the undo approach restores
+// logged before-images (Section 6.2), and non-canned systems "record the
+// codes of transactions when they are executed" (Section 5.1). This package
+// supplies exactly that log: an append-only JSON-lines journal carrying the
+// checkout origin, full transaction code, read values and write images —
+// enough to reconstruct the tentative history (with effects) after a crash
+// and to verify the replayed execution against the logged one.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"tiermerge/internal/history"
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+)
+
+// ErrCorrupt is wrapped by replay errors caused by a log whose records
+// contradict re-execution (torn writes, bit rot, or a mismatched origin).
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Kind tags a log record.
+type Kind string
+
+// Record kinds.
+const (
+	// KindCheckout opens a journal: the replica origin snapshot and its
+	// position in the base history.
+	KindCheckout Kind = "checkout"
+	// KindBegin carries a transaction's full wire-format code and marks
+	// its start.
+	KindBegin Kind = "begin"
+	// KindRead records one externally read item and the value observed.
+	KindRead Kind = "read"
+	// KindWrite records one updated item with its before- and after-image.
+	KindWrite Kind = "write"
+	// KindCommit seals a transaction; transactions without a commit are
+	// discarded at replay (crash semantics).
+	KindCommit Kind = "commit"
+	// KindWindow marks a base-tier time-window advance (base journals
+	// only): the new window id and its origin snapshot.
+	KindWindow Kind = "window"
+)
+
+// Record is one JSON line of the journal.
+type Record struct {
+	Seq  int64  `json:"seq"`
+	Kind Kind   `json:"kind"`
+	TxID string `json:"tx,omitempty"`
+
+	// KindBegin
+	Txn json.RawMessage `json:"txn,omitempty"`
+
+	// KindRead / KindWrite
+	Item   model.Item  `json:"item,omitempty"`
+	Value  model.Value `json:"value,omitempty"`
+	Before model.Value `json:"before,omitempty"`
+	After  model.Value `json:"after,omitempty"`
+
+	// KindCheckout
+	WindowID int                        `json:"window,omitempty"`
+	Pos      int                        `json:"pos,omitempty"`
+	Origin   map[model.Item]model.Value `json:"origin,omitempty"`
+}
+
+// Writer appends records to a journal stream.
+type Writer struct {
+	enc *json.Encoder
+	seq int64
+}
+
+// NewWriter starts a journal on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{enc: json.NewEncoder(w)}
+}
+
+func (lw *Writer) append(r Record) error {
+	lw.seq++
+	r.Seq = lw.seq
+	if err := lw.enc.Encode(r); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	return nil
+}
+
+// Checkout logs the replica origin the tentative history starts from.
+func (lw *Writer) Checkout(windowID, pos int, origin model.State) error {
+	return lw.append(Record{
+		Kind:     KindCheckout,
+		WindowID: windowID,
+		Pos:      pos,
+		Origin:   origin.Clone(),
+	})
+}
+
+// Window logs a base-tier window advance with the new window's origin.
+func (lw *Writer) Window(windowID int, origin model.State) error {
+	return lw.append(Record{
+		Kind:     KindWindow,
+		WindowID: windowID,
+		Origin:   origin.Clone(),
+	})
+}
+
+// LogTxn journals one executed tentative transaction: begin (with code),
+// every external read value, every write image, commit.
+func (lw *Writer) LogTxn(t *tx.Transaction, eff *tx.Effect) error {
+	code, err := tx.MarshalTransaction(t)
+	if err != nil {
+		return fmt.Errorf("wal: encode %s: %w", t.ID, err)
+	}
+	if err := lw.append(Record{Kind: KindBegin, TxID: t.ID, Txn: code}); err != nil {
+		return err
+	}
+	for _, it := range sortedItems(eff.ReadValues) {
+		if err := lw.append(Record{
+			Kind: KindRead, TxID: t.ID, Item: it, Value: eff.ReadValues[it],
+		}); err != nil {
+			return err
+		}
+	}
+	for _, it := range sortedItems(eff.Writes) {
+		if err := lw.append(Record{
+			Kind: KindWrite, TxID: t.ID, Item: it,
+			Before: eff.Before[it], After: eff.Writes[it],
+		}); err != nil {
+			return err
+		}
+	}
+	return lw.append(Record{Kind: KindCommit, TxID: t.ID})
+}
+
+func sortedItems[V any](m map[model.Item]V) []model.Item {
+	out := make([]model.Item, 0, len(m))
+	for it := range m {
+		out = append(out, it)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ReadAll decodes every record of a journal stream.
+func ReadAll(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A torn final line is expected crash damage: stop there.
+			if line > 0 {
+				break
+			}
+			return nil, fmt.Errorf("wal: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wal: scan: %w", err)
+	}
+	return out, nil
+}
+
+// Replayed is a tentative run reconstructed from a journal.
+type Replayed struct {
+	WindowID  int
+	Pos       int
+	Origin    model.State
+	Augmented *history.Augmented
+	// Dropped counts trailing uncommitted transactions discarded at
+	// replay (crash semantics).
+	Dropped int
+}
+
+// Replay rebuilds the tentative history from journal records: it decodes
+// the checkout origin and every committed transaction's code, re-executes
+// the history serially and cross-checks each transaction's logged read
+// values and write images against the replayed effects. A mismatch means
+// the log and the code disagree — the log is corrupt.
+func Replay(records []Record) (*Replayed, error) {
+	if len(records) == 0 || records[0].Kind != KindCheckout {
+		return nil, fmt.Errorf("%w: journal must start with a checkout record", ErrCorrupt)
+	}
+	rep := &Replayed{
+		WindowID: records[0].WindowID,
+		Pos:      records[0].Pos,
+		Origin:   model.StateOf(records[0].Origin),
+	}
+
+	type pending struct {
+		t      *tx.Transaction
+		reads  map[model.Item]model.Value
+		writes map[model.Item]model.Value
+	}
+	var (
+		cur       *pending
+		committed []*pending
+	)
+	for _, rec := range records[1:] {
+		switch rec.Kind {
+		case KindBegin:
+			if cur != nil {
+				// begin without commit: the previous transaction tore
+				return nil, fmt.Errorf("%w: begin %s while %s uncommitted",
+					ErrCorrupt, rec.TxID, cur.t.ID)
+			}
+			t, err := tx.UnmarshalTransaction(rec.Txn)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			cur = &pending{
+				t:      t,
+				reads:  make(map[model.Item]model.Value),
+				writes: make(map[model.Item]model.Value),
+			}
+		case KindRead:
+			if cur == nil || cur.t.ID != rec.TxID {
+				return nil, fmt.Errorf("%w: stray read record for %s", ErrCorrupt, rec.TxID)
+			}
+			cur.reads[rec.Item] = rec.Value
+		case KindWrite:
+			if cur == nil || cur.t.ID != rec.TxID {
+				return nil, fmt.Errorf("%w: stray write record for %s", ErrCorrupt, rec.TxID)
+			}
+			cur.writes[rec.Item] = rec.After
+		case KindCommit:
+			if cur == nil || cur.t.ID != rec.TxID {
+				return nil, fmt.Errorf("%w: stray commit record for %s", ErrCorrupt, rec.TxID)
+			}
+			committed = append(committed, cur)
+			cur = nil
+		case KindCheckout:
+			return nil, fmt.Errorf("%w: duplicate checkout record", ErrCorrupt)
+		default:
+			return nil, fmt.Errorf("%w: unknown record kind %q", ErrCorrupt, rec.Kind)
+		}
+	}
+	if cur != nil {
+		rep.Dropped++ // trailing uncommitted transaction: crash victim
+	}
+
+	h := &history.History{}
+	for _, p := range committed {
+		h.Append(p.t)
+	}
+	aug, err := history.Run(h, rep.Origin)
+	if err != nil {
+		return nil, fmt.Errorf("%w: replay execution: %v", ErrCorrupt, err)
+	}
+	// Integrity check: replayed effects must reproduce the journal.
+	for i, p := range committed {
+		eff := aug.Effects[i]
+		for it, v := range p.reads {
+			if got, ok := eff.ReadValues[it]; !ok || got != v {
+				return nil, fmt.Errorf("%w: %s read %s: logged %d, replayed %d",
+					ErrCorrupt, p.t.ID, it, v, got)
+			}
+		}
+		if len(p.writes) != len(eff.Writes) {
+			return nil, fmt.Errorf("%w: %s wrote %d items, journal has %d",
+				ErrCorrupt, p.t.ID, len(eff.Writes), len(p.writes))
+		}
+		for it, v := range p.writes {
+			if got := eff.Writes[it]; got != v {
+				return nil, fmt.Errorf("%w: %s wrote %s: logged %d, replayed %d",
+					ErrCorrupt, p.t.ID, it, v, got)
+			}
+		}
+	}
+	rep.Augmented = aug
+	return rep, nil
+}

@@ -1,0 +1,115 @@
+// Package workload provides canned transaction types and seeded synthetic
+// workload generators for the experiments. The paper targets "canned
+// systems which are widely used in real applications such as banking
+// systems and airline ticket reservation systems" (Section 5.1): a fixed
+// library of transaction types whose profiles are known in advance, so
+// read sets and can-precede relations can be pre-detected.
+package workload
+
+import (
+	"fmt"
+
+	"tiermerge/internal/expr"
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+)
+
+// Deposit builds a commutative additive transaction: item += amt.
+func Deposit(id string, kind tx.Kind, item model.Item, amt model.Value) *tx.Transaction {
+	t := tx.MustNew(id, kind,
+		tx.Update(item, expr.Add(expr.Var(item), expr.Param("amt"))),
+	).WithType("deposit").WithParams(map[string]model.Value{"amt": amt})
+	return t
+}
+
+// Withdraw builds a commutative additive transaction: item -= amt.
+func Withdraw(id string, kind tx.Kind, item model.Item, amt model.Value) *tx.Transaction {
+	t := tx.MustNew(id, kind,
+		tx.Update(item, expr.Sub(expr.Var(item), expr.Param("amt"))),
+	).WithType("withdraw").WithParams(map[string]model.Value{"amt": amt})
+	return t
+}
+
+// Transfer builds a two-item additive transaction: from -= amt, to += amt.
+func Transfer(id string, kind tx.Kind, from, to model.Item, amt model.Value) *tx.Transaction {
+	t := tx.MustNew(id, kind,
+		tx.Update(from, expr.Sub(expr.Var(from), expr.Param("amt"))),
+		tx.Update(to, expr.Add(expr.Var(to), expr.Param("amt"))),
+	).WithType("transfer").WithParams(map[string]model.Value{"amt": amt})
+	return t
+}
+
+// GuardedTransfer transfers only when the source holds enough funds:
+// if from >= amt then { from -= amt; to += amt }. The branch condition reads
+// the written item, so it is not syntactically invertible and not additive —
+// it exercises the undo path and the conservative side of the can-precede
+// detector.
+func GuardedTransfer(id string, kind tx.Kind, from, to model.Item, amt model.Value) *tx.Transaction {
+	t := tx.MustNew(id, kind,
+		tx.If(expr.GE(expr.Var(from), expr.Param("amt")),
+			tx.Update(from, expr.Sub(expr.Var(from), expr.Param("amt"))),
+			tx.Update(to, expr.Add(expr.Var(to), expr.Param("amt"))),
+		),
+	).WithType("guarded-transfer").WithParams(map[string]model.Value{"amt": amt})
+	return t
+}
+
+// SetPrice overwrites an item with a constant: item := p. The implicit
+// pre-read keeps it blind-write free, but the assignment shape makes it
+// non-commutative and non-invertible (undo path only).
+func SetPrice(id string, kind tx.Kind, item model.Item, p model.Value) *tx.Transaction {
+	t := tx.MustNew(id, kind,
+		tx.Update(item, expr.Param("p")),
+	).WithType("setprice").WithParams(map[string]model.Value{"p": p})
+	return t
+}
+
+// Audit is a read-only transaction over the given items; read-only
+// transactions can follow anything (can-follow property 3).
+func Audit(id string, kind tx.Kind, items ...model.Item) *tx.Transaction {
+	body := make([]tx.Stmt, len(items))
+	for i, it := range items {
+		body[i] = tx.Read(it)
+	}
+	return tx.MustNew(id, kind, body...).WithType("audit")
+}
+
+// Bonus is a conditional additive transaction:
+// if gate > threshold then target += b. Additive on its write target with a
+// general read of gate, which makes its can-precede status depend on whether
+// gate is pinned by a fix — the paper's H4 pattern.
+func Bonus(id string, kind tx.Kind, gate, target model.Item, threshold, b model.Value) *tx.Transaction {
+	t := tx.MustNew(id, kind,
+		tx.If(expr.GT(expr.Var(gate), expr.Param("threshold")),
+			tx.Update(target, expr.Add(expr.Var(target), expr.Param("b"))),
+		),
+	).WithType("bonus").WithParams(map[string]model.Value{"threshold": threshold, "b": b})
+	return t
+}
+
+// AccrueInterest grows an item by a proportional amount:
+// item += item/rate. The delta references the item itself, so the update is
+// neither additive nor multiplicative (ShapeOther): it never commutes and
+// cannot be compensated syntactically.
+func AccrueInterest(id string, kind tx.Kind, item model.Item, rate model.Value) *tx.Transaction {
+	if rate == 0 {
+		rate = 1
+	}
+	t := tx.MustNew(id, kind,
+		tx.Update(item, expr.Add(expr.Var(item), expr.Div(expr.Var(item), expr.Param("rate")))),
+	).WithType("accrue").WithParams(map[string]model.Value{"rate": rate})
+	return t
+}
+
+// Restock raises an item to at least a floor: item := max(item, floor).
+// ShapeOther: order-sensitive against overwrites but idempotent.
+func Restock(id string, kind tx.Kind, item model.Item, floor model.Value) *tx.Transaction {
+	t := tx.MustNew(id, kind,
+		tx.Update(item, expr.Bin(expr.OpMax, expr.Var(item), expr.Param("floor"))),
+	).WithType("restock").WithParams(map[string]model.Value{"floor": floor})
+	return t
+}
+
+// ItemName returns the canonical name of the i-th item of the experiment
+// universe ("d1", "d2", ...), matching the paper's d-items.
+func ItemName(i int) model.Item { return model.Item(fmt.Sprintf("d%d", i+1)) }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full repository verification: build, vet, format check, unit/property
+# tests, experiment regeneration with pass/fail gates, examples and a quick
+# benchmark smoke. CI would run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . | grep -v '^$' || true)
+if [ -n "$unformatted" ]; then
+    echo "unformatted files:" "$unformatted"
+    exit 1
+fi
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== experiments (E0..E11) =="
+go run ./cmd/benchreport > /dev/null
+
+echo "== examples =="
+for ex in quickstart banking inventory fleet offline intrusion; do
+    echo "-- examples/$ex"
+    go run "./examples/$ex" > /dev/null
+done
+
+echo "== scenario files =="
+for f in scenarios/*.txn; do
+    echo "-- $f"
+    go run ./cmd/txrun -file "$f" > /dev/null
+done
+
+echo "== benchmark smoke =="
+go test -run XXX -bench . -benchtime 1x ./... > /dev/null
+
+echo "ALL CHECKS PASSED"
