@@ -138,6 +138,16 @@ func (c *Counts) Add(o Counts) {
 	c.MergeFallbacks += o.MergeFallbacks
 }
 
+// Msg tallies one message of payloadBytes into the counts, applying the
+// per-message overhead of w. It is the lock-free counterpart of
+// Counters.Msg: concurrent protocol phases accumulate their charges into a
+// private Counts delta and merge it into the shared Counters in one Add
+// when they commit.
+func (c *Counts) Msg(w Weights, payloadBytes int64) {
+	c.Messages++
+	c.Bytes += w.MsgOverheadBytes + payloadBytes
+}
+
 // Weighted converts the counts into cost units.
 func (c Counts) Weighted(w Weights) Report {
 	return Report{
@@ -175,8 +185,17 @@ type Counters struct {
 func (c *Counters) Msg(w Weights, payloadBytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.c.Messages++
-	c.c.Bytes += w.MsgOverheadBytes + payloadBytes
+	c.c.Msg(w, payloadBytes)
+}
+
+// Add merges a privately accumulated delta into the counters in one
+// critical section. Concurrent merge preparation charges its work into a
+// local Counts and commits it here at admission, so the hot prepare path
+// never contends on the counter lock.
+func (c *Counters) Add(delta Counts) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.c.Add(delta)
 }
 
 // Update runs f on the underlying counts under the lock; use it for

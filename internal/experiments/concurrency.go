@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tiermerge/internal/cost"
+	"tiermerge/internal/model"
+	"tiermerge/internal/replica"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// E13ConcurrentMerge measures the concurrent merge pipeline: N mobiles
+// reconnect simultaneously on a low-conflict workload, once through the
+// always-serial path (every merge holds the cluster lock end-to-end) and
+// once through the optimistic prepare/admit pipeline. The checks are
+// structural — identical final states, every merge admitted, no fallback
+// storms — because wall-clock ratios vary with the host; the measured
+// columns record them for EXPERIMENTS.md. BenchmarkE13ConcurrentMerge is
+// the timing-grade companion.
+func E13ConcurrentMerge() *Table {
+	t := &Table{
+		ID:    "E13",
+		Title: "Concurrent merge pipeline: simultaneous reconnects, serial vs optimistic",
+		Header: []string{
+			"mobiles", "txns/mobile", "serial ms", "concurrent ms",
+			"speedup", "merges", "fallbacks", "states equal",
+		},
+	}
+	const txns = 24
+	allEqual, allMerged, noFallbacks := true, true, true
+	for _, mobiles := range []int{1, 2, 4, 8} {
+		serMaster, serCounts, serDur := runE13Fleet(mobiles, txns, -1, false)
+		conMaster, conCounts, conDur := runE13Fleet(mobiles, txns, 0, true)
+		equal := serMaster.Equal(conMaster)
+		if !equal {
+			allEqual = false
+		}
+		if serCounts.MergesPerformed != int64(mobiles) || conCounts.MergesPerformed != int64(mobiles) {
+			allMerged = false
+		}
+		if serCounts.MergeFallbacks != 0 || conCounts.MergeFallbacks != 0 {
+			noFallbacks = false
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(mobiles), fmt.Sprint(txns),
+			fmt.Sprintf("%.2f", float64(serDur)/float64(time.Millisecond)),
+			fmt.Sprintf("%.2f", float64(conDur)/float64(time.Millisecond)),
+			fmt.Sprintf("%.2fx", float64(serDur)/float64(conDur)),
+			fmt.Sprint(conCounts.MergesPerformed), fmt.Sprint(conCounts.MergeFallbacks),
+			fmt.Sprint(equal),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"GOMAXPROCS", fmt.Sprint(runtime.GOMAXPROCS(0)), "", "", "", "", "", "",
+	})
+	t.Checks = append(t.Checks,
+		Check{Name: "serial and concurrent pipelines land on identical masters", OK: allEqual},
+		Check{Name: "every reconnect merged (no lost admissions)", OK: allMerged},
+		Check{Name: "low-conflict workload causes no fallbacks", OK: noFallbacks},
+	)
+	return t
+}
+
+// runE13Fleet builds a fresh cluster and n mobiles working disjoint item
+// ranges, reconnects them (concurrently or sequentially), and returns the
+// final master, the counter snapshot, and the wall time of the reconnect
+// phase.
+func runE13Fleet(n, txns, attempts int, concurrent bool) (model.State, cost.Counts, time.Duration) {
+	st := model.State{}
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			st.Set(model.Item(fmt.Sprintf("m%d.i%d", i, k)), 100)
+		}
+	}
+	b := replica.NewBaseCluster(st, replica.Config{MergeAttempts: attempts})
+	nodes := make([]*replica.MobileNode, n)
+	for i := range nodes {
+		nodes[i] = replica.NewMobileNode(fmt.Sprintf("m%d", i), b)
+		for k := 0; k < txns; k++ {
+			it := model.Item(fmt.Sprintf("m%d.i%d", i, k%4))
+			if err := nodes[i].Run(workload.Deposit(fmt.Sprintf("T%d.%d", i, k), tx.Tentative, it, 1)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	start := time.Now()
+	if concurrent {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := range nodes {
+			go func(i int) {
+				defer wg.Done()
+				if _, err := nodes[i].ConnectMerge(b); err != nil {
+					panic(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for _, m := range nodes {
+			if _, err := m.ConnectMerge(b); err != nil {
+				panic(err)
+			}
+		}
+	}
+	dur := time.Since(start)
+	return b.Master(), b.Counters().Snapshot(), dur
+}

@@ -180,7 +180,18 @@ func (s ItemSet) Minus(o ItemSet) ItemSet {
 }
 
 // Disjoint reports whether the sets share no member.
-func (s ItemSet) Disjoint(o ItemSet) bool { return len(s.Intersect(o)) == 0 }
+func (s ItemSet) Disjoint(o ItemSet) bool {
+	small, big := s, o
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for k := range small {
+		if big.Has(k) {
+			return false
+		}
+	}
+	return true
+}
 
 // Clone returns a copy of the set.
 func (s ItemSet) Clone() ItemSet {

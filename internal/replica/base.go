@@ -8,7 +8,6 @@ import (
 	"sync"
 	"tiermerge/internal/cost"
 	"tiermerge/internal/expr"
-	"tiermerge/internal/graph"
 	"tiermerge/internal/history"
 	"tiermerge/internal/lockmgr"
 	"tiermerge/internal/merge"
@@ -44,9 +43,31 @@ type BaseCluster struct {
 	entries      []baseEntry
 	followers    []*follower
 
+	// structVer is bumped whenever the committed prefix of the current
+	// window changes shape other than by appending — interior inserts
+	// (Strategy 1) and window advances. Prepared merges validate against it
+	// at admission: an unchanged structVer means every base state a
+	// snapshot captured is still the state at that history position.
+	structVer int64
+	// prefix caches the materialized augmented view of the current window
+	// so merges stop rebuilding it from scratch (see windowPrefix).
+	prefix prefixCache
+
 	counters cost.Counters
 	seq      int
 	journal  *wal.Writer
+}
+
+// prefixCache incrementally materializes the current window's base history
+// as parallel entry/state/effect slices. The slices are append-only between
+// structVer bumps, so snapshots hand out capped subslices that stay valid
+// and race-free while the cache keeps growing behind them.
+type prefixCache struct {
+	windowID  int
+	structVer int64
+	entries   []history.Entry
+	states    []model.State
+	effects   []*tx.Effect
 }
 
 // NewBaseCluster builds a base cluster over the initial master state.
@@ -102,6 +123,7 @@ func (b *BaseCluster) AdvanceWindow() int {
 	b.windowID++
 	b.windowOrigin = b.master.Clone()
 	b.entries = nil
+	b.structVer++
 	if err := b.logWindow(); err != nil {
 		panic(fmt.Sprintf("replica: base journal failed: %v", err))
 	}
@@ -183,24 +205,44 @@ func (b *BaseCluster) stateAt(pos int) model.State {
 	return b.entries[pos-1].after
 }
 
-// baseAugmented materializes the base sub-history entries[pos:] as an
-// augmented history (the Hb a merge runs against). Caller holds b.mu.
+// windowPrefix returns the current window's base history as capped views
+// into the prefix cache, extending or rebuilding the cache as needed.
+// Caller holds b.mu.
+//
+// The returned slices are safe to read without the lock: between structVer
+// bumps the cache only appends, appends touch indices past every
+// previously returned view's length, and the per-entry states are
+// immutable once stored (commits clone them; interior inserts replace them
+// and bump structVer, forcing a rebuild with fresh backing arrays).
+func (b *BaseCluster) windowPrefix() (entries []history.Entry, states []model.State, effects []*tx.Effect) {
+	n := len(b.entries)
+	c := &b.prefix
+	if c.states == nil || c.windowID != b.windowID || c.structVer != b.structVer || len(c.entries) > n {
+		c.windowID, c.structVer = b.windowID, b.structVer
+		c.entries = make([]history.Entry, 0, n+8)
+		c.states = append(make([]model.State, 0, n+9), b.windowOrigin)
+		c.effects = make([]*tx.Effect, 0, n+8)
+	}
+	for i := len(c.entries); i < n; i++ {
+		e := b.entries[i]
+		c.entries = append(c.entries, history.Entry{T: e.t})
+		c.states = append(c.states, e.after)
+		c.effects = append(c.effects, e.eff)
+	}
+	return c.entries[:n:n], c.states[: n+1 : n+1], c.effects[:n:n]
+}
+
+// baseAugmented returns the base sub-history entries[pos:] as an augmented
+// history (the Hb a merge runs against), served from the prefix cache.
+// Caller holds b.mu; the result remains valid to read after the lock is
+// released (see windowPrefix).
 func (b *BaseCluster) baseAugmented(pos int) *history.Augmented {
-	n := len(b.entries) - pos
-	h := &history.History{Entries: make([]history.Entry, n)}
-	aug := &history.Augmented{
-		H:       h,
-		States:  make([]model.State, n+1),
-		Effects: make([]*tx.Effect, n),
+	entries, states, effects := b.windowPrefix()
+	return &history.Augmented{
+		H:       &history.History{Entries: entries[pos:]},
+		States:  states[pos:],
+		Effects: effects[pos:],
 	}
-	aug.States[0] = b.stateAt(pos)
-	for i := 0; i < n; i++ {
-		e := b.entries[pos+i]
-		h.Entries[i] = history.Entry{T: e.t}
-		aug.Effects[i] = e.eff
-		aug.States[i+1] = e.after
-	}
-	return aug
 }
 
 // forwardTxn builds the synthetic base transaction that installs a merge's
@@ -309,108 +351,15 @@ func (b *BaseCluster) applyForwarded(mobileID string, updates map[model.Item]mod
 // the checkout token (window and, under Strategy 1, origin position),
 // executes the merge, installs forwarded updates, re-executes backed-out
 // transactions, and charges every Section 7.1 cost component.
+//
+// The heavy protocol work — graph construction, back-out, the O(n²)
+// rewrite and pruning — runs in a lock-free prepare phase against an
+// immutable snapshot of the base prefix, so many reconnecting mobiles
+// merge concurrently; only a short admission critical section touches the
+// cluster. See pipeline.go for the phases and the snapshot-validation
+// rule.
 func (b *BaseCluster) Merge(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	w := b.cfg.Weights
-
-	if ck.WindowID != b.windowID {
-		return b.fallbackReprocess(hm, FallbackWindowExpired), nil
-	}
-	pos := 0
-	if b.cfg.Origin == Strategy1 {
-		pos = ck.Pos
-		if pos > len(b.entries) || !ck.Origin.Equal(b.stateAt(pos)) {
-			return b.fallbackReprocess(hm, FallbackOriginInvalid), nil
-		}
-	}
-
-	// Communication, mobile -> base: read/write sets of Hm plus G(Hm).
-	var setEntries, localEdges int64
-	mobAcc := graph.AccessesOf(hm)
-	for _, a := range mobAcc {
-		setEntries += int64(len(a.ReadSet) + len(a.WriteSet))
-	}
-	gm := graph.Build(mobAcc, nil)
-	for v := 0; v < gm.Len(); v++ {
-		localEdges += int64(len(gm.Succ(v)))
-	}
-	b.counters.Msg(w, setEntries*w.SetEntryBytes+localEdges*w.GraphEdgeBytes)
-	b.counters.Update(func(c *cost.Counts) {
-		c.SetEntriesSent += setEntries
-		c.GraphEdgesSent += localEdges
-		c.MobileGraphOps += int64(gm.Len()) + localEdges
-	})
-
-	hb := b.baseAugmented(pos)
-	rep, err := merge.Merge(hm, hb, b.cfg.MergeOptions)
-	if err != nil {
-		return nil, fmt.Errorf("replica: merge: %w", err)
-	}
-
-	// Base computing: building G(Hm, Hb) and computing B.
-	var fullEdges int64
-	for v := 0; v < rep.Graph.Len(); v++ {
-		fullEdges += int64(len(rep.Graph.Succ(v)))
-	}
-	rewriteOps := int64(hm.H.Len()) // scan cost even when nothing moves
-	if rep.RewriteResult != nil {
-		rewriteOps += int64(rep.RewriteResult.PairChecks)
-	}
-	b.counters.Update(func(c *cost.Counts) {
-		c.BaseGraphOps += int64(rep.Graph.Len()) + fullEdges
-		c.BaseBackoutOps += fullEdges + int64(len(rep.BadIDs))*int64(rep.Graph.Len())
-		// Base -> mobile: the set B.
-		c.MobileRewriteOps += rewriteOps // actual pair checks, O(n^2) worst case
-		c.MobilePruneOps += int64(len(rep.Reexecute) + len(rep.AffectedIDs))
-	})
-	b.counters.Msg(w, int64(len(rep.BadIDs))*w.SetEntryBytes)
-
-	// Strategy 1 serializes the saved work at the checkout position; that
-	// is only possible when no committed base transaction after it
-	// conflicts with the forwarded updates (otherwise durable history
-	// would change).
-	insertAt := len(b.entries)
-	if b.cfg.Origin == Strategy1 && len(rep.ForwardUpdates) > 0 {
-		updItems := make(model.ItemSet, len(rep.ForwardUpdates))
-		for it := range rep.ForwardUpdates {
-			updItems.Add(it)
-		}
-		for i := pos; i < len(b.entries); i++ {
-			if !b.entries[i].eff.ReadSet.Disjoint(updItems) ||
-				!b.entries[i].eff.WriteSet.Disjoint(updItems) {
-				return b.fallbackReprocess(hm, FallbackInsertConflict), nil
-			}
-		}
-		insertAt = pos
-	}
-
-	// Mobile -> base: the forwarded updates.
-	b.counters.Msg(w, int64(len(rep.ForwardUpdates))*w.UpdateEntryBytes)
-	b.counters.Update(func(c *cost.Counts) {
-		c.UpdatesSent += int64(len(rep.ForwardUpdates))
-		c.TxnsSaved += int64(len(rep.SavedIDs))
-		c.TxnsBackedOut += int64(len(rep.Reexecute))
-		c.MergesPerformed++
-	})
-
-	b.installForwarded(ck.MobileID, rep.ForwardUpdates, insertAt)
-
-	// Step 6: re-execute each backed-out tentative transaction, comparing
-	// against its tentative effect for acceptance.
-	effByTxn := make(map[*tx.Transaction]*tx.Effect, hm.H.Len())
-	for i := 0; i < hm.H.Len(); i++ {
-		effByTxn[hm.H.Txn(i)] = hm.Effects[i]
-	}
-	out := &ConnectOutcome{Merged: true, Report: rep, BadIDs: rep.BadIDs, Saved: len(rep.SavedIDs)}
-	for _, t := range rep.Reexecute {
-		if b.reprocessOne(t, effByTxn[t]) {
-			out.Reprocessed++
-		} else {
-			out.Failed++
-		}
-	}
-	return out, nil
+	return b.mergePipelined(ck, hm)
 }
 
 // installForwarded installs the forwarded updates at the given history
@@ -437,6 +386,9 @@ func (b *BaseCluster) installForwarded(mobileID string, updates map[model.Item]m
 	b.entries = append(b.entries, baseEntry{})
 	copy(b.entries[at+1:], b.entries[at:])
 	b.entries[at] = entry
+	// The prefix changed shape in the middle: invalidate every outstanding
+	// snapshot and the cache built over the old arrangement.
+	b.structVer++
 	for i := at + 1; i < len(b.entries); i++ {
 		b.entries[i].after = b.entries[i].after.Clone().Apply(updates)
 	}

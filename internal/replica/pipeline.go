@@ -1,0 +1,327 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+
+	"tiermerge/internal/cost"
+	"tiermerge/internal/graph"
+	"tiermerge/internal/history"
+	"tiermerge/internal/lockmgr"
+	"tiermerge/internal/merge"
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+)
+
+// Concurrent merge pipeline. The original Merge held the cluster mutex
+// across the entire protocol — graph build, back-out, the O(n²) rewrite,
+// pruning and re-execution — so N reconnecting mobiles queued end-to-end
+// (the degradation E11 measures). The pipeline splits the protocol into:
+//
+//  1. snapshot: a short critical section captures an immutable view of the
+//     base prefix (window, history position, origin validity, the cached
+//     augmented sub-history);
+//  2. prepare: all heavy computation runs lock-free against the snapshot,
+//     charging its cost into a private delta;
+//  3. admit: a short critical section revalidates the snapshot — the base
+//     history is unchanged, or every extension entry's read/write sets are
+//     disjoint from the merge's footprint (the same test Strategy 1
+//     already applies to forwarded updates) — then installs the forwarded
+//     updates, merges the cost delta, and re-executes the backed-out
+//     transactions.
+//
+// A failed validation retries prepare against the extended prefix; after
+// MergeAttempts tries the merge degrades to running serially under the
+// cluster lock, which always succeeds. Admission additionally acquires the
+// merge's write footprint through the lock manager (sorted, with deadlock
+// retry) before entering the critical section, so merges serialize with
+// concurrent base transactions under the same strict-2PL discipline
+// ExecBase uses.
+
+// defaultMergeAttempts is the optimistic prepare/admit attempt budget when
+// Config.MergeAttempts is zero.
+const defaultMergeAttempts = 3
+
+// prefixSnapshot is the immutable base-prefix view a merge prepares
+// against.
+type prefixSnapshot struct {
+	windowID  int
+	structVer int64
+	histLen   int // committed entries at snapshot time
+	pos       int // validated checkout position (0 under Strategy 2)
+	hb        *history.Augmented
+}
+
+// preparedMerge is the outcome of the lock-free prepare phase.
+type preparedMerge struct {
+	snap prefixSnapshot
+	rep  *merge.Report
+	// footprint is the union of Hm's actual read and write sets — the
+	// items whose base-side history must not have changed for the prepared
+	// report to stay valid.
+	footprint model.ItemSet
+	effByTxn  map[*tx.Transaction]*tx.Effect
+	// insertConflict records a Strategy 1 insert-position conflict found
+	// against the snapshot prefix; admission falls back to reprocessing.
+	insertConflict bool
+	// deltaPrepare holds charges incurred by any merge that ran to the
+	// insert-conflict check; deltaCommit holds charges only an installed
+	// merge pays. Both merge into the shared counters at admission.
+	deltaPrepare, deltaCommit cost.Counts
+}
+
+// mergePipelined is the optimistic two-phase Merge entry point.
+func (b *BaseCluster) mergePipelined(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error) {
+	attempts := b.cfg.MergeAttempts
+	if attempts == 0 {
+		attempts = defaultMergeAttempts
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		b.mu.Lock()
+		snap, fb := b.snapshotLocked(ck)
+		if fb != FallbackNone {
+			out := b.fallbackReprocess(hm, fb)
+			b.mu.Unlock()
+			return out, nil
+		}
+		b.mu.Unlock()
+
+		p, err := prepareMerge(b.cfg, snap, hm)
+		if err != nil {
+			return nil, err
+		}
+		out, admitted, err := b.admitPrepared(ck, hm, p)
+		if err != nil {
+			return nil, err
+		}
+		if admitted {
+			return out, nil
+		}
+		// Validation failed: the base history grew a conflicting extension
+		// (or changed shape). Retry prepare against the extended prefix.
+	}
+	// Degrade to the serial path: the whole protocol under the cluster
+	// lock cannot be invalidated.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.mergeSerialLocked(ck, hm)
+}
+
+// snapshotLocked validates the checkout token and captures the prefix
+// snapshot. Caller holds b.mu.
+func (b *BaseCluster) snapshotLocked(ck Checkout) (prefixSnapshot, FallbackReason) {
+	if ck.WindowID != b.windowID {
+		return prefixSnapshot{}, FallbackWindowExpired
+	}
+	pos := 0
+	if b.cfg.Origin == Strategy1 {
+		pos = ck.Pos
+		if pos > len(b.entries) || !ck.Origin.Equal(b.stateAt(pos)) {
+			return prefixSnapshot{}, FallbackOriginInvalid
+		}
+	}
+	return prefixSnapshot{
+		windowID:  b.windowID,
+		structVer: b.structVer,
+		histLen:   len(b.entries),
+		pos:       pos,
+		hb:        b.baseAugmented(pos),
+	}, FallbackNone
+}
+
+// prepareMerge runs every heavy step of the merging protocol against the
+// snapshot without any cluster lock, accumulating the Section 7.1 charges
+// into private deltas.
+func prepareMerge(cfg Config, snap prefixSnapshot, hm *history.Augmented) (*preparedMerge, error) {
+	w := cfg.Weights
+	p := &preparedMerge{snap: snap}
+
+	// Communication, mobile -> base: read/write sets of Hm plus G(Hm).
+	var setEntries, localEdges int64
+	mobAcc := graph.AccessesOf(hm)
+	p.footprint = make(model.ItemSet)
+	for _, a := range mobAcc {
+		setEntries += int64(len(a.ReadSet) + len(a.WriteSet))
+		for it := range a.ReadSet {
+			p.footprint.Add(it)
+		}
+		for it := range a.WriteSet {
+			p.footprint.Add(it)
+		}
+	}
+	gm := graph.Build(mobAcc, nil)
+	for v := 0; v < gm.Len(); v++ {
+		localEdges += int64(len(gm.Succ(v)))
+	}
+	p.deltaPrepare.Msg(w, setEntries*w.SetEntryBytes+localEdges*w.GraphEdgeBytes)
+	p.deltaPrepare.SetEntriesSent += setEntries
+	p.deltaPrepare.GraphEdgesSent += localEdges
+	p.deltaPrepare.MobileGraphOps += int64(gm.Len()) + localEdges
+
+	rep, err := merge.Merge(hm, snap.hb, cfg.MergeOptions)
+	if err != nil {
+		return nil, fmt.Errorf("replica: merge: %w", err)
+	}
+	p.rep = rep
+
+	// Base computing: building G(Hm, Hb) and computing B.
+	var fullEdges int64
+	for v := 0; v < rep.Graph.Len(); v++ {
+		fullEdges += int64(len(rep.Graph.Succ(v)))
+	}
+	rewriteOps := int64(hm.H.Len()) // scan cost even when nothing moves
+	if rep.RewriteResult != nil {
+		rewriteOps += int64(rep.RewriteResult.PairChecks)
+	}
+	p.deltaPrepare.BaseGraphOps += int64(rep.Graph.Len()) + fullEdges
+	p.deltaPrepare.BaseBackoutOps += fullEdges + int64(len(rep.BadIDs))*int64(rep.Graph.Len())
+	// Base -> mobile: the set B.
+	p.deltaPrepare.MobileRewriteOps += rewriteOps // actual pair checks, O(n^2) worst case
+	p.deltaPrepare.MobilePruneOps += int64(len(rep.Reexecute) + len(rep.AffectedIDs))
+	p.deltaPrepare.Msg(w, int64(len(rep.BadIDs))*w.SetEntryBytes)
+
+	// Strategy 1 serializes the saved work at the checkout position; that
+	// is only possible when no committed base transaction after it
+	// conflicts with the forwarded updates (otherwise durable history
+	// would change). The snapshot prefix covers entries[pos:histLen];
+	// admission's extension check covers everything committed since.
+	if cfg.Origin == Strategy1 && len(rep.ForwardUpdates) > 0 {
+		updItems := make(model.ItemSet, len(rep.ForwardUpdates))
+		for it := range rep.ForwardUpdates {
+			updItems.Add(it)
+		}
+		for _, eff := range snap.hb.Effects {
+			if !eff.ReadSet.Disjoint(updItems) || !eff.WriteSet.Disjoint(updItems) {
+				p.insertConflict = true
+				break
+			}
+		}
+	}
+
+	// Mobile -> base: the forwarded updates.
+	p.deltaCommit.Msg(w, int64(len(rep.ForwardUpdates))*w.UpdateEntryBytes)
+	p.deltaCommit.UpdatesSent += int64(len(rep.ForwardUpdates))
+	p.deltaCommit.TxnsSaved += int64(len(rep.SavedIDs))
+	p.deltaCommit.TxnsBackedOut += int64(len(rep.Reexecute))
+	p.deltaCommit.MergesPerformed++
+
+	p.effByTxn = make(map[*tx.Transaction]*tx.Effect, hm.H.Len())
+	for i := 0; i < hm.H.Len(); i++ {
+		p.effByTxn[hm.H.Txn(i)] = hm.Effects[i]
+	}
+	return p, nil
+}
+
+// lockPlan derives the admission lock set: exclusive on every item the
+// merge writes (forwarded updates plus re-executed write sets), shared on
+// the items re-execution reads.
+func (p *preparedMerge) lockPlan(mobileID string) (owner string, items []model.Item, writes model.ItemSet) {
+	owner = "merge:" + mobileID
+	all := make(model.ItemSet)
+	writes = make(model.ItemSet)
+	for it := range p.rep.ForwardUpdates {
+		all.Add(it)
+		writes.Add(it)
+	}
+	for _, t := range p.rep.Reexecute {
+		for it := range t.StaticReadSet() {
+			all.Add(it)
+		}
+		for it := range t.StaticWriteSet() {
+			all.Add(it)
+			writes.Add(it)
+		}
+	}
+	return owner, all.Items(), writes
+}
+
+// admitPrepared is the short admission critical section: acquire the
+// merge's lock footprint, revalidate the snapshot, and install. It returns
+// admitted=false when validation failed and the caller should re-prepare.
+func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *preparedMerge) (out *ConnectOutcome, admitted bool, err error) {
+	owner, items, writes := p.lockPlan(ck.MobileID)
+	if len(items) > 0 {
+		// Same two-phase pattern as ExecBase: take item locks first (sorted
+		// order, deadlock-victim retry), then the cluster mutex; nothing
+		// under the mutex ever waits on a lock, so lock waits cannot
+		// entangle with mutex waits.
+		for attempt := 0; ; attempt++ {
+			if lockErr := b.acquireAll(owner, items, writes); lockErr != nil {
+				b.lm.ReleaseAll(owner)
+				if errors.Is(lockErr, lockmgr.ErrDeadlock) && attempt < 10 {
+					continue
+				}
+				return nil, false, fmt.Errorf("replica: merge locks for %s: %w", ck.MobileID, lockErr)
+			}
+			break
+		}
+		defer b.lm.ReleaseAll(owner)
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ck.WindowID != b.windowID {
+		// The window closed between prepare and admit; the prepared work is
+		// unusable under any validation.
+		return b.fallbackReprocess(hm, FallbackWindowExpired), true, nil
+	}
+	if p.snap.structVer != b.structVer {
+		return nil, false, nil
+	}
+	// The base extension must be invisible to the merge: every entry
+	// committed since the snapshot must touch nothing Hm read or wrote.
+	// Then G(Hm, Hb) gains no edge incident to Hm, B and the rewrite are
+	// unchanged, and appending the forwarded updates after the extension
+	// commutes with it.
+	for i := p.snap.histLen; i < len(b.entries); i++ {
+		eff := b.entries[i].eff
+		if !eff.ReadSet.Disjoint(p.footprint) || !eff.WriteSet.Disjoint(p.footprint) {
+			return nil, false, nil
+		}
+	}
+	out, err = b.installPrepared(ck, hm, p)
+	return out, true, err
+}
+
+// mergeSerialLocked runs the whole protocol under the cluster lock — the
+// degradation path after repeated validation failures, immune to
+// invalidation by construction. Caller holds b.mu.
+func (b *BaseCluster) mergeSerialLocked(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error) {
+	snap, fb := b.snapshotLocked(ck)
+	if fb != FallbackNone {
+		return b.fallbackReprocess(hm, fb), nil
+	}
+	p, err := prepareMerge(b.cfg, snap, hm)
+	if err != nil {
+		return nil, err
+	}
+	return b.installPrepared(ck, hm, p)
+}
+
+// installPrepared commits a validated prepared merge: charge the deltas,
+// install the forwarded updates at the strategy's position, and re-execute
+// the backed-out transactions. Caller holds b.mu.
+func (b *BaseCluster) installPrepared(ck Checkout, hm *history.Augmented, p *preparedMerge) (*ConnectOutcome, error) {
+	b.counters.Add(p.deltaPrepare)
+	if p.insertConflict {
+		return b.fallbackReprocess(hm, FallbackInsertConflict), nil
+	}
+	insertAt := len(b.entries)
+	if b.cfg.Origin == Strategy1 && len(p.rep.ForwardUpdates) > 0 {
+		insertAt = p.snap.pos
+	}
+	b.counters.Add(p.deltaCommit)
+	b.installForwarded(ck.MobileID, p.rep.ForwardUpdates, insertAt)
+
+	// Step 6: re-execute each backed-out tentative transaction, comparing
+	// against its tentative effect for acceptance.
+	out := &ConnectOutcome{Merged: true, Report: p.rep, BadIDs: p.rep.BadIDs, Saved: len(p.rep.SavedIDs)}
+	for _, t := range p.rep.Reexecute {
+		if b.reprocessOne(t, p.effByTxn[t]) {
+			out.Reprocessed++
+		} else {
+			out.Failed++
+		}
+	}
+	return out, nil
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// Acceptance validates re-executed tentative transactions against
 	// their tentative outcomes; nil accepts every successful re-execution.
 	Acceptance Acceptance
+	// MergeAttempts bounds the optimistic prepare/admit attempts of the
+	// concurrent merge pipeline before a merge degrades to running serially
+	// under the cluster lock. 0 means the default (3); a negative value
+	// disables the optimistic path entirely and every merge runs serially
+	// (the benchmark baseline).
+	MergeAttempts int
 }
 
 func (c Config) withDefaults() Config {

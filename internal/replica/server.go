@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"tiermerge/internal/history"
@@ -31,7 +32,7 @@ var errResponseLost = errors.New("replica: response lost in transit")
 
 // DropEveryNth makes the server discard every nth response — transport
 // fault injection for tests; 0 disables.
-func (s *BaseServer) DropEveryNth(n int64) { s.dropEveryNth = n }
+func (s *BaseServer) DropEveryNth(n int64) { s.dropEveryNth.Store(n) }
 
 // reqKind tags server requests.
 type reqKind string
@@ -78,25 +79,29 @@ type rpc struct {
 	reply   chan []byte
 }
 
-// BaseServer serves a BaseCluster over an in-process message channel; one
-// goroutine processes requests in arrival order (the always-connected base
-// site).
+// BaseServer serves a BaseCluster over an in-process message channel. A
+// pool of worker goroutines drains the request channel, so concurrent
+// reconnects exercise the cluster's optimistic merge pipeline instead of
+// queueing end-to-end behind one goroutine (the always-connected base
+// site's request processors).
 type BaseServer struct {
-	b    *BaseCluster
-	req  chan rpc
-	stop chan struct{}
-	done chan struct{}
+	b       *BaseCluster
+	req     chan rpc
+	stop    chan struct{}
+	workers sync.WaitGroup
 
 	bytesIn, bytesOut atomic.Int64
 	requests          atomic.Int64
 
 	// applied caches, per mobile, the last reconnect seq handled and its
-	// response — the exactly-once guard for retried merges.
-	applied map[string]appliedReq
+	// response — the exactly-once guard for retried merges. Guarded by
+	// appliedMu; workers handle requests concurrently.
+	appliedMu sync.Mutex
+	applied   map[string]appliedReq
 
 	// dropEveryNth, when positive, silently discards every Nth response
 	// (fault injection for transport tests).
-	dropEveryNth int64
+	dropEveryNth atomic.Int64
 	respCount    atomic.Int64
 }
 
@@ -106,24 +111,35 @@ type appliedReq struct {
 	resp []byte
 }
 
-// ServeBase starts the server goroutine over the cluster. Callers must
-// Close it when done.
-func ServeBase(b *BaseCluster) *BaseServer {
+// ServeBase starts a single-worker server over the cluster — requests are
+// processed strictly in arrival order. Callers must Close it when done.
+func ServeBase(b *BaseCluster) *BaseServer { return ServeBaseWorkers(b, 1) }
+
+// ServeBaseWorkers starts a server with a pool of n request workers
+// (n < 1 is treated as 1). With several workers, simultaneous reconnects
+// run their merge prepare phases concurrently and serialize only at
+// admission. Callers must Close it when done.
+func ServeBaseWorkers(b *BaseCluster, n int) *BaseServer {
+	if n < 1 {
+		n = 1
+	}
 	s := &BaseServer{
 		b:       b,
 		req:     make(chan rpc),
 		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
 		applied: make(map[string]appliedReq),
 	}
-	go s.loop()
+	s.workers.Add(n)
+	for i := 0; i < n; i++ {
+		go s.loop()
+	}
 	return s
 }
 
-// Close stops the server goroutine and waits for it to exit.
+// Close stops the worker goroutines and waits for them to exit.
 func (s *BaseServer) Close() {
 	close(s.stop)
-	<-s.done
+	s.workers.Wait()
 }
 
 // Stats returns the requests served and real payload bytes moved each way.
@@ -132,7 +148,7 @@ func (s *BaseServer) Stats() (requests, bytesIn, bytesOut int64) {
 }
 
 func (s *BaseServer) loop() {
-	defer close(s.done)
+	defer s.workers.Done()
 	for {
 		select {
 		case <-s.stop:
@@ -142,7 +158,7 @@ func (s *BaseServer) loop() {
 			s.bytesIn.Add(int64(len(r.payload)))
 			resp, mobileFacing := s.handle(r.payload)
 			s.bytesOut.Add(int64(len(resp)))
-			if n := s.dropEveryNth; n > 0 && mobileFacing && s.respCount.Add(1)%n == 0 {
+			if n := s.dropEveryNth.Load(); n > 0 && mobileFacing && s.respCount.Add(1)%n == 0 {
 				// Fault injection: the response is lost on the wireless
 				// link; the client times out and retries. Only
 				// mobile-facing responses traverse that link.
@@ -203,7 +219,10 @@ func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
 	case reqMerge, reqReprocess:
 		// Exactly-once: a retry of an applied reconnect replays the cached
 		// response instead of merging the same journal twice.
-		if prev, ok := s.applied[req.MobileID]; ok && prev.seq == req.Seq {
+		s.appliedMu.Lock()
+		prev, ok := s.applied[req.MobileID]
+		s.appliedMu.Unlock()
+		if ok && prev.seq == req.Seq {
 			return prev.resp, true
 		}
 		recs, err := wal.ReadAll(bytes.NewReader(req.Journal))
@@ -240,7 +259,9 @@ func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
 			resp.BadIDs = out.Report.BadIDs
 		}
 		encoded := mustResp(resp)
+		s.appliedMu.Lock()
 		s.applied[req.MobileID] = appliedReq{seq: req.Seq, resp: encoded}
+		s.appliedMu.Unlock()
 		return encoded, true
 	default:
 		return mustResp(wireResp{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}), false

@@ -49,8 +49,7 @@ func Algorithm1BW(a *history.Augmented, bad map[int]bool) (*Result, error) {
 		if !CanFollowBW(blk.eff, t.eff) {
 			return false
 		}
-		inc := blk.eff.FixFor(blk.eff.ReadSet.Intersect(t.eff.WriteSet))
-		blk.e.Fix = blk.e.Fix.Merge(inc)
+		mergeFixIncrement(t, blk)
 		return true
 	}, func(t, blk *entry) Block { return explainBlock(t, blk, false, true) })
 }
@@ -64,7 +63,13 @@ func rewriteWithBW(name string, a *history.Augmented, bad map[int]bool, rule mov
 		}
 	}
 	head := make([]entry, 0, n)
+	// The working arrangement is double-buffered: each candidate move is
+	// trial-run against a scratch copy of the tail, and on success the two
+	// buffers swap roles. Both backing arrays are preallocated at n, so the
+	// O(n²) scan performs no per-candidate slice allocation (fix clones
+	// still allocate, but only for tail members carrying non-empty fixes).
 	tail := make([]entry, 0, n)
+	scratch := make([]entry, 0, n)
 	blocked := make(map[int]Block)
 	pairChecks := 0
 	for i := 0; i < n; i++ {
@@ -77,8 +82,7 @@ func rewriteWithBW(name string, a *history.Augmented, bad map[int]bool, rule mov
 			tail = append(tail, ent)
 			continue
 		}
-		tailCopy := make([]entry, len(tail))
-		copy(tailCopy, tail)
+		tailCopy := append(scratch[:0], tail...)
 		for j := range tailCopy {
 			tailCopy[j].e.Fix = tail[j].e.Fix.Clone()
 		}
@@ -95,7 +99,7 @@ func rewriteWithBW(name string, a *history.Augmented, bad map[int]bool, rule mov
 		}
 		if movable {
 			head = append(head, ent)
-			tail = tailCopy
+			tail, scratch = tailCopy, tail
 		} else {
 			tail = append(tail, ent)
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tiermerge/internal/expr"
 	"tiermerge/internal/model"
@@ -28,14 +29,29 @@ import (
 // Caching assumes the canned-system contract the paper assumes: equal Type
 // names imply equal code shape modulo item bindings. Ad-hoc transactions
 // (empty Type) are never cached.
+//
+// The memo table is sharded by key hash with per-shard read/write locks and
+// atomic hit/miss counters, so concurrent Algorithm-2 rewrites (many merge
+// prepare phases sharing one detector) neither serialize on a single lock
+// nor contend on hot keys: the steady-state hit path is a shared read lock
+// on 1/cacheShards of the table.
 type CachedDetector struct {
 	// Inner produces verdicts on cache misses (default StaticDetector).
 	Inner PrecedeDetector
 
-	mu     sync.Mutex
-	cache  map[string]bool
-	hits   int64
-	misses int64
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// cacheShards is the memo-table shard count (a power of two so the hash
+// masks cheaply).
+const cacheShards = 16
+
+// cacheShard is one lock-striped slice of the memo table.
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]bool
 }
 
 var _ PrecedeDetector = (*CachedDetector)(nil)
@@ -45,7 +61,11 @@ func NewCachedDetector(inner PrecedeDetector) *CachedDetector {
 	if inner == nil {
 		inner = StaticDetector{}
 	}
-	return &CachedDetector{Inner: inner, cache: make(map[string]bool)}
+	c := &CachedDetector{Inner: inner}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]bool)
+	}
+	return c
 }
 
 // Name implements PrecedeDetector.
@@ -53,9 +73,21 @@ func (c *CachedDetector) Name() string { return "cached(" + c.Inner.Name() + ")"
 
 // Stats returns the cache hit/miss counters.
 func (c *CachedDetector) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
+}
+
+// shardFor picks the shard by FNV-1a hash of the key.
+func (c *CachedDetector) shardFor(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&(cacheShards-1)]
 }
 
 // CanPrecede implements PrecedeDetector.
@@ -64,18 +96,19 @@ func (c *CachedDetector) CanPrecede(t2, t1 *tx.Transaction, fix tx.Fix) bool {
 		return c.Inner.CanPrecede(t2, t1, fix)
 	}
 	key := pairKey(t2, t1, fix)
-	c.mu.Lock()
-	if v, ok := c.cache[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
 		return v
 	}
-	c.mu.Unlock()
-	v := c.Inner.CanPrecede(t2, t1, fix)
-	c.mu.Lock()
-	c.misses++
-	c.cache[key] = v
-	c.mu.Unlock()
+	v = c.Inner.CanPrecede(t2, t1, fix)
+	c.misses.Add(1)
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
 	return v
 }
 

@@ -1,6 +1,8 @@
 package rewrite
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"tiermerge/internal/tx"
@@ -85,5 +87,66 @@ func TestCachedDetectorSkipsAdHoc(t *testing.T) {
 	hits, misses := cached.Stats()
 	if hits != 0 || misses != 0 {
 		t.Errorf("ad-hoc pair touched the cache: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestCachedDetectorConcurrent hammers the sharded memo table from many
+// goroutines over a shared pair population: every verdict must agree with
+// the uncached detector, and the atomic hit/miss tallies must account for
+// every cacheable query.
+func TestCachedDetectorConcurrent(t *testing.T) {
+	gen := workload.NewGenerator(workload.Config{Seed: 402, Items: 6, PCommutative: 0.7})
+	const pairs = 64
+	type pair struct{ t1, t2 *tx.Transaction }
+	pop := make([]pair, pairs)
+	for i := range pop {
+		pop[i] = pair{t1: gen.Txn(tx.Tentative), t2: gen.Txn(tx.Tentative)}
+	}
+	static := StaticDetector{}
+	want := make([]bool, pairs)
+	for i, p := range pop {
+		want[i] = static.CanPrecede(p.t2, p.t1, nil)
+	}
+
+	cached := NewCachedDetector(StaticDetector{})
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	fail := make(chan string, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w*rounds + r) % pairs
+				if got := cached.CanPrecede(pop[i].t2, pop[i].t1, nil); got != want[i] {
+					select {
+					case fail <- fmt.Sprintf("worker %d pair %d: cached %v, static %v", w, i, got, want[i]):
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	hits, misses := cached.Stats()
+	if hits+misses != workers*rounds {
+		t.Errorf("hits(%d)+misses(%d) = %d, want %d", hits, misses, hits+misses, workers*rounds)
+	}
+	// Concurrent first touches of one key can each count a miss, but misses
+	// stay bounded by keys × workers — far below the query volume.
+	if misses > int64(pairs*workers) {
+		t.Errorf("misses = %d, want <= %d", misses, pairs*workers)
+	}
+	if hits == 0 {
+		t.Error("cache never hit under concurrency")
 	}
 }

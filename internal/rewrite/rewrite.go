@@ -110,6 +110,19 @@ func CanFollow(blk, t *tx.Effect) bool {
 	return blk.WriteSet.Disjoint(t.ReadSet)
 }
 
+// mergeFixIncrement applies the Lemma 1 fix update for pushing t left past
+// blk: blk's fix gains the values blk originally read for the items t
+// writes. When blk read nothing t writes the increment is empty, so the
+// FixFor/Merge round-trip (two map allocations per pair check on the O(n²)
+// hot path) is skipped outright.
+func mergeFixIncrement(t, blk *entry) {
+	if blk.eff.ReadSet.Disjoint(t.eff.WriteSet) {
+		return
+	}
+	inc := blk.eff.FixFor(blk.eff.ReadSet.Intersect(t.eff.WriteSet))
+	blk.e.Fix = blk.e.Fix.Merge(inc)
+}
+
 // Algorithm1 is the paper's can-follow rewriting. The produced prefix holds
 // exactly G−AG (Theorem 2/3); every blocked transaction carries the fix
 // accumulated by Lemma 1.
@@ -118,10 +131,7 @@ func Algorithm1(a *history.Augmented, bad map[int]bool) (*Result, error) {
 		if !CanFollow(blk.eff, t.eff) {
 			return false
 		}
-		// Lemma 1: pushing t left past blk augments blk's fix with the
-		// values blk originally read for the items t writes.
-		inc := blk.eff.FixFor(blk.eff.ReadSet.Intersect(t.eff.WriteSet))
-		blk.e.Fix = blk.e.Fix.Merge(inc)
+		mergeFixIncrement(t, blk)
 		return true
 	}, func(t, blk *entry) Block { return explainBlock(t, blk, false, false) })
 }
@@ -145,8 +155,7 @@ type PrecedeDetector interface {
 func Algorithm2(a *history.Augmented, bad map[int]bool, det PrecedeDetector) (*Result, error) {
 	return rewriteWith("can-follow+can-precede", a, bad, func(t, blk *entry) bool {
 		if CanFollow(blk.eff, t.eff) {
-			inc := blk.eff.FixFor(blk.eff.ReadSet.Intersect(t.eff.WriteSet))
-			blk.e.Fix = blk.e.Fix.Merge(inc)
+			mergeFixIncrement(t, blk)
 			return true
 		}
 		return det.CanPrecede(t.e.T, blk.e.T, blk.e.Fix)

@@ -103,6 +103,15 @@ type Scenario struct {
 	// (MessagePassing mode only); clients retry and the server's dedup
 	// cache keeps reconnects exactly-once.
 	DropEveryNth int64
+	// ServerWorkers sizes the BaseServer request-worker pool
+	// (MessagePassing mode only; default 1). With several workers,
+	// simultaneous reconnects run their merge prepare phases concurrently
+	// through the cluster's optimistic pipeline.
+	ServerWorkers int
+	// MergeAttempts forwards replica.Config.MergeAttempts: the optimistic
+	// prepare/admit budget before a merge degrades to the serial path
+	// (0 = default; negative = always serial).
+	MergeAttempts int
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -166,11 +175,12 @@ func Run(sc Scenario) (*Result, error) {
 	})
 	origin := baseGen.OriginState()
 	cluster := replica.NewBaseCluster(origin, replica.Config{
-		BaseNodes:    sc.BaseNodes,
-		Weights:      sc.Weights,
-		Origin:       sc.Origin,
-		MergeOptions: sc.MergeOptions,
-		Acceptance:   sc.Acceptance,
+		BaseNodes:     sc.BaseNodes,
+		Weights:       sc.Weights,
+		Origin:        sc.Origin,
+		MergeOptions:  sc.MergeOptions,
+		Acceptance:    sc.Acceptance,
+		MergeAttempts: sc.MergeAttempts,
 	})
 
 	res := &Result{Scenario: sc}
@@ -345,10 +355,10 @@ func baseTxn(sc Scenario, round, k int) *tx.Transaction {
 }
 
 // runMessagePassing drives the fleet through the BaseServer message
-// channel: one server goroutine, one goroutine per mobile client, every
-// reconnect a serialized round trip.
+// channel: a pool of ServerWorkers request workers, one goroutine per
+// mobile client, every reconnect a serialized round trip.
 func runMessagePassing(sc Scenario, cluster *replica.BaseCluster, res *Result) error {
-	srv := replica.ServeBase(cluster)
+	srv := replica.ServeBaseWorkers(cluster, sc.ServerWorkers)
 	defer srv.Close()
 	if sc.DropEveryNth > 0 {
 		srv.DropEveryNth(sc.DropEveryNth)

@@ -21,7 +21,10 @@ go vet ./...
 echo "== tests =="
 go test ./...
 
-echo "== experiments (E0..E11) =="
+echo "== race (concurrent merge pipeline + sharded detector cache) =="
+go test -race ./internal/replica/... ./internal/rewrite/...
+
+echo "== experiments (E0..E13) =="
 go run ./cmd/benchreport > /dev/null
 
 echo "== examples =="
