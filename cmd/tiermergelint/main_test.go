@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestExitCodeOnBadFixture pins the gate contract: the linter exits 1
+// (not 0, not a crash) on a package with known violations.
+func TestExitCodeOnBadFixture(t *testing.T) {
+	if got := run([]string{"-dir", "../../internal/analysis/testdata/src/atomicmix"}); got != 1 {
+		t.Fatalf("run on known-bad fixture: exit %d, want 1", got)
+	}
+}
+
+// TestExitCodeOnCleanFixture: a conforming package exits 0.
+func TestExitCodeOnCleanFixture(t *testing.T) {
+	if got := run([]string{"-dir", "../../internal/analysis/testdata/src/clean"}); got != 0 {
+		t.Fatalf("run on clean fixture: exit %d, want 0", got)
+	}
+}
+
+// TestExitCodeOnMissingDir: loader failures are exit 2, distinct from
+// findings.
+func TestExitCodeOnMissingDir(t *testing.T) {
+	if got := run([]string{"-dir", "../../internal/analysis/testdata/src/nosuchpkg"}); got != 2 {
+		t.Fatalf("run on missing dir: exit %d, want 2", got)
+	}
+}
+
+// TestList: -list prints the suite and exits 0.
+func TestList(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("-list: exit %d, want 0", got)
+	}
+}

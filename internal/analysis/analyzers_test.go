@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+func TestDurableBase(t *testing.T)  { runFixture(t, []*Analyzer{DurableBase}, "durablebase") }
+func TestSnapshotMut(t *testing.T)  { runFixture(t, []*Analyzer{SnapshotMut}, "snapshotmut") }
+func TestAtomicMix(t *testing.T)    { runFixture(t, []*Analyzer{AtomicMix}, "atomicmix") }
+func TestLockHeld(t *testing.T)     { runFixture(t, []*Analyzer{LockHeld}, "lockheld") }
+func TestItemSetAlias(t *testing.T) { runFixture(t, []*Analyzer{ItemSetAlias}, "itemsetalias") }
+
+// TestCleanPackage runs the full suite over a package following every
+// discipline at once; nothing may fire.
+func TestCleanPackage(t *testing.T) { runFixture(t, All(), "clean") }
+
+// TestSuiteComplete pins the analyzer roster: adding an analyzer without
+// fixtures (or dropping one) should be a conscious act.
+func TestSuiteComplete(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"durablebase", "snapshotmut", "atomicmix", "lockheld", "itemsetalias"} {
+		if !names[want] {
+			t.Errorf("suite is missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ann is the set of //tiermerge: directives attached to one function or
+// type declaration. The directives are machine-checked documentation: they
+// state the contract prose comments like "Caller holds b.mu" already
+// claim, in a form the lockheld/snapshotmut/itemsetalias analyzers
+// enforce. See docs/LINT.md for the annotation reference.
+type Ann struct {
+	// Immutable (functions): every value the function returns aliases
+	// shared structure and must never be mutated by callers.
+	// Immutable (types): values are frozen once built; only composite
+	// literals may populate them.
+	Immutable bool
+	// Locks is the lock contract: "none" means the function acquires the
+	// cluster mutex itself and must not run while any mutex is held;
+	// "cluster" means the function requires the cluster mutex held.
+	Locks string
+	// Blocking marks a function that may block (lock waits, channel I/O);
+	// lockheld forbids calling it under a held mutex.
+	Blocking bool
+	// Shared marks a function whose returned item sets / states alias
+	// shared structures; itemsetalias requires a Clone before mutation.
+	Shared bool
+	// BackoutSource marks a function that emits back-out candidates;
+	// durablebase applies the ComputeB guard discipline to it.
+	BackoutSource bool
+	// Sink marks a function whose container parameters are out-params the
+	// function intentionally fills; itemsetalias does not treat them as
+	// shared aliases. Callers must pass containers they own.
+	Sink bool
+}
+
+// Annotations is the module-wide directive table, keyed by type-checker
+// object identity (valid because every module package is loaded from
+// source through one loader, so importers and definers share objects).
+type Annotations struct {
+	funcs map[types.Object]*Ann
+	typs  map[types.Object]*Ann
+}
+
+// Func returns the annotations of a function object (never nil).
+func (a *Annotations) Func(obj types.Object) *Ann {
+	if a == nil || obj == nil {
+		return &Ann{}
+	}
+	if an, ok := a.funcs[obj]; ok {
+		return an
+	}
+	return &Ann{}
+}
+
+// Type returns the annotations of a type object (never nil).
+func (a *Annotations) Type(obj types.Object) *Ann {
+	if a == nil || obj == nil {
+		return &Ann{}
+	}
+	if an, ok := a.typs[obj]; ok {
+		return an
+	}
+	return &Ann{}
+}
+
+// CollectAnnotations parses the //tiermerge: directives of every package.
+// Malformed directives are returned as errors (file:line prefixed) so the
+// lint gate fails loudly instead of silently not enforcing a contract.
+func CollectAnnotations(pkgs []*Package) (*Annotations, []error) {
+	a := &Annotations{
+		funcs: make(map[types.Object]*Ann),
+		typs:  make(map[types.Object]*Ann),
+	}
+	var errs []error
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					an, derr := parseDirectives(pkg, d.Doc, false)
+					errs = append(errs, derr...)
+					if an != nil {
+						if obj := pkg.Info.Defs[d.Name]; obj != nil {
+							a.funcs[obj] = an
+						}
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						doc := ts.Doc
+						if doc == nil && len(d.Specs) == 1 {
+							doc = d.Doc
+						}
+						an, derr := parseDirectives(pkg, doc, true)
+						errs = append(errs, derr...)
+						if an != nil {
+							if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+								a.typs[obj] = an
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return a, errs
+}
+
+// parseDirectives extracts //tiermerge: lines from a doc comment. It
+// returns nil when the comment carries no directives.
+func parseDirectives(pkg *Package, doc *ast.CommentGroup, isType bool) (*Ann, []error) {
+	if doc == nil {
+		return nil, nil
+	}
+	var (
+		an   *Ann
+		errs []error
+	)
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//tiermerge:")
+		if !ok {
+			continue
+		}
+		directive := strings.TrimSpace(rest)
+		if strings.HasPrefix(directive, "ignore") {
+			continue // suppression comments are handled by the runner
+		}
+		if an == nil {
+			an = &Ann{}
+		}
+		bad := func(msg string) {
+			errs = append(errs, fmt.Errorf("%s: bad //tiermerge: directive %q: %s",
+				pkg.Fset.Position(c.Pos()), directive, msg))
+		}
+		switch {
+		case directive == "immutable":
+			an.Immutable = true
+		case directive == "blocking":
+			an.Blocking = true
+		case directive == "shared":
+			an.Shared = true
+		case directive == "backout-source":
+			an.BackoutSource = true
+		case directive == "sink":
+			an.Sink = true
+		case strings.HasPrefix(directive, "locks("):
+			arg, ok := strings.CutSuffix(strings.TrimPrefix(directive, "locks("), ")")
+			if !ok {
+				bad("missing closing parenthesis")
+				continue
+			}
+			switch arg {
+			case "none", "cluster":
+				an.Locks = arg
+			default:
+				bad(`lock contract must be "none" or "cluster"`)
+			}
+		default:
+			bad("unknown directive")
+		}
+		if isType {
+			switch {
+			case an.Locks != "", an.Blocking, an.Shared, an.BackoutSource, an.Sink:
+				bad("only //tiermerge:immutable applies to type declarations")
+			}
+		}
+	}
+	return an, errs
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnnotationParsing checks every directive round-trips into the Ann
+// table keyed by the type-checker object.
+func TestAnnotationParsing(t *testing.T) {
+	_, p, ann := loadFixture(t, "annot")
+	scope := p.Types.Scope()
+	obj := func(name string) interface {
+		Name() string
+	} {
+		o := scope.Lookup(name)
+		if o == nil {
+			t.Fatalf("fixture object %q not found", name)
+		}
+		return o
+	}
+	lookup := func(name string) *Ann { return ann.Func(scope.Lookup(name)) }
+
+	if !lookup("Window").Immutable {
+		t.Errorf("Window: want Immutable")
+	}
+	if got := lookup("Merge").Locks; got != "none" {
+		t.Errorf("Merge: Locks = %q, want none", got)
+	}
+	if got := lookup("InstallLocked").Locks; got != "cluster" {
+		t.Errorf("InstallLocked: Locks = %q, want cluster", got)
+	}
+	if !lookup("Acquire").Blocking {
+		t.Errorf("Acquire: want Blocking")
+	}
+	if !lookup("ReadSet").Shared {
+		t.Errorf("ReadSet: want Shared")
+	}
+	if !lookup("Candidates").BackoutSource {
+		t.Errorf("Candidates: want BackoutSource")
+	}
+	if !lookup("Fill").Sink {
+		t.Errorf("Fill: want Sink")
+	}
+	if got := lookup("Plain"); *got != (Ann{}) {
+		t.Errorf("Plain: got %+v, want zero annotations", got)
+	}
+	if !ann.Type(scope.Lookup("Frozen")).Immutable {
+		t.Errorf("Frozen: want type Immutable")
+	}
+	// A type lookup of a function (and vice versa) must stay empty.
+	if ann.Type(scope.Lookup("Window")).Immutable {
+		t.Errorf("Window looked up as a type must not be Immutable")
+	}
+	_ = obj
+}
+
+// TestAnnotationErrors checks malformed directives surface as errors
+// instead of being silently ignored.
+func TestAnnotationErrors(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.FixtureRoot = root
+	p, err := loader.Load("annotbad")
+	if err != nil {
+		t.Fatalf("load annotbad: %v", err)
+	}
+	_, errs := CollectAnnotations([]*Package{p})
+	if len(errs) != 4 {
+		t.Fatalf("got %d annotation errors, want 4: %v", len(errs), errs)
+	}
+	for _, want := range []string{
+		`lock contract must be "none" or "cluster"`,
+		"unknown directive",
+		"missing closing parenthesis",
+		"only //tiermerge:immutable applies to type declarations",
+	} {
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no error mentions %q in %v", want, errs)
+		}
+	}
+	for _, e := range errs {
+		if !strings.Contains(e.Error(), "annotbad.go:") {
+			t.Errorf("error %v does not carry a file:line position", e)
+		}
+	}
+}
+
+// TestSuppression checks //tiermerge:ignore drops only the named
+// analyzer's diagnostics (exercised end-to-end by the snapshotmut
+// fixture's suppressed case; this pins the name-matching rule).
+func TestSuppression(t *testing.T) {
+	_, p, ann := loadFixture(t, "snapshotmut")
+	diags, err := Run([]*Analyzer{SnapshotMut}, []*Package{p}, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "debug path") || d.Pos.Line == suppressedLine(t, p) {
+			t.Errorf("suppressed diagnostic leaked: %v", d)
+		}
+	}
+}
+
+// suppressedLine finds the line of the st.Set(it, 3) call guarded by the
+// ignore comment in the snapshotmut fixture.
+func suppressedLine(t *testing.T, p *Package) int {
+	t.Helper()
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//tiermerge:ignore snapshotmut") {
+					return p.Fset.Position(c.Pos()).Line + 1
+				}
+			}
+		}
+	}
+	t.Fatal("suppression comment not found in fixture")
+	return 0
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DurableBase enforces the paper's durability rule: base transactions are
+// committed, durable history and may never enter a back-out set (Section
+// 2.1 computes B over tentative vertices only; ErrUnbreakable is the
+// defensive runtime check). Every function that emits back-out candidates
+// — a graph.Strategy's ComputeB, or anything annotated
+// //tiermerge:backout-source — must filter candidates through a
+// Kind == tx.Tentative (or != tx.Tentative) test before appending them to
+// the back-out slice. A strategy that never consults the vertex kind
+// would silently back out durable base work the moment a cycle runs
+// through a base vertex.
+var DurableBase = &Analyzer{
+	Name: "durablebase",
+	Doc: "back-out strategies (ComputeB / //tiermerge:backout-source) must guard " +
+		"every back-out append with a Kind==tx.Tentative test; base transactions " +
+		"are durable and can never be backed out",
+	Run: runDurableBase,
+}
+
+func runDurableBase(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Pkg.Info.Defs[fd.Name]
+			if fd.Name.Name != "ComputeB" && !pass.Ann.Func(obj).BackoutSource {
+				continue
+			}
+			checkBackoutSource(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBackoutSource(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Collect the positions of every Kind-vs-Tentative comparison. A guard
+	// protects only appends that appear after it in the source; selecting
+	// a candidate first and checking its kind afterwards is still a bug
+	// (the unchecked value was already appended).
+	var guards []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isTentativeConst(info, be.X) || isTentativeConst(info, be.Y) {
+			guards = append(guards, be.Pos())
+		}
+		return true
+	})
+	guardBefore := func(pos token.Pos) bool {
+		for _, g := range guards {
+			if g < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Every append that grows a candidate slice ([]int vertex lists or
+	// []*tx.Transaction) must be dominated by a guard.
+	appends := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+			return true
+		}
+		if !isBackoutSliceType(info.Types[call.Args[0]].Type) {
+			return true
+		}
+		appends++
+		if !guardBefore(call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"back-out candidate appended without a preceding Kind == tx.Tentative guard; "+
+					"base transactions are durable and must never enter a back-out set")
+		}
+		return true
+	})
+
+	// A back-out source with no guard at all and no appends can still leak
+	// base vertices by returning a computed slice directly.
+	if len(guards) == 0 && appends == 0 {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if isNilIdent(res) {
+					continue
+				}
+				if isBackoutSliceType(info.Types[res].Type) {
+					pass.Reportf(ret.Pos(),
+						"back-out set returned by a function that never tests Kind == tx.Tentative; "+
+							"base transactions are durable and must never enter a back-out set")
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isTentativeConst reports whether e denotes the tx.Tentative constant.
+func isTentativeConst(info *types.Info, e ast.Expr) bool {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	return ok && c.Name() == "Tentative" && c.Pkg() != nil && c.Pkg().Path() == txPath
+}
+
+// isBackoutSliceType matches the slice shapes back-out sets travel in:
+// []int vertex indices and []*tx.Transaction candidate lists.
+func isBackoutSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if b, ok := sl.Elem().Underlying().(*types.Basic); ok {
+		return b.Kind() == types.Int
+	}
+	return typeIs(sl.Elem(), txPath, "Transaction")
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

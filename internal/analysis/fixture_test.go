@@ -1,0 +1,114 @@
+package analysis
+
+// The fixture harness mirrors golang.org/x/tools' analysistest: packages
+// under testdata/src are loaded with the fixture root shadowing module
+// import paths (so stubs of tiermerge/internal/model etc. resolve), the
+// requested analyzers run, and every diagnostic must match a
+//	// want "regex"
+// comment on its line — and every want comment must be matched.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks testdata/src/<pkg> and collects annotations
+// from every package the load pulled in.
+func loadFixture(t *testing.T, pkg string) (*Loader, *Package, *Annotations) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.FixtureRoot = root
+	p, err := loader.Load(pkg)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkg, err)
+	}
+	ann, annErrs := CollectAnnotations(loader.Packages())
+	for _, e := range annErrs {
+		t.Errorf("annotation error: %v", e)
+	}
+	return loader, p, ann
+}
+
+// runFixture runs the analyzers over one fixture package and checks the
+// diagnostics against its want comments.
+func runFixture(t *testing.T, analyzers []*Analyzer, pkg string) {
+	t.Helper()
+	_, p, ann := loadFixture(t, pkg)
+	diags, err := Run(analyzers, []*Package{p}, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[key][]*want)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				for _, q := range quotedStrings(rest) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", k.file, k.line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", k.file, k.line, pat, err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", k.file, k.line, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// quotedStrings extracts the quoted segments of a want comment.
+func quotedStrings(s string) []string {
+	return quotedRE.FindAllString(s, -1)
+}

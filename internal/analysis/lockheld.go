@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld enforces the annotation-driven lock discipline of the merge
+// pipeline:
+//
+//   - a function annotated //tiermerge:locks(none) acquires the cluster
+//     mutex itself (or otherwise must run lock-free, like the prepare
+//     phase); calling it while any mutex is held self-deadlocks;
+//   - a function annotated //tiermerge:locks(cluster) requires the
+//     cluster mutex; calling it without a mutex held (and outside another
+//     locks(cluster) function) mutates shared state unprotected;
+//   - no blocking operation — channel send/receive/select/range,
+//     sync.WaitGroup.Wait, time.Sleep, or a call annotated
+//     //tiermerge:blocking — may run while a mutex is held: the admission
+//     critical section must stay short and must never wait on anything
+//     that can wait on it.
+//
+// The analysis is function-local: it tracks sync.Mutex/RWMutex
+// Lock/Unlock pairs (including defer Unlock) linearly through the
+// function body, treating nested branches as copies so a branch that
+// unlocks-and-returns does not leak its state.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "enforces //tiermerge:locks(none|cluster) call contracts and forbids " +
+		"blocking operations (channel ops, Wait, Sleep, //tiermerge:blocking calls) " +
+		"while a mutex is held",
+	Run: runLockHeld,
+}
+
+func runLockHeld(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lh := &lockChecker{pass: pass, fn: fd}
+			held := make(lockSet)
+			if pass.Ann.Func(pass.Pkg.Info.Defs[fd.Name]).Locks == "cluster" {
+				// The caller's contract: the cluster mutex is held on entry.
+				held["<caller>"] = true
+				lh.inCluster = true
+			}
+			lh.block(fd.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// lockSet maps a rendered mutex expression ("b.mu") to held-ness.
+type lockSet map[string]bool
+
+func (s lockSet) any() bool {
+	for _, h := range s {
+		if h {
+			return true
+		}
+	}
+	return false
+}
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type lockChecker struct {
+	pass      *Pass
+	fn        *ast.FuncDecl
+	inCluster bool // enclosing function is annotated locks(cluster)
+}
+
+// block walks statements in order, threading the held set through.
+func (lc *lockChecker) block(stmts []ast.Stmt, held lockSet) {
+	for _, s := range stmts {
+		lc.stmt(s, held)
+	}
+}
+
+func (lc *lockChecker) stmt(s ast.Stmt, held lockSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, locks, ok := mutexOp(lc.pass.Pkg.Info, s.X); ok {
+			if locks {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		lc.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held to the end of the
+		// function, which the linear scan already models by simply not
+		// clearing it. Other deferred calls run at an indeterminate lock
+		// state, so they are not checked.
+		return
+	case *ast.SendStmt:
+		if held.any() {
+			lc.pass.Reportf(s.Pos(), "channel send while a mutex is held%s", lc.heldDesc(held))
+		}
+		lc.expr(s.Chan, held)
+		lc.expr(s.Value, held)
+	case *ast.SelectStmt:
+		if held.any() {
+			lc.pass.Reportf(s.Pos(), "select (blocking channel ops) while a mutex is held%s", lc.heldDesc(held))
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				lc.block(cc.Body, held.clone())
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lc.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lc.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lc.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		lc.expr(s.Cond, held)
+		lc.block(s.Body.List, held.clone())
+		if s.Else != nil {
+			lc.stmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lc.expr(s.Cond, held)
+		}
+		lc.block(s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		if t := lc.pass.Pkg.Info.Types[s.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan && held.any() {
+				lc.pass.Reportf(s.Pos(), "range over a channel while a mutex is held%s", lc.heldDesc(held))
+			}
+		}
+		lc.expr(s.X, held)
+		lc.block(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lc.expr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				lc.block(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				lc.block(cc.Body, held.clone())
+			}
+		}
+	case *ast.BlockStmt:
+		lc.block(s.List, held)
+	case *ast.GoStmt:
+		// The goroutine body runs without the caller's locks; check it
+		// with an empty held set.
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			lc.block(fl.Body.List, make(lockSet))
+		}
+		for _, a := range s.Call.Args {
+			lc.expr(a, held)
+		}
+	case *ast.LabeledStmt:
+		lc.stmt(s.Stmt, held)
+	}
+}
+
+// expr checks blocking operations and call contracts inside an
+// expression evaluated at the current lock state.
+func (lc *lockChecker) expr(e ast.Expr, held lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure's execution point is unknown; skip its body.
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && held.any() {
+				lc.pass.Reportf(n.Pos(), "channel receive while a mutex is held%s", lc.heldDesc(held))
+			}
+		case *ast.CallExpr:
+			lc.call(n, held)
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) call(call *ast.CallExpr, held lockSet) {
+	f := calleeOf(lc.pass.Pkg.Info, call)
+	if f == nil {
+		return
+	}
+	ann := lc.pass.Ann.Func(f)
+	if held.any() {
+		switch {
+		case ann.Locks == "none":
+			lc.pass.Reportf(call.Pos(),
+				"%s is //tiermerge:locks(none) (acquires the cluster lock itself) but is called while a mutex is held%s",
+				f.Name(), lc.heldDesc(held))
+		case ann.Blocking:
+			lc.pass.Reportf(call.Pos(),
+				"%s is //tiermerge:blocking but is called while a mutex is held%s", f.Name(), lc.heldDesc(held))
+		case isKnownBlocking(f):
+			lc.pass.Reportf(call.Pos(),
+				"blocking call %s.%s while a mutex is held%s", f.Pkg().Name(), f.Name(), lc.heldDesc(held))
+		}
+	} else if ann.Locks == "cluster" && !lc.inCluster && !lc.holdsVisibleLock(call) {
+		lc.pass.Reportf(call.Pos(),
+			"%s is //tiermerge:locks(cluster) (requires the cluster mutex) but no mutex is held at this call", f.Name())
+	}
+}
+
+// holdsVisibleLock is a hook for future flow-insensitive refinement; the
+// linear scan's held set is authoritative today.
+func (lc *lockChecker) holdsVisibleLock(*ast.CallExpr) bool { return false }
+
+func (lc *lockChecker) heldDesc(held lockSet) string {
+	for k, h := range held {
+		if h && k != "<caller>" {
+			return " (" + k + ")"
+		}
+	}
+	if held["<caller>"] {
+		return " (caller-held cluster mutex)"
+	}
+	return ""
+}
+
+// mutexOp recognizes X.Lock/RLock/Unlock/RUnlock() on a sync.Mutex or
+// sync.RWMutex and returns the rendered mutex key and whether it locks.
+func mutexOp(info *types.Info, e ast.Expr) (key string, locks, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return "", false, false
+	}
+	t := info.Types[sel.X].Type
+	if !typeIs(t, "sync", "Mutex") && !typeIs(t, "sync", "RWMutex") {
+		return "", false, false
+	}
+	key = exprString(sel.X)
+	if key == "" {
+		key = "<mutex>"
+	}
+	return key, locks, true
+}
+
+// isKnownBlocking matches standard-library calls that park the goroutine.
+func isKnownBlocking(f *types.Func) bool {
+	if f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		return f.Name() == "Sleep"
+	case "sync":
+		if f.Name() != "Wait" {
+			return false
+		}
+		sig, _ := f.Type().(*types.Signature)
+		return sig != nil && sig.Recv() != nil && typeIs(sig.Recv().Type(), "sync", "WaitGroup")
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+// Package annot exercises the //tiermerge: directive parser.
+package annot
+
+// Window returns an alias of shared storage.
+//
+//tiermerge:immutable
+func Window() []int { return nil }
+
+// Merge acquires the lock itself.
+//
+//tiermerge:locks(none)
+func Merge() {}
+
+// InstallLocked requires the cluster mutex.
+//
+//tiermerge:locks(cluster)
+func InstallLocked() {}
+
+// Acquire may block.
+//
+//tiermerge:blocking
+func Acquire() {}
+
+// ReadSet returns an alias into shared structure.
+//
+//tiermerge:shared
+func ReadSet() map[string]struct{} { return nil }
+
+// Candidates emits back-out candidates.
+//
+//tiermerge:backout-source
+func Candidates() []int { return nil }
+
+// Fill fills caller-owned sets.
+//
+//tiermerge:sink
+func Fill(dst map[string]struct{}) { dst["x"] = struct{}{} }
+
+// Frozen values never change after construction.
+//
+//tiermerge:immutable
+type Frozen struct {
+	N int
+}
+
+// Plain carries no directives.
+func Plain() {}

@@ -1,0 +1,23 @@
+// Package annotbad carries malformed directives; the parser must reject
+// every one of them with a file:line error.
+package annotbad
+
+// Broken has an unknown lock contract argument.
+//
+//tiermerge:locks(held)
+func Broken() {}
+
+// Unknown has an unknown directive.
+//
+//tiermerge:frozen
+func Unknown() {}
+
+// Unclosed misses the closing parenthesis.
+//
+//tiermerge:locks(none
+func Unclosed() {}
+
+// BadType puts a function-only directive on a type.
+//
+//tiermerge:blocking
+type BadType struct{}

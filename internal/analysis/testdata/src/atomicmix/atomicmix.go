@@ -1,0 +1,42 @@
+// Package atomicmix exercises the atomicmix analyzer: a variable
+// accessed through sync/atomic anywhere must be accessed that way
+// everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func (s *stats) hit() { atomic.AddInt64(&s.hits, 1) }
+
+func (s *stats) snapshot() (int64, int64) {
+	h := s.hits // want "plain read of hits"
+	m := s.misses
+	return h, m
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want "plain write of hits"
+	s.misses = 0
+}
+
+func (s *stats) hitsAtomic() int64 { return atomic.LoadInt64(&s.hits) }
+
+func (s *stats) hitsAddr() *int64 { return &s.hits }
+
+var ops int64
+
+func bump() { atomic.AddInt64(&ops, 1) }
+
+func report() int64 {
+	return ops // want "plain read of ops"
+}
+
+var calls int64
+
+func recordCall() { calls++ }
+
+func callCount() int64 { return calls }

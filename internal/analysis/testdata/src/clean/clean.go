@@ -1,0 +1,69 @@
+// Package clean is a fixture every analyzer accepts: the canonical
+// guard, clone, lock and atomic disciplines all followed at once.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+)
+
+type graph struct {
+	kinds []tx.Kind
+}
+
+func (g *graph) Kind(v int) tx.Kind { return g.kinds[v] }
+
+type strategy struct{}
+
+// ComputeB keeps only tentative vertices.
+func (strategy) ComputeB(g *graph, cycle []int) []int {
+	var out []int
+	for _, v := range cycle {
+		if g.Kind(v) != tx.Tentative {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+type cluster struct {
+	mu    sync.Mutex
+	hits  int64
+	state model.State
+}
+
+// Merge installs updates under the cluster lock.
+//
+//tiermerge:locks(none)
+func (c *cluster) Merge(updates map[model.Item]model.Value) {
+	atomic.AddInt64(&c.hits, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.installLocked(updates)
+}
+
+// installLocked applies updates to the master state.
+//
+//tiermerge:locks(cluster)
+func (c *cluster) installLocked(updates map[model.Item]model.Value) {
+	c.state.Apply(updates)
+}
+
+// Hits reads the counter atomically.
+func (c *cluster) Hits() int64 { return atomic.LoadInt64(&c.hits) }
+
+// stamp copies the frozen state before editing it.
+func stamp(snap model.State, it model.Item, v model.Value) model.State {
+	own := snap.Clone()
+	own.Set(it, v)
+	return own
+}
+
+var (
+	_ = strategy{}
+	_ = stamp
+)

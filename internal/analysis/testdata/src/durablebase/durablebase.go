@@ -1,0 +1,93 @@
+// Package durablebase exercises the durablebase analyzer: every
+// back-out source must filter candidates through a Kind == tx.Tentative
+// test before keeping them.
+package durablebase
+
+import "tiermerge/internal/tx"
+
+type graph struct {
+	kinds []tx.Kind
+}
+
+func (g *graph) Kind(v int) tx.Kind { return g.kinds[v] }
+
+type unguarded struct{}
+
+// ComputeB appends every cycle vertex with no kind test at all.
+func (unguarded) ComputeB(g *graph, cycle []int) []int {
+	var out []int
+	for _, v := range cycle {
+		out = append(out, v) // want "back-out candidate appended without a preceding Kind"
+	}
+	return out
+}
+
+type checkAfter struct{}
+
+// ComputeB tests the kind only after the candidate was already kept.
+func (checkAfter) ComputeB(g *graph, cycle []int) []int {
+	var out []int
+	for _, v := range cycle {
+		out = append(out, v) // want "back-out candidate appended without a preceding Kind"
+	}
+	for _, v := range out {
+		if g.Kind(v) != tx.Tentative {
+			panic("base vertex selected")
+		}
+	}
+	return out
+}
+
+// worstVertices hands back a slice of candidates without ever consulting
+// the vertex kind.
+//
+//tiermerge:backout-source
+func worstVertices(g *graph, order []int) []int {
+	if len(order) == 0 {
+		return nil
+	}
+	return order[:1] // want "back-out set returned by a function that never tests Kind"
+}
+
+type guarded struct{}
+
+// ComputeB is the canonical guard-then-append shape.
+func (guarded) ComputeB(g *graph, cycle []int) []int {
+	var out []int
+	for _, v := range cycle {
+		if g.Kind(v) != tx.Tentative {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+type equality struct{}
+
+// ComputeB guards with the positive comparison.
+func (equality) ComputeB(g *graph, cycle []int) []int {
+	var out []int
+	for _, v := range cycle {
+		if g.Kind(v) == tx.Tentative {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// collect is neither named ComputeB nor annotated, so it is out of
+// scope for the analyzer.
+func collect(cycle []int) []int {
+	var out []int
+	for _, v := range cycle {
+		out = append(out, v)
+	}
+	return out
+}
+
+var _ = []interface{}{unguarded{}, checkAfter{}, guarded{}, equality{}}
+
+var _ = worstVertices
+
+var _ = collect

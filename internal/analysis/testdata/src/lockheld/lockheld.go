@@ -1,0 +1,81 @@
+// Package lockheld exercises the lockheld analyzer: locks(none|cluster)
+// call contracts and the no-blocking-under-lock rule.
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type cluster struct {
+	mu    sync.Mutex
+	state map[string]int
+	wake  chan struct{}
+}
+
+// Merge takes the cluster lock itself.
+//
+//tiermerge:locks(none)
+func (c *cluster) Merge(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.installLocked(k)
+}
+
+// installLocked requires the cluster mutex.
+//
+//tiermerge:locks(cluster)
+func (c *cluster) installLocked(k string) {
+	c.state[k]++
+}
+
+func (c *cluster) reMerge(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Merge(k) // want "Merge is ..tiermerge:locks.none."
+}
+
+func (c *cluster) unsafeInstall(k string) {
+	c.installLocked(k) // want "installLocked is ..tiermerge:locks.cluster."
+}
+
+func (c *cluster) napLocked() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking call time.Sleep while a mutex is held"
+	c.mu.Unlock()
+}
+
+func (c *cluster) notifyLocked() {
+	c.mu.Lock()
+	c.wake <- struct{}{} // want "channel send while a mutex is held"
+	c.mu.Unlock()
+}
+
+func (c *cluster) waitLocked() {
+	c.mu.Lock()
+	<-c.wake // want "channel receive while a mutex is held"
+	c.mu.Unlock()
+}
+
+// rebuildLocked runs under the caller's cluster mutex, so calling
+// another locks(cluster) function is fine.
+//
+//tiermerge:locks(cluster)
+func (c *cluster) rebuildLocked() {
+	c.installLocked("rebuilt")
+}
+
+func (c *cluster) asyncMerge(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.Merge(k + "-async")
+	}()
+}
+
+func (c *cluster) politeNotify() {
+	c.mu.Lock()
+	c.state["n"]++
+	c.mu.Unlock()
+	c.wake <- struct{}{}
+}

@@ -1,0 +1,72 @@
+// Package snapshotmut exercises the snapshotmut analyzer: values
+// reached through //tiermerge:immutable functions or of
+// //tiermerge:immutable types are frozen snapshot aliases.
+package snapshotmut
+
+import "tiermerge/internal/model"
+
+type entry struct {
+	ID    string
+	Score int
+}
+
+type history struct {
+	states []model.State
+	log    []entry
+}
+
+// stateAt returns the committed state at pos. Callers must treat the
+// result as frozen.
+//
+//tiermerge:immutable
+func (h *history) stateAt(pos int) model.State { return h.states[pos] }
+
+// window returns the shared log prefix without copying.
+//
+//tiermerge:immutable
+func (h *history) window() []entry { return h.log }
+
+// snapshot is a frozen prefix view of the history.
+//
+//tiermerge:immutable
+type snapshot struct {
+	entries []entry
+}
+
+func overwrite(h *history, it model.Item) {
+	st := h.stateAt(0)
+	st.Set(it, 1) // want "mutating method call Set through a snapshot alias"
+}
+
+func bumpScore(h *history) {
+	w := h.window()
+	w[0].Score++ // want "field update through a snapshot alias"
+}
+
+func extend(h *history, e entry) []entry {
+	return append(h.window(), e) // want "append through a snapshot alias"
+}
+
+func poke(s snapshot, v int) {
+	s.entries[0].Score = v // want "field write through a snapshot alias"
+}
+
+func read(h *history, it model.Item) model.Value {
+	return h.stateAt(0)[it]
+}
+
+func editCopy(h *history, it model.Item) model.State {
+	own := h.stateAt(0).Clone()
+	own.Set(it, 2)
+	return own
+}
+
+func countEntries(h *history) int {
+	return len(h.window())
+}
+
+func suppressed(h *history, it model.Item) {
+	st := h.stateAt(0)
+	//tiermerge:ignore snapshotmut the debug path rebuilds the state afterwards
+	st.Set(it, 3)
+}

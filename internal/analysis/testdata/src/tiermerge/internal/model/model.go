@@ -1,0 +1,49 @@
+// Package model is a fixture stub of tiermerge/internal/model: just
+// enough surface for the analyzers' type tests to resolve.
+package model
+
+// Item identifies a data item.
+type Item string
+
+// Value is an item's value.
+type Value int64
+
+// ItemSet is a set of items.
+type ItemSet map[Item]struct{}
+
+// Add inserts it into the set.
+func (s ItemSet) Add(it Item) { s[it] = struct{}{} }
+
+// Has reports membership.
+func (s ItemSet) Has(it Item) bool { _, ok := s[it]; return ok }
+
+// Clone returns an independent copy.
+func (s ItemSet) Clone() ItemSet {
+	c := make(ItemSet, len(s))
+	for it := range s {
+		c[it] = struct{}{}
+	}
+	return c
+}
+
+// State maps items to values.
+type State map[Item]Value
+
+// Set assigns v to it.
+func (s State) Set(it Item, v Value) { s[it] = v }
+
+// Apply copies every update into the state.
+func (s State) Apply(u map[Item]Value) {
+	for it, v := range u {
+		s[it] = v
+	}
+}
+
+// Clone returns an independent copy.
+func (s State) Clone() State {
+	c := make(State, len(s))
+	for it, v := range s {
+		c[it] = v
+	}
+	return c
+}

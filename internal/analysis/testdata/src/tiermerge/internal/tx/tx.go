@@ -1,0 +1,19 @@
+// Package tx is a fixture stub of tiermerge/internal/tx.
+package tx
+
+// Kind classifies a transaction.
+type Kind int
+
+// Transaction kinds.
+const (
+	// Tentative transactions may be backed out during merge.
+	Tentative Kind = iota + 1
+	// Base transactions are durable and never backed out.
+	Base
+)
+
+// Transaction is a logged transaction.
+type Transaction struct {
+	ID   string
+	Kind Kind
+}

@@ -256,9 +256,17 @@ func (g *Graph) Kind(v int) tx.Kind { return g.kind[v] }
 func (g *Graph) Cost(v int) int { return g.cost[v] }
 
 // Succ returns the successors of v (v must precede them).
+// Succ returns the successor list of v. The slice aliases the graph's
+// internal adjacency storage.
+//
+//tiermerge:immutable
 func (g *Graph) Succ(v int) []int { return g.succ[v] }
 
 // Pred returns the predecessors of v.
+// Pred returns the predecessor list of v. The slice aliases the graph's
+// internal adjacency storage.
+//
+//tiermerge:immutable
 func (g *Graph) Pred(v int) []int { return g.pred[v] }
 
 // VertexByID returns the vertex index of the transaction with the given ID,

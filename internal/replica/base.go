@@ -91,6 +91,8 @@ func (b *BaseCluster) Counters() *cost.Counters { return &b.counters }
 func (b *BaseCluster) Weights() cost.Weights { return b.cfg.Weights }
 
 // Master returns a copy of the current master state.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) Master() model.State {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -98,6 +100,8 @@ func (b *BaseCluster) Master() model.State {
 }
 
 // WindowID returns the current time-window identifier.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) WindowID() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -106,6 +110,8 @@ func (b *BaseCluster) WindowID() int {
 
 // HistoryLen returns the number of base transactions committed in the
 // current window.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) HistoryLen() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -117,6 +123,8 @@ func (b *BaseCluster) HistoryLen() int {
 // (Section 2.2's periodic resynchronization). Mobile nodes still carrying
 // tentative work from an earlier window will fall back to reprocessing when
 // they connect.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) AdvanceWindow() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -133,6 +141,8 @@ func (b *BaseCluster) AdvanceWindow() int {
 // ExecBase runs one base transaction against master data under strict 2PL
 // and appends it to the base history. It charges query, lock and forced-log
 // costs plus lazy propagation to the other base replicas.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) ExecBase(t *tx.Transaction) error {
 	if t.Kind != tx.Base {
 		return fmt.Errorf("%w: %s", ErrNotBase, t.ID)
@@ -169,6 +179,10 @@ func (b *BaseCluster) ExecBase(t *tx.Transaction) error {
 	return nil
 }
 
+// acquireAll takes the item locks in the given order, waiting as needed;
+// it must never run while the cluster mutex is held.
+//
+//tiermerge:blocking
 func (b *BaseCluster) acquireAll(owner string, items []model.Item, writes model.ItemSet) error {
 	for _, it := range items {
 		mode := lockmgr.Shared
@@ -184,6 +198,8 @@ func (b *BaseCluster) acquireAll(owner string, items []model.Item, writes model.
 
 // chargeBaseExec records the execution costs of one base transaction.
 // Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) chargeBaseExec(t *tx.Transaction, eff *tx.Effect) {
 	nStmts := int64(t.StmtCount())
 	nLocks := int64(len(eff.ReadSet.Union(eff.WriteSet)))
@@ -198,6 +214,9 @@ func (b *BaseCluster) chargeBaseExec(t *tx.Transaction, eff *tx.Effect) {
 
 // stateAt returns the base state at history position pos of the current
 // window (0 = window origin). Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
+//tiermerge:immutable
 func (b *BaseCluster) stateAt(pos int) model.State {
 	if pos == 0 {
 		return b.windowOrigin
@@ -214,6 +233,9 @@ func (b *BaseCluster) stateAt(pos int) model.State {
 // previously returned view's length, and the per-entry states are
 // immutable once stored (commits clone them; interior inserts replace them
 // and bump structVer, forcing a rebuild with fresh backing arrays).
+//
+//tiermerge:locks(cluster)
+//tiermerge:immutable
 func (b *BaseCluster) windowPrefix() (entries []history.Entry, states []model.State, effects []*tx.Effect) {
 	n := len(b.entries)
 	c := &b.prefix
@@ -236,6 +258,9 @@ func (b *BaseCluster) windowPrefix() (entries []history.Entry, states []model.St
 // history (the Hb a merge runs against), served from the prefix cache.
 // Caller holds b.mu; the result remains valid to read after the lock is
 // released (see windowPrefix).
+//
+//tiermerge:locks(cluster)
+//tiermerge:immutable
 func (b *BaseCluster) baseAugmented(pos int) *history.Augmented {
 	entries, states, effects := b.windowPrefix()
 	return &history.Augmented{
@@ -278,6 +303,8 @@ func (b *BaseCluster) forwardTxn(mobileID string, updates map[model.Item]model.V
 // outcome violates the acceptance criterion — are reported, not committed.
 // tentEff is the transaction's effect on the mobile replica (nil when
 // unknown), which the acceptance criterion compares against.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) reprocessOne(t *tx.Transaction, tentEff *tx.Effect) (ok bool) {
 	w := b.cfg.Weights
 	// Code + arguments travel mobile -> base; the result travels back.
@@ -324,6 +351,8 @@ func (b *BaseCluster) reprocessOne(t *tx.Transaction, tentEff *tx.Effect) (ok bo
 // need be forced to durable logs only once"). Caller holds b.mu. Returns
 // the entry index of the installed transaction, or -1 when there was
 // nothing to forward.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) applyForwarded(mobileID string, updates map[model.Item]model.Value) int {
 	if len(updates) == 0 {
 		return -1
@@ -358,6 +387,8 @@ func (b *BaseCluster) applyForwarded(mobileID string, updates map[model.Item]mod
 // merge concurrently; only a short admission critical section touches the
 // cluster. See pipeline.go for the phases and the snapshot-validation
 // rule.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) Merge(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error) {
 	return b.mergePipelined(ck, hm)
 }
@@ -368,6 +399,8 @@ func (b *BaseCluster) Merge(ck Checkout, hm *history.Augmented) (*ConnectOutcome
 // after-states of later entries are patched — legal because the conflict
 // check guaranteed no later entry touches the forwarded items. Caller holds
 // b.mu.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) installForwarded(mobileID string, updates map[model.Item]model.Value, at int) {
 	if len(updates) == 0 {
 		return
@@ -411,6 +444,8 @@ func (b *BaseCluster) installForwarded(mobileID string, updates map[model.Item]m
 // Reprocess runs the original two-tier protocol for a connected mobile
 // node: every tentative transaction is shipped to the base tier and
 // re-executed.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) Reprocess(hm *history.Augmented) *ConnectOutcome {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -419,6 +454,8 @@ func (b *BaseCluster) Reprocess(hm *history.Augmented) *ConnectOutcome {
 
 // fallbackReprocess re-executes every transaction of hm at the base tier.
 // Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) fallbackReprocess(hm *history.Augmented, reason FallbackReason) *ConnectOutcome {
 	out := &ConnectOutcome{Fallback: reason}
 	if reason != FallbackNone {
@@ -448,6 +485,8 @@ type Checkout struct {
 // CheckoutReplica hands a mobile node its origin snapshot: the window
 // origin under Strategy 2, the live master state under Strategy 1. The
 // download is charged to the communication budget.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) CheckoutReplica(mobileID string) Checkout {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -467,6 +506,8 @@ func (b *BaseCluster) CheckoutReplica(mobileID string) Checkout {
 // precedence graph, back-out set, saved set, forwarded updates — without
 // committing anything or charging costs. Mobile users call it to see what a
 // reconnect would cost them before going online ("what will I lose?").
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) Preview(ck Checkout, hm *history.Augmented) (*merge.Report, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -43,6 +43,8 @@ func (b *BaseCluster) AttachJournal(w io.Writer) error {
 // logCommit journals one committed base entry. Caller holds b.mu. Journal
 // failures are returned to the committing path — a base that cannot force
 // its log must not acknowledge the commit.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) logCommit(t *tx.Transaction, eff *tx.Effect) error {
 	if b.journal == nil {
 		return nil
@@ -51,6 +53,8 @@ func (b *BaseCluster) logCommit(t *tx.Transaction, eff *tx.Effect) error {
 }
 
 // logWindow journals a window advance. Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) logWindow() error {
 	if b.journal == nil {
 		return nil

@@ -46,6 +46,8 @@ func (b *BaseCluster) initFollowers() {
 
 // propagate enqueues one commit's writes to every follower and charges the
 // propagation messages. Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) propagate(txID string, writes map[model.Item]model.Value) {
 	if len(b.followers) == 0 || len(writes) == 0 {
 		return
@@ -65,6 +67,8 @@ func (b *BaseCluster) propagate(txID string, writes map[model.Item]model.Value) 
 }
 
 // drainFollower applies a follower's queued updates in commit order.
+//
+//tiermerge:sink
 func drainFollower(f *follower) {
 	for _, u := range f.queue {
 		f.state.Apply(u.writes)
@@ -74,6 +78,8 @@ func drainFollower(f *follower) {
 
 // SyncReplicas drains every follower's queue and returns the number of
 // updates applied.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) SyncReplicas() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -86,6 +92,8 @@ func (b *BaseCluster) SyncReplicas() int {
 }
 
 // ReplicaLag returns each follower's queued-update count.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) ReplicaLag() []int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -98,6 +106,8 @@ func (b *BaseCluster) ReplicaLag() []int {
 
 // FollowerState returns a copy of follower i's replica (after its queue
 // position; it may trail the master until SyncReplicas).
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) FollowerState(i int) (model.State, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -109,6 +119,8 @@ func (b *BaseCluster) FollowerState(i int) (model.State, error) {
 
 // Converged reports whether every follower, after draining, equals the
 // master — the protocol's convergence property.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) Converged() bool {
 	b.SyncReplicas()
 	b.mu.Lock()

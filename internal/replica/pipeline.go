@@ -44,6 +44,8 @@ const defaultMergeAttempts = 3
 
 // prefixSnapshot is the immutable base-prefix view a merge prepares
 // against.
+//
+//tiermerge:immutable
 type prefixSnapshot struct {
 	windowID  int
 	structVer int64
@@ -71,6 +73,8 @@ type preparedMerge struct {
 }
 
 // mergePipelined is the optimistic two-phase Merge entry point.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) mergePipelined(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error) {
 	attempts := b.cfg.MergeAttempts
 	if attempts == 0 {
@@ -109,6 +113,8 @@ func (b *BaseCluster) mergePipelined(ck Checkout, hm *history.Augmented) (*Conne
 
 // snapshotLocked validates the checkout token and captures the prefix
 // snapshot. Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) snapshotLocked(ck Checkout) (prefixSnapshot, FallbackReason) {
 	if ck.WindowID != b.windowID {
 		return prefixSnapshot{}, FallbackWindowExpired
@@ -238,6 +244,8 @@ func (p *preparedMerge) lockPlan(mobileID string) (owner string, items []model.I
 // admitPrepared is the short admission critical section: acquire the
 // merge's lock footprint, revalidate the snapshot, and install. It returns
 // admitted=false when validation failed and the caller should re-prepare.
+//
+//tiermerge:locks(none)
 func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *preparedMerge) (out *ConnectOutcome, admitted bool, err error) {
 	owner, items, writes := p.lockPlan(ck.MobileID)
 	if len(items) > 0 {
@@ -286,6 +294,8 @@ func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *prepa
 // mergeSerialLocked runs the whole protocol under the cluster lock — the
 // degradation path after repeated validation failures, immune to
 // invalidation by construction. Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) mergeSerialLocked(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error) {
 	snap, fb := b.snapshotLocked(ck)
 	if fb != FallbackNone {
@@ -301,6 +311,8 @@ func (b *BaseCluster) mergeSerialLocked(ck Checkout, hm *history.Augmented) (*Co
 // installPrepared commits a validated prepared merge: charge the deltas,
 // install the forwarded updates at the strategy's position, and re-execute
 // the backed-out transactions. Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
 func (b *BaseCluster) installPrepared(ck Checkout, hm *history.Augmented, p *preparedMerge) (*ConnectOutcome, error) {
 	b.counters.Add(p.deltaPrepare)
 	if p.insertConflict {

@@ -132,6 +132,8 @@ func (t *Transaction) Exec(s model.State, fix Fix) (model.State, *Effect, error)
 // ExecInPlace runs the transaction against s, mutating it, and returns the
 // effect log. On error s may be partially updated; callers that need
 // atomicity use Exec.
+//
+//tiermerge:sink
 func (t *Transaction) ExecInPlace(s model.State, fix Fix) (*Effect, error) {
 	env := &execEnv{
 		state:  s,
@@ -156,6 +158,7 @@ func (t *Transaction) DefinedOn(s model.State, fix Fix) bool {
 	return err == nil
 }
 
+//tiermerge:sink
 func runStmts(body []Stmt, env *execEnv) error {
 	for _, s := range body {
 		switch st := s.(type) {

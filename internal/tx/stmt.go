@@ -32,6 +32,7 @@ type ReadStmt struct {
 // Read builds a read statement.
 func Read(it model.Item) *ReadStmt { return &ReadStmt{Item: it} }
 
+//tiermerge:sink
 func (s *ReadStmt) addStaticSets(rs, _ model.ItemSet) { rs.Add(s.Item) }
 
 func (s *ReadStmt) String() string { return fmt.Sprintf("read %s", s.Item) }
@@ -48,6 +49,7 @@ type UpdateStmt struct {
 // Update builds an update statement it := e.
 func Update(it model.Item, e expr.Expr) *UpdateStmt { return &UpdateStmt{Item: it, Expr: e} }
 
+//tiermerge:sink
 func (s *UpdateStmt) addStaticSets(rs, ws model.ItemSet) {
 	rs.Add(s.Item) // implicit pre-read of the target
 	s.Expr.AddItems(rs)

@@ -108,6 +108,8 @@ func (t *Transaction) Validate() error {
 // conditional the union of both branches' writes is considered written
 // (conservative: an item written in the then-branch and again after the
 // conditional is rejected even though the else path would be fine).
+//
+//tiermerge:sink
 func validateOnceWritten(body []Stmt, written model.ItemSet) error {
 	for _, s := range body {
 		switch st := s.(type) {

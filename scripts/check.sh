@@ -1,9 +1,34 @@
 #!/usr/bin/env bash
-# Full repository verification: build, vet, format check, unit/property
-# tests, experiment regeneration with pass/fail gates, examples and a quick
-# benchmark smoke. CI would run exactly this.
+# Full repository verification: build, vet, tiermergelint (the merge
+# protocol's invariant gate), format check, unit/property tests,
+# experiment regeneration with pass/fail gates, examples and a quick
+# benchmark smoke. CI runs exactly this (see .github/workflows/ci.yml).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Pinned versions for the optional external gates. The build environment
+# vendors no modules, so the tools are only run when a matching binary is
+# already on PATH; otherwise the gate is skipped with a warning.
+STATICCHECK_VERSION="${STATICCHECK_VERSION:-2024.1}"
+GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.3}"
+
+# run_logged NAME CMD...: run a command with output captured to a log,
+# replaying the log when the command fails so panics in benchreport or
+# the examples are never swallowed by a silent redirect.
+run_logged() {
+    local name="$1"
+    shift
+    local log
+    log=$(mktemp "${TMPDIR:-/tmp}/check-${name//\//_}.XXXXXX")
+    if ! "$@" > "$log" 2>&1; then
+        echo "FAILED: $name ($*)" >&2
+        echo "---- output ----" >&2
+        cat "$log" >&2
+        rm -f "$log"
+        exit 1
+    fi
+    rm -f "$log"
+}
 
 echo "== gofmt =="
 unformatted=$(gofmt -l . | grep -v '^$' || true)
@@ -18,6 +43,33 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
+echo "== tiermergelint (merge-protocol invariants) =="
+go run ./cmd/tiermergelint ./...
+
+echo "== staticcheck (optional, pinned $STATICCHECK_VERSION) =="
+if command -v staticcheck > /dev/null 2>&1; then
+    have=$(staticcheck -version 2> /dev/null || true)
+    case "$have" in
+        *"$STATICCHECK_VERSION"*) staticcheck ./... ;;
+        *)
+            echo "WARNING: staticcheck version mismatch (have: ${have:-unknown}, want $STATICCHECK_VERSION); running anyway"
+            staticcheck ./...
+            ;;
+    esac
+else
+    echo "WARNING: staticcheck not installed; skipping (pin: $STATICCHECK_VERSION)"
+fi
+
+echo "== govulncheck (optional, pinned $GOVULNCHECK_VERSION) =="
+if command -v govulncheck > /dev/null 2>&1; then
+    govulncheck ./... || {
+        echo "FAILED: govulncheck" >&2
+        exit 1
+    }
+else
+    echo "WARNING: govulncheck not installed; skipping (pin: $GOVULNCHECK_VERSION)"
+fi
+
 echo "== tests =="
 go test ./...
 
@@ -25,21 +77,21 @@ echo "== race (concurrent merge pipeline + sharded detector cache) =="
 go test -race ./internal/replica/... ./internal/rewrite/...
 
 echo "== experiments (E0..E13) =="
-go run ./cmd/benchreport > /dev/null
+run_logged benchreport go run ./cmd/benchreport
 
 echo "== examples =="
 for ex in quickstart banking inventory fleet offline intrusion; do
     echo "-- examples/$ex"
-    go run "./examples/$ex" > /dev/null
+    run_logged "example-$ex" go run "./examples/$ex"
 done
 
 echo "== scenario files =="
 for f in scenarios/*.txn; do
     echo "-- $f"
-    go run ./cmd/txrun -file "$f" > /dev/null
+    run_logged "scenario-$(basename "$f")" go run ./cmd/txrun -file "$f"
 done
 
 echo "== benchmark smoke =="
-go test -run XXX -bench . -benchtime 1x ./... > /dev/null
+run_logged bench-smoke go test -run XXX -bench . -benchtime 1x ./...
 
 echo "ALL CHECKS PASSED"
