@@ -354,7 +354,7 @@ func BenchmarkPublicAPIQuickstart(b *testing.B) {
 		if err := m.Run(tiermerge.Deposit("T1", tiermerge.Tentative, "acct", 25)); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := m.ConnectMerge(base); err != nil {
+		if _, err := m.ConnectMerge(); err != nil {
 			b.Fatal(err)
 		}
 	}

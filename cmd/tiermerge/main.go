@@ -3,12 +3,20 @@
 // merging protocol saved, what was backed out and re-executed, and the
 // Section 7.1 cost breakdown.
 //
+// The trace subcommand runs the same scenario under a merge tracer and
+// prints a per-reconnect phase breakdown — where each merge spent its
+// time, how many admission attempts it took and why they retried, and
+// what the merge decided. The -metrics flag (both modes) writes a
+// Prometheus-text metrics snapshot after the run.
+//
 // Examples:
 //
 //	tiermerge -mobiles 8 -rounds 3 -txns 6
 //	tiermerge -protocol reprocess -mobiles 8
 //	tiermerge -origin 1 -mobiles 6            # Strategy 1 anomaly demo
 //	tiermerge -rewriter canfollow -items 16   # high-conflict, Algorithm 1
+//	tiermerge trace -mobiles 2 -rounds 2      # per-merge phase breakdowns
+//	tiermerge -metrics metrics.prom           # dump the metric registry
 package main
 
 import (
@@ -23,13 +31,18 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	args := os.Args[1:]
+	traceMode := len(args) > 0 && args[0] == "trace"
+	if traceMode {
+		args = args[1:]
+	}
+	if err := run(args, traceMode); err != nil {
 		fmt.Fprintln(os.Stderr, "tiermerge:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, traceMode bool) error {
 	var (
 		seed       = flag.Int64("seed", 1, "workload seed")
 		mobiles    = flag.Int("mobiles", 4, "number of mobile nodes")
@@ -52,8 +65,11 @@ func run() error {
 		acceptance = flag.String("acceptance", "", "re-execution acceptance: '' (all) | same-writes | drift:<n>")
 		hotItems   = flag.Int("hotitems", 0, "size of the hot item set (0 = uniform access)")
 		phot       = flag.Float64("phot", 0, "probability an access hits the hot set")
+		metricsOut = flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file after the run")
 	)
-	flag.Parse()
+	if err := flag.CommandLine.Parse(args); err != nil {
+		return err
+	}
 
 	sc := tiermerge.Scenario{
 		Seed:              *seed,
@@ -135,9 +151,51 @@ func run() error {
 		return fmt.Errorf("origin must be 1 or 2")
 	}
 
+	// Observability: trace mode always records events; a -metrics dump
+	// additionally folds them into a registry.
+	var (
+		tracer  *tiermerge.MergeTracer
+		metrics *tiermerge.Metrics
+	)
+	if traceMode {
+		tracer = tiermerge.NewMergeTracer()
+	}
+	if *metricsOut != "" {
+		metrics = tiermerge.NewMetrics()
+	}
+	var observers []tiermerge.Observer
+	if tracer != nil {
+		observers = append(observers, tracer)
+	}
+	if metrics != nil {
+		observers = append(observers, metrics)
+	}
+	sc.Observer = tiermerge.MultiObserver(observers...)
+
 	res, err := tiermerge.RunScenario(sc)
 	if err != nil {
 		return err
+	}
+
+	if tracer != nil {
+		for _, mt := range tracer.Merges() {
+			mt.Format(os.Stdout)
+		}
+		fmt.Println()
+	}
+	if metrics != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := metrics.Registry().Snapshot().WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot   %s\n", *metricsOut)
 	}
 
 	c := res.Counts

@@ -126,7 +126,7 @@ func (s *Session) cmdCheckout(name string) (string, error) {
 		return "", fmt.Errorf("usage: checkout <node>")
 	}
 	if n, ok := s.nodes[name]; ok {
-		n.Checkout(s.cluster())
+		n.Checkout()
 		return fmt.Sprintf("%s refreshed; local %s", name, n.Local()), nil
 	}
 	s.nodes[name] = tiermerge.NewMobileNode(name, s.cluster())
@@ -171,12 +171,12 @@ func (s *Session) cmdConnect(name string, useMerge bool) (string, error) {
 	}
 	var out *tiermerge.ConnectOutcome
 	if useMerge {
-		out, err = n.ConnectMerge(s.cluster())
+		out, err = n.ConnectMerge()
 		if err != nil {
 			return "", err
 		}
 	} else {
-		out = n.ConnectReprocess(s.cluster())
+		out = n.ConnectReprocess()
 	}
 	var b strings.Builder
 	if out.Merged {
@@ -200,7 +200,7 @@ func (s *Session) cmdPreview(name string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	rep, err := n.PreviewMerge(s.cluster())
+	rep, err := n.PreviewMerge()
 	if err != nil {
 		return "", err
 	}

@@ -16,7 +16,7 @@ func Example() {
 	if err := m.Run(tiermerge.Deposit("T1", tiermerge.Tentative, "acct", 25)); err != nil {
 		panic(err)
 	}
-	out, err := m.ConnectMerge(base)
+	out, err := m.ConnectMerge()
 	if err != nil {
 		panic(err)
 	}

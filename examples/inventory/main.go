@@ -79,7 +79,7 @@ func run() error {
 	}
 
 	for _, rep := range []*tiermerge.MobileNode{ana, bo} {
-		out, err := rep.ConnectMerge(base)
+		out, err := rep.ConnectMerge()
 		if err != nil {
 			return err
 		}
@@ -91,7 +91,7 @@ func run() error {
 	// tentative history belongs to the previous window and is reprocessed
 	// wholesale (Section 2.2: "its transactions will be reexecuted").
 	base.AdvanceWindow()
-	out, err := cruz.ConnectMerge(base)
+	out, err := cruz.ConnectMerge()
 	if err != nil {
 		return err
 	}
@@ -107,7 +107,7 @@ func run() error {
 	if err := cruz.Run(tiermerge.Deposit("C3", tiermerge.Tentative, "stockWidgets", 10)); err != nil {
 		return err
 	}
-	out, err = cruz.ConnectMerge(base)
+	out, err = cruz.ConnectMerge()
 	if err != nil {
 		return err
 	}

@@ -57,6 +57,8 @@ func run() error {
 	fmt.Printf("recovered %d committed tentative transactions; local state %s\n",
 		recovered.Pending(), recovered.Local())
 
+	// A recovered node has no bound cluster yet; the one-argument form
+	// binds it on first connect (bound nodes call ConnectMerge()).
 	out, err := recovered.ConnectMerge(base)
 	if err != nil {
 		return err

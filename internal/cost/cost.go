@@ -13,6 +13,8 @@ package cost
 
 import (
 	"fmt"
+	"reflect"
+	"strings"
 	"sync"
 )
 
@@ -164,6 +166,33 @@ func (c Counts) Weighted(w Weights) Report {
 			c.MobilePruneOps*w.PruneOpCost +
 			c.MobileReports*w.ResultReportCost,
 	}
+}
+
+// Each visits every counter as a (snake_case name, value) pair in struct
+// declaration order — the single source of truth metric exporters walk, so
+// adding a field to Counts automatically extends every dump.
+func (c Counts) Each(f func(name string, v int64)) {
+	v := reflect.ValueOf(c)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f(snakeCase(t.Field(i).Name), v.Field(i).Int())
+	}
+}
+
+// snakeCase converts a CamelCase field name to snake_case
+// ("BaseForcedWrites" -> "base_forced_writes").
+func snakeCase(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
 }
 
 // String renders the headline counters for reports.

@@ -94,7 +94,7 @@ func runE13Fleet(n, txns, attempts int, concurrent bool) (model.State, cost.Coun
 		for i := range nodes {
 			go func(i int) {
 				defer wg.Done()
-				if _, err := nodes[i].ConnectMerge(b); err != nil {
+				if _, err := nodes[i].ConnectMerge(); err != nil {
 					panic(err)
 				}
 			}(i)
@@ -102,7 +102,7 @@ func runE13Fleet(n, txns, attempts int, concurrent bool) (model.State, cost.Coun
 		wg.Wait()
 	} else {
 		for _, m := range nodes {
-			if _, err := m.ConnectMerge(b); err != nil {
+			if _, err := m.ConnectMerge(); err != nil {
 				panic(err)
 			}
 		}

@@ -55,7 +55,7 @@ func E11QueuePosition() *Table {
 	firstHist, lastHist := -1, -1
 	for i, m := range nodes {
 		histLen := b.HistoryLen()
-		out, err := m.ConnectMerge(b)
+		out, err := m.ConnectMerge()
 		if err != nil {
 			panic(err)
 		}

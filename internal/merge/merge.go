@@ -10,14 +10,20 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"tiermerge/internal/graph"
 	"tiermerge/internal/history"
 	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
 	"tiermerge/internal/prune"
 	"tiermerge/internal/rewrite"
 	"tiermerge/internal/tx"
 )
+
+// ErrBadOptions is the typed sentinel wrapped by every Options validation
+// failure (unknown rewriter, unknown pruner). Match with errors.Is.
+var ErrBadOptions = errors.New("merge: invalid options")
 
 // Rewriter selects the back-out/rewriting algorithm for step 3.
 type Rewriter int
@@ -104,6 +110,26 @@ type Options struct {
 	// compares it against the pruned state, failing the merge on mismatch.
 	// Intended for tests and debugging; defaults off.
 	Verify bool
+	// Observer receives per-phase span events (graph build, back-out,
+	// rewrite, prune) while the merge runs. nil (the default) pays only a
+	// nil check. The replication substrate binds its ClusterConfig.Observer
+	// here with the reconnect's identity; standalone Merge callers may set
+	// it directly (events then carry no mobile/seq identity).
+	Observer obs.Observer
+}
+
+// Validate reports misconfiguration — an out-of-range Rewriter or Pruner —
+// as an error wrapping ErrBadOptions. Zero values are valid (they select
+// defaults). Merge calls it first, so a bad configuration fails fast
+// instead of surfacing mid-protocol.
+func (o Options) Validate() error {
+	if o.Rewriter < 0 || o.Rewriter > RewriteCanFollowBW {
+		return fmt.Errorf("%w: unknown rewriter %d", ErrBadOptions, o.Rewriter)
+	}
+	if o.Pruner < 0 || o.Pruner > PruneUndo {
+		return fmt.Errorf("%w: unknown pruner %d", ErrBadOptions, o.Pruner)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +189,9 @@ type Report struct {
 // from the same origin state (Strategy 2 of Section 2.2 guarantees this in
 // the full protocol).
 func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	defaulted := opts.Rewriter == 0
 	opts = opts.withDefaults()
 	if defaulted {
@@ -174,12 +203,18 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 		}
 	}
 	rep := &Report{Options: opts}
+	o := opts.Observer // nil observer: every span below is one nil check
 
 	// Step 1: precedence graph.
+	start := spanStart(o)
 	g := graph.BuildFromHistories(hm, hb)
 	rep.Graph = g
+	if o != nil {
+		o.Observe(obs.Event{Phase: obs.PhaseGraph, Dur: time.Since(start)})
+	}
 
 	// Step 2: back-out set.
+	start = spanStart(o)
 	var badPos map[int]bool
 	if g.Acyclic(nil) {
 		badPos = map[int]bool{}
@@ -187,12 +222,20 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 		rep.Conflict = true
 		b, err := opts.Strategy.ComputeB(g)
 		if err != nil {
+			if o != nil {
+				o.Observe(obs.Event{Phase: obs.PhaseBackout, Dur: time.Since(start),
+					Detail: fmt.Sprintf("%T", opts.Strategy), Err: err.Error()})
+			}
 			return nil, fmt.Errorf("merge: back-out: %w", err)
 		}
 		badPos = make(map[int]bool, len(b))
 		for _, v := range b {
 			badPos[v] = true // tentative vertex index == Hm position
 		}
+	}
+	if o != nil {
+		o.Observe(obs.Event{Phase: obs.PhaseBackout, Dur: time.Since(start),
+			Detail: fmt.Sprintf("%T", opts.Strategy), BackedOut: len(badPos)})
 	}
 
 	// Steps 3 and 4: rewrite and prune.
@@ -212,20 +255,41 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// spanStart returns the span's start time, or the zero time when no
+// observer is attached — the nil path never reads the clock.
+func spanStart(o obs.Observer) time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
 func rewriteAndPrune(rep *Report, hm *history.Augmented, badPos map[int]bool, opts Options) error {
+	o := opts.Observer
 	switch opts.Rewriter {
 	case RewriteClosure:
+		start := spanStart(o)
 		kept, affected := rewrite.ClosureBackout(hm, badPos)
 		rep.Repaired = kept
 		rep.BadIDs = idsAt(hm, badPos)
 		rep.AffectedIDs = idsAt(hm, affected)
 		rep.SavedIDs = kept.IDs()
-		rep.RepairedState = repairedStateByLog(hm, badPos, affected)
-		rep.PruneMethod = "log-restore"
 		for i := 0; i < hm.H.Len(); i++ {
 			if badPos[i] || affected[i] {
 				rep.Reexecute = append(rep.Reexecute, hm.H.Txn(i))
 			}
+		}
+		if o != nil {
+			o.Observe(obs.Event{Phase: obs.PhaseRewrite, Dur: time.Since(start),
+				Detail: opts.Rewriter.String(), Saved: len(rep.SavedIDs),
+				BackedOut: len(rep.BadIDs), Affected: len(rep.AffectedIDs)})
+		}
+		start = spanStart(o)
+		rep.RepairedState = repairedStateByLog(hm, badPos, affected)
+		rep.PruneMethod = "log-restore"
+		if o != nil {
+			o.Observe(obs.Event{Phase: obs.PhasePrune, Dur: time.Since(start),
+				Detail: rep.PruneMethod})
 		}
 		return nil
 	case RewriteCanFollow, RewriteCanPrecede, RewriteCBT, RewriteCanFollowBW:
@@ -233,6 +297,7 @@ func rewriteAndPrune(rep *Report, hm *history.Augmented, badPos map[int]bool, op
 			res *rewrite.Result
 			err error
 		)
+		start := spanStart(o)
 		switch opts.Rewriter {
 		case RewriteCanFollow:
 			res, err = rewrite.Algorithm1(hm, badPos)
@@ -244,6 +309,10 @@ func rewriteAndPrune(rep *Report, hm *history.Augmented, badPos map[int]bool, op
 			res, err = rewrite.CBTR(hm, badPos, opts.Detector)
 		}
 		if err != nil {
+			if o != nil {
+				o.Observe(obs.Event{Phase: obs.PhaseRewrite, Dur: time.Since(start),
+					Detail: opts.Rewriter.String(), Err: err.Error()})
+			}
 			return fmt.Errorf("merge: rewrite: %w", err)
 		}
 		rep.RewriteResult = res
@@ -255,12 +324,26 @@ func rewriteAndPrune(rep *Report, hm *history.Augmented, badPos map[int]bool, op
 			rep.Reexecute = append(rep.Reexecute, res.Rewritten.Txn(i))
 		}
 		sortByOriginalOrder(rep.Reexecute, hm)
+		if o != nil {
+			o.Observe(obs.Event{Phase: obs.PhaseRewrite, Dur: time.Since(start),
+				Detail: opts.Rewriter.String(), Saved: len(rep.SavedIDs),
+				BackedOut: len(rep.BadIDs), Affected: len(rep.AffectedIDs)})
+		}
+		start = spanStart(o)
 		state, method, err := pruneResult(res, hm.Final(), opts.Pruner)
 		if err != nil {
+			if o != nil {
+				o.Observe(obs.Event{Phase: obs.PhasePrune, Dur: time.Since(start),
+					Err: err.Error()})
+			}
 			return fmt.Errorf("merge: prune: %w", err)
 		}
 		rep.RepairedState = state
 		rep.PruneMethod = method
+		if o != nil {
+			o.Observe(obs.Event{Phase: obs.PhasePrune, Dur: time.Since(start),
+				Detail: method})
+		}
 		return nil
 	default:
 		return fmt.Errorf("merge: unknown rewriter %d", opts.Rewriter)

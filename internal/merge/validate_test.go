@@ -1,0 +1,31 @@
+package merge
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOptionsValidate: out-of-range selectors fail fast with the typed
+// sentinel, zero values (the documented defaults) pass, and Merge refuses a
+// bad configuration before touching the histories.
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options must validate, got %v", err)
+	}
+	for _, o := range []Options{
+		{Rewriter: RewriteCanFollowBW + 1},
+		{Rewriter: -1},
+		{Pruner: PruneUndo + 1},
+		{Pruner: -1},
+	} {
+		err := o.Validate()
+		if !errors.Is(err, ErrBadOptions) {
+			t.Errorf("Validate(%+v) = %v, want ErrBadOptions", o, err)
+		}
+	}
+
+	_, err := Merge(nil, nil, Options{Rewriter: -1})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Merge with bad options = %v, want ErrBadOptions", err)
+	}
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic tally.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be >= 0 for the Prometheus contract; negative deltas
+// are not checked).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency histogram bucket upper bounds, in
+// seconds: 5µs to 1s, roughly half-decade steps — reconnect phases span
+// microseconds (snapshot) to tens of milliseconds (big rewrites).
+var DefBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 1,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// lock-free: each bucket is an atomic counter and the sum accumulates in
+// integer nanoseconds, so concurrent merge phases record latencies without
+// contending.
+type Histogram struct {
+	bounds []float64      // upper bounds, seconds, sorted ascending
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumNs  atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records a value in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(seconds * 1e9))
+	h.count.Add(1)
+}
+
+// ObserveDuration records a span duration.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	i := sort.SearchFloat64s(h.bounds, d.Seconds())
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Snapshot returns a consistent-enough copy for reporting (buckets are
+// read individually; a concurrent Observe may straddle the reads, which is
+// acceptable for monitoring output).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    float64(h.sumNs.Load()) / 1e9,
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time histogram copy.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds in seconds; Counts has one extra
+	// trailing entry for the +Inf bucket. Counts are per-bucket (not
+	// cumulative; the Prometheus dump accumulates them).
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+// Metric names may carry Prometheus-style labels inline — Counter(`x`) and
+// Counter(`x{phase="rewrite"}`) are distinct series of the same family —
+// via the Label helper. Get-or-create lookups take a mutex; the returned
+// metric handles are lock-free, so hot paths should hold onto them.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds (nil = DefBuckets) on first use. Later calls ignore buckets.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counts)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Snapshot is an expvar-style point-in-time copy of a registry; it
+// marshals directly to JSON for /debug/tiermerge-style endpoints.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Label appends Prometheus-style labels to a metric name, merging with any
+// labels already present: Label(`x{a="1"}`, "b", "2") == `x{a="1",b="2"}`.
+// Keys and values are used verbatim; callers pass literals.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + b.String() + "}"
+	}
+	return name + "{" + b.String() + "}"
+}
+
+// baseName strips inline labels: `x{a="1"}` -> `x`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: one `# TYPE` line per metric family, series sorted by name,
+// histograms expanded into cumulative `_bucket{le=...}`, `_sum` and
+// `_count` series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]string) // family -> TYPE already emitted
+	emitType := func(name, kind string) string {
+		family := baseName(name)
+		if typed[family] == kind {
+			return ""
+		}
+		typed[family] = kind
+		return fmt.Sprintf("# TYPE %s %s\n", family, kind)
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		p("%s", emitType(name, "counter"))
+		p("%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p("%s", emitType(name, "gauge"))
+		p("%s %d\n", name, s.Gauges[name])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		p("%s", emitType(name, "histogram"))
+		bucket := suffixed(name, "_bucket")
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			p("%s %d\n", Label(bucket, "le", fmt.Sprintf("%g", bound)), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		p("%s %d\n", Label(bucket, "le", "+Inf"), cum)
+		p("%s %g\n", suffixed(name, "_sum"), h.Sum)
+		p("%s %d\n", suffixed(name, "_count"), h.Count)
+	}
+	return err
+}
+
+// suffixed appends a suffix to the metric family, keeping inline labels:
+// suffixed(`x{a="1"}`, "_sum") == `x_sum{a="1"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

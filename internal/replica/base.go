@@ -4,14 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"sync"
+	"sync/atomic"
+
 	"tiermerge/internal/cost"
 	"tiermerge/internal/expr"
 	"tiermerge/internal/history"
 	"tiermerge/internal/lockmgr"
 	"tiermerge/internal/merge"
 	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
 
 	"tiermerge/internal/tx"
 	"tiermerge/internal/wal"
@@ -56,6 +60,39 @@ type BaseCluster struct {
 	counters cost.Counters
 	seq      int
 	journal  *wal.Writer
+
+	// mergeSeq numbers reconnect merges; every observer event of one merge
+	// carries the same sequence number so tracers can group them.
+	mergeSeq atomic.Int64
+}
+
+// emit delivers one event to the configured observer. It must never be
+// called while b.mu is held: observers run arbitrary user code, and the
+// lock-discipline contract (and tiermergelint) forbid blocking work under
+// the cluster mutex. Locked sections gather the numbers; callers emit after
+// unlocking.
+func (b *BaseCluster) emit(ev obs.Event) {
+	if o := b.cfg.Observer; o != nil {
+		o.Observe(ev)
+	}
+}
+
+// spanStart opens a timing span: it reads the clock only when an observer
+// is configured, so the nil-observer fast path pays a single nil check and
+// no syscalls.
+func (b *BaseCluster) spanStart() time.Time {
+	if b.cfg.Observer == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// sinceSpan closes a span opened by spanStart.
+func sinceSpan(start time.Time) time.Duration {
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start)
 }
 
 // prefixCache incrementally materializes the current window's base history
@@ -70,8 +107,15 @@ type prefixCache struct {
 	effects   []*tx.Effect
 }
 
-// NewBaseCluster builds a base cluster over the initial master state.
+// NewBaseCluster builds a base cluster over the initial master state. It
+// panics when cfg fails (Config).Validate — misconfiguration is a
+// programming error, caught at construction instead of surfacing
+// mid-merge. Callers assembling configurations from user input should
+// Validate first.
 func NewBaseCluster(initial model.State, cfg Config) *BaseCluster {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("replica: NewBaseCluster: %v", err))
+	}
 	cfg = cfg.withDefaults()
 	b := &BaseCluster{
 		cfg:          cfg,
@@ -447,9 +491,17 @@ func (b *BaseCluster) installForwarded(mobileID string, updates map[model.Item]m
 //
 //tiermerge:locks(none)
 func (b *BaseCluster) Reprocess(hm *history.Augmented) *ConnectOutcome {
+	start := b.spanStart()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.fallbackReprocess(hm, FallbackNone)
+	out := b.fallbackReprocess(hm, FallbackNone)
+	b.mu.Unlock()
+	b.emit(obs.Event{
+		Phase:      obs.PhaseReprocess,
+		Dur:        sinceSpan(start),
+		Reexecuted: out.Reprocessed,
+		Failed:     out.Failed,
+	})
+	return out
 }
 
 // fallbackReprocess re-executes every transaction of hm at the base tier.
@@ -488,8 +540,8 @@ type Checkout struct {
 //
 //tiermerge:locks(none)
 func (b *BaseCluster) CheckoutReplica(mobileID string) Checkout {
+	start := b.spanStart()
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	w := b.cfg.Weights
 	ck := Checkout{MobileID: mobileID, WindowID: b.windowID}
 	if b.cfg.Origin == Strategy1 {
@@ -499,6 +551,8 @@ func (b *BaseCluster) CheckoutReplica(mobileID string) Checkout {
 		ck.Origin = b.windowOrigin.Clone()
 	}
 	b.counters.Msg(w, int64(len(ck.Origin))*w.UpdateEntryBytes)
+	b.mu.Unlock()
+	b.emit(obs.Event{Mobile: mobileID, Phase: obs.PhaseCheckout, Dur: sinceSpan(start)})
 	return ck
 }
 
@@ -512,14 +566,14 @@ func (b *BaseCluster) Preview(ck Checkout, hm *history.Augmented) (*merge.Report
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if ck.WindowID != b.windowID {
-		return nil, fmt.Errorf("replica: preview: window %d expired (current %d): everything would be reprocessed",
-			ck.WindowID, b.windowID)
+		return nil, fmt.Errorf("preview: %w (checkout window %d, current %d): everything would be reprocessed",
+			ErrWindowExpired, ck.WindowID, b.windowID)
 	}
 	pos := 0
 	if b.cfg.Origin == Strategy1 {
 		pos = ck.Pos
 		if pos > len(b.entries) || !ck.Origin.Equal(b.stateAt(pos)) {
-			return nil, fmt.Errorf("replica: preview: origin invalidated: everything would be reprocessed")
+			return nil, fmt.Errorf("preview: %w: everything would be reprocessed", ErrOriginInvalid)
 		}
 	}
 	return merge.Merge(hm, b.baseAugmented(pos), b.cfg.MergeOptions)

@@ -77,7 +77,7 @@ func connectAll(b *BaseCluster, ms []*MobileNode, t *testing.T) []*ConnectOutcom
 	for i := range ms {
 		go func(i int) {
 			defer wg.Done()
-			outs[i], errs[i] = ms[i].ConnectMerge(b)
+			outs[i], errs[i] = ms[i].ConnectMerge()
 		}(i)
 	}
 	wg.Wait()
@@ -128,7 +128,7 @@ func TestConcurrentMergeMatchesSomeSerialOrder(t *testing.T) {
 			for _, perm := range permutations(n) {
 				b, ms := conflictFleet(strategy, -1, n, t)
 				for _, i := range perm {
-					if _, err := ms[i].ConnectMerge(b); err != nil {
+					if _, err := ms[i].ConnectMerge(); err != nil {
 						t.Fatal(err)
 					}
 				}
@@ -194,7 +194,7 @@ func TestConcurrentMergeCountersMatchSerial(t *testing.T) {
 			connectAll(b, ms, t)
 		} else {
 			for _, m := range ms {
-				if _, err := m.ConnectMerge(b); err != nil {
+				if _, err := m.ConnectMerge(); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -236,7 +236,7 @@ func TestConcurrentMergeUnderBaseTraffic(t *testing.T) {
 	for i := range ms {
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = ms[i].ConnectMerge(b)
+			_, errs[i] = ms[i].ConnectMerge()
 		}(i)
 	}
 	for k := 0; k < baseTxns; k++ {
@@ -309,7 +309,7 @@ func TestMergeSerialDegradationPath(t *testing.T) {
 	for _, attempts := range []int{0, -1} {
 		b, ms := conflictFleet(Strategy2, attempts, 3, t)
 		for i, m := range ms {
-			out, err := m.ConnectMerge(b)
+			out, err := m.ConnectMerge()
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
 )
 
 // Follower state: the base tier is lazy-master ("lazy replication
@@ -81,12 +82,16 @@ func drainFollower(f *follower) {
 //
 //tiermerge:locks(none)
 func (b *BaseCluster) SyncReplicas() int {
+	start := b.spanStart()
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	applied := 0
 	for _, f := range b.followers {
 		applied += len(f.queue)
 		drainFollower(f)
+	}
+	b.mu.Unlock()
+	if applied > 0 {
+		b.emit(obs.Event{Phase: obs.PhasePropagate, Dur: sinceSpan(start), Lag: applied})
 	}
 	return applied
 }

@@ -3,10 +3,12 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"tiermerge/internal/history"
 	"tiermerge/internal/merge"
 	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
 	"tiermerge/internal/tx"
 	"tiermerge/internal/wal"
 )
@@ -14,6 +16,16 @@ import (
 // ErrNotTentative is returned when a base transaction is submitted to a
 // mobile node.
 var ErrNotTentative = errors.New("replica: transaction is not a tentative transaction")
+
+// ErrNoCluster is returned when a connect method is called on a mobile
+// node that is not bound to a base cluster (a journal-recovered node that
+// has not yet been handed its cluster).
+var ErrNoCluster = errors.New("replica: mobile node has no bound cluster")
+
+// ErrClusterMismatch is returned by the deprecated one-argument connect
+// forms when the argument names a different cluster than the one the node
+// checked out from.
+var ErrClusterMismatch = errors.New("replica: mobile node is bound to a different cluster")
 
 // MobileNode is a disconnected-most-of-the-time node: it holds a tentative
 // replica checked out from the base tier and runs tentative transactions
@@ -23,6 +35,11 @@ type MobileNode struct {
 	// ID names the node (e.g. "m3").
 	ID string
 
+	// cluster is the base tier the node checked out from; connects go back
+	// to it. nil only for journal-recovered nodes before their first
+	// cluster-carrying call binds them.
+	cluster *BaseCluster
+
 	ck      Checkout
 	local   model.State
 	hist    *history.History
@@ -31,17 +48,58 @@ type MobileNode struct {
 	journal *wal.Writer
 }
 
-// NewMobileNode creates a mobile node and checks out its initial replica.
+// NewMobileNode creates a mobile node bound to b and checks out its
+// initial replica.
 func NewMobileNode(id string, b *BaseCluster) *MobileNode {
-	m := &MobileNode{ID: id}
-	m.Checkout(b)
+	m := &MobileNode{ID: id, cluster: b}
+	m.Checkout()
 	return m
+}
+
+// Cluster returns the base cluster the node is bound to (nil for a
+// journal-recovered node that has not been rebound yet).
+func (m *MobileNode) Cluster() *BaseCluster { return m.cluster }
+
+// resolveCluster implements the one-name two-forms connect API: with no
+// argument the node's bound cluster is used; the deprecated one-argument
+// form must name the bound cluster (it binds a recovered node on first
+// use, and errors with ErrClusterMismatch otherwise).
+func (m *MobileNode) resolveCluster(cluster []*BaseCluster) (*BaseCluster, error) {
+	switch len(cluster) {
+	case 0:
+		if m.cluster == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNoCluster, m.ID)
+		}
+		return m.cluster, nil
+	case 1:
+		b := cluster[0]
+		if b == nil {
+			return nil, fmt.Errorf("%w: %s (nil argument)", ErrNoCluster, m.ID)
+		}
+		if m.cluster == nil {
+			m.cluster = b
+		}
+		if m.cluster != b {
+			return nil, fmt.Errorf("%w: %s", ErrClusterMismatch, m.ID)
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("%w: %s (pass at most one cluster)", ErrClusterMismatch, m.ID)
+	}
 }
 
 // Checkout (re)synchronizes the node's replica with the base tier and
 // starts a fresh, empty tentative history from the origin the cluster's
 // strategy dictates.
-func (m *MobileNode) Checkout(b *BaseCluster) {
+//
+// The node already knows its cluster; call it with no argument. The
+// one-argument form is deprecated and panics when the argument is a
+// different cluster.
+func (m *MobileNode) Checkout(cluster ...*BaseCluster) {
+	b, err := m.resolveCluster(cluster)
+	if err != nil {
+		panic(fmt.Sprintf("replica: Checkout: %v", err))
+	}
 	m.ck = b.CheckoutReplica(m.ID)
 	m.local = m.ck.Origin.Clone()
 	m.hist = &history.History{}
@@ -58,6 +116,10 @@ func (m *MobileNode) Run(t *tx.Transaction) error {
 	if t.Kind != tx.Tentative {
 		return fmt.Errorf("%w: %s", ErrNotTentative, t.ID)
 	}
+	var start time.Time
+	if m.cluster != nil {
+		start = m.cluster.spanStart()
+	}
 	next, eff, err := t.Exec(m.local, nil)
 	if err != nil {
 		return fmt.Errorf("replica: tentative %s: %w", t.ID, err)
@@ -68,6 +130,9 @@ func (m *MobileNode) Run(t *tx.Transaction) error {
 	m.effects = append(m.effects, eff)
 	if err := m.logTentative(t, eff); err != nil {
 		return fmt.Errorf("replica: journal %s: %w", t.ID, err)
+	}
+	if m.cluster != nil {
+		m.cluster.emit(obs.Event{Mobile: m.ID, Phase: obs.PhaseRun, Dur: sinceSpan(start)})
 	}
 	return nil
 }
@@ -88,26 +153,45 @@ func (m *MobileNode) Augmented() *history.Augmented {
 // ConnectMerge connects to the base tier and reconciles via the merging
 // protocol, then checks out a fresh replica for the next disconnection
 // period.
-func (m *MobileNode) ConnectMerge(b *BaseCluster) (*ConnectOutcome, error) {
+//
+// The node knows its cluster since NewMobileNode; call it with no
+// argument. The one-argument form is deprecated: it binds a
+// journal-recovered node on first use and otherwise must name the bound
+// cluster (ErrClusterMismatch).
+func (m *MobileNode) ConnectMerge(cluster ...*BaseCluster) (*ConnectOutcome, error) {
+	b, err := m.resolveCluster(cluster)
+	if err != nil {
+		return nil, err
+	}
 	out, err := b.Merge(m.ck, m.Augmented())
 	if err != nil {
 		return nil, err
 	}
-	m.Checkout(b)
+	m.Checkout()
 	return out, nil
 }
 
 // ConnectReprocess connects to the base tier and reconciles via the
 // original two-tier protocol (re-execute everything), then checks out a
-// fresh replica.
-func (m *MobileNode) ConnectReprocess(b *BaseCluster) *ConnectOutcome {
+// fresh replica. Like Checkout it takes no argument; the deprecated
+// one-argument form panics on a different cluster.
+func (m *MobileNode) ConnectReprocess(cluster ...*BaseCluster) *ConnectOutcome {
+	b, err := m.resolveCluster(cluster)
+	if err != nil {
+		panic(fmt.Sprintf("replica: ConnectReprocess: %v", err))
+	}
 	out := b.Reprocess(m.Augmented())
-	m.Checkout(b)
+	m.Checkout()
 	return out
 }
 
 // PreviewMerge reports what ConnectMerge would do right now without
-// performing it.
-func (m *MobileNode) PreviewMerge(b *BaseCluster) (*merge.Report, error) {
+// performing it. Call it with no argument; the one-argument form is
+// deprecated.
+func (m *MobileNode) PreviewMerge(cluster ...*BaseCluster) (*merge.Report, error) {
+	b, err := m.resolveCluster(cluster)
+	if err != nil {
+		return nil, err
+	}
 	return b.Preview(m.ck, m.Augmented())
 }

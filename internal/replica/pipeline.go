@@ -10,6 +10,7 @@ import (
 	"tiermerge/internal/lockmgr"
 	"tiermerge/internal/merge"
 	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
 	"tiermerge/internal/tx"
 )
 
@@ -72,6 +73,36 @@ type preparedMerge struct {
 	deltaPrepare, deltaCommit cost.Counts
 }
 
+// bindMerge stamps merge identity (mobile, sequence number, attempt) onto
+// every event an inner protocol step emits, so prepare sub-phase events
+// from package merge land in the right trace group.
+func bindMerge(o obs.Observer, mobile string, seq int64, attempt int) obs.Observer {
+	if o == nil {
+		return nil
+	}
+	return obs.ObserverFunc(func(ev obs.Event) {
+		if ev.Mobile == "" {
+			ev.Mobile = mobile
+		}
+		if ev.Seq == 0 {
+			ev.Seq = seq
+		}
+		if ev.Attempt == 0 {
+			ev.Attempt = attempt
+		}
+		o.Observe(ev)
+	})
+}
+
+// eventBuffer queues events emitted inside a critical section for delivery
+// after the lock is released. The serial degradation path runs the whole
+// protocol under b.mu, where calling out to a user observer is forbidden;
+// it buffers here and the caller flushes post-unlock. Single-goroutine use
+// only — no lock needed.
+type eventBuffer struct{ events []obs.Event }
+
+func (eb *eventBuffer) Observe(ev obs.Event) { eb.events = append(eb.events, ev) }
+
 // mergePipelined is the optimistic two-phase Merge entry point.
 //
 //tiermerge:locks(none)
@@ -80,35 +111,89 @@ func (b *BaseCluster) mergePipelined(ck Checkout, hm *history.Augmented) (*Conne
 	if attempts == 0 {
 		attempts = defaultMergeAttempts
 	}
-	for attempt := 0; attempt < attempts; attempt++ {
+	seq := b.mergeSeq.Add(1)
+	mergeStart := b.spanStart()
+	// finish emits the fallback classification (if any) and the
+	// whole-reconnect summary event, then passes the result through.
+	finish := func(out *ConnectOutcome, err error) (*ConnectOutcome, error) {
+		if b.cfg.Observer == nil {
+			return out, err
+		}
+		ev := obs.Event{Mobile: ck.MobileID, Seq: seq, Phase: obs.PhaseMerge, Dur: sinceSpan(mergeStart)}
+		if err != nil {
+			ev.Err = err.Error()
+		} else if out != nil {
+			if out.Fallback != FallbackNone {
+				b.emit(obs.Event{
+					Mobile: ck.MobileID, Seq: seq,
+					Phase: obs.PhaseFallback, Cause: obs.Cause(out.Fallback),
+				})
+			}
+			ev.Saved = out.Saved
+			ev.BackedOut = len(out.BadIDs)
+			ev.Reexecuted = out.Reprocessed
+			ev.Failed = out.Failed
+		}
+		b.emit(ev)
+		return out, err
+	}
+	for attempt := 1; attempt <= attempts; attempt++ {
+		snapStart := b.spanStart()
 		b.mu.Lock()
 		snap, fb := b.snapshotLocked(ck)
 		if fb != FallbackNone {
 			out := b.fallbackReprocess(hm, fb)
 			b.mu.Unlock()
-			return out, nil
+			return finish(out, nil)
 		}
 		b.mu.Unlock()
+		b.emit(obs.Event{
+			Mobile: ck.MobileID, Seq: seq,
+			Phase: obs.PhaseSnapshot, Attempt: attempt, Dur: sinceSpan(snapStart),
+		})
 
-		p, err := prepareMerge(b.cfg, snap, hm)
+		p, err := prepareMerge(b.cfg, snap, hm, bindMerge(b.cfg.Observer, ck.MobileID, seq, attempt))
 		if err != nil {
-			return nil, err
+			return finish(nil, err)
 		}
-		out, admitted, err := b.admitPrepared(ck, hm, p)
+		admitStart := b.spanStart()
+		out, admitted, cause, err := b.admitPrepared(ck, hm, p)
 		if err != nil {
-			return nil, err
+			return finish(nil, err)
 		}
+		b.emit(obs.Event{
+			Mobile: ck.MobileID, Seq: seq,
+			Phase: obs.PhaseAdmit, Attempt: attempt, Dur: sinceSpan(admitStart), Cause: cause,
+		})
 		if admitted {
-			return out, nil
+			return finish(out, nil)
 		}
 		// Validation failed: the base history grew a conflicting extension
 		// (or changed shape). Retry prepare against the extended prefix.
 	}
 	// Degrade to the serial path: the whole protocol under the cluster
-	// lock cannot be invalidated.
+	// lock cannot be invalidated. Sub-phase events are buffered and
+	// flushed after unlock (see eventBuffer).
+	var buf *eventBuffer
+	var inner obs.Observer
+	if b.cfg.Observer != nil {
+		buf = &eventBuffer{}
+		inner = bindMerge(buf, ck.MobileID, seq, 0)
+	}
+	serialStart := b.spanStart()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.mergeSerialLocked(ck, hm)
+	out, err := b.mergeSerialLocked(ck, hm, inner)
+	b.mu.Unlock()
+	if buf != nil {
+		for _, ev := range buf.events {
+			b.cfg.Observer.Observe(ev)
+		}
+		b.emit(obs.Event{
+			Mobile: ck.MobileID, Seq: seq,
+			Phase: obs.PhaseSerial, Attempt: attempts, Dur: sinceSpan(serialStart),
+		})
+	}
+	return finish(out, err)
 }
 
 // snapshotLocked validates the checkout token and captures the prefix
@@ -137,8 +222,10 @@ func (b *BaseCluster) snapshotLocked(ck Checkout) (prefixSnapshot, FallbackReaso
 
 // prepareMerge runs every heavy step of the merging protocol against the
 // snapshot without any cluster lock, accumulating the Section 7.1 charges
-// into private deltas.
-func prepareMerge(cfg Config, snap prefixSnapshot, hm *history.Augmented) (*preparedMerge, error) {
+// into private deltas. o (may be nil) receives the prepare sub-phase span
+// events — graph build, back-out, rewrite, prune — already bound to the
+// owning merge.
+func prepareMerge(cfg Config, snap prefixSnapshot, hm *history.Augmented, o obs.Observer) (*preparedMerge, error) {
 	w := cfg.Weights
 	p := &preparedMerge{snap: snap}
 
@@ -164,7 +251,9 @@ func prepareMerge(cfg Config, snap prefixSnapshot, hm *history.Augmented) (*prep
 	p.deltaPrepare.GraphEdgesSent += localEdges
 	p.deltaPrepare.MobileGraphOps += int64(gm.Len()) + localEdges
 
-	rep, err := merge.Merge(hm, snap.hb, cfg.MergeOptions)
+	opts := cfg.MergeOptions
+	opts.Observer = o
+	rep, err := merge.Merge(hm, snap.hb, opts)
 	if err != nil {
 		return nil, fmt.Errorf("replica: merge: %w", err)
 	}
@@ -243,10 +332,12 @@ func (p *preparedMerge) lockPlan(mobileID string) (owner string, items []model.I
 
 // admitPrepared is the short admission critical section: acquire the
 // merge's lock footprint, revalidate the snapshot, and install. It returns
-// admitted=false when validation failed and the caller should re-prepare.
+// admitted=false when validation failed and the caller should re-prepare;
+// cause classifies the retry (struct-changed, extension-conflict) or the
+// in-admission fallback (window-expired).
 //
 //tiermerge:locks(none)
-func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *preparedMerge) (out *ConnectOutcome, admitted bool, err error) {
+func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *preparedMerge) (out *ConnectOutcome, admitted bool, cause obs.Cause, err error) {
 	owner, items, writes := p.lockPlan(ck.MobileID)
 	if len(items) > 0 {
 		// Same two-phase pattern as ExecBase: take item locks first (sorted
@@ -259,7 +350,7 @@ func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *prepa
 				if errors.Is(lockErr, lockmgr.ErrDeadlock) && attempt < 10 {
 					continue
 				}
-				return nil, false, fmt.Errorf("replica: merge locks for %s: %w", ck.MobileID, lockErr)
+				return nil, false, obs.CauseNone, fmt.Errorf("replica: merge locks for %s: %w", ck.MobileID, lockErr)
 			}
 			break
 		}
@@ -271,10 +362,10 @@ func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *prepa
 	if ck.WindowID != b.windowID {
 		// The window closed between prepare and admit; the prepared work is
 		// unusable under any validation.
-		return b.fallbackReprocess(hm, FallbackWindowExpired), true, nil
+		return b.fallbackReprocess(hm, FallbackWindowExpired), true, obs.CauseWindowExpired, nil
 	}
 	if p.snap.structVer != b.structVer {
-		return nil, false, nil
+		return nil, false, obs.CauseStructChanged, nil
 	}
 	// The base extension must be invisible to the merge: every entry
 	// committed since the snapshot must touch nothing Hm read or wrote.
@@ -284,24 +375,26 @@ func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *prepa
 	for i := p.snap.histLen; i < len(b.entries); i++ {
 		eff := b.entries[i].eff
 		if !eff.ReadSet.Disjoint(p.footprint) || !eff.WriteSet.Disjoint(p.footprint) {
-			return nil, false, nil
+			return nil, false, obs.CauseExtensionConflict, nil
 		}
 	}
 	out, err = b.installPrepared(ck, hm, p)
-	return out, true, err
+	return out, true, obs.CauseNone, err
 }
 
 // mergeSerialLocked runs the whole protocol under the cluster lock — the
 // degradation path after repeated validation failures, immune to
-// invalidation by construction. Caller holds b.mu.
+// invalidation by construction. Caller holds b.mu. o must not be a user
+// observer: events would fire under the mutex. The caller passes an
+// eventBuffer (or nil) and flushes it after unlocking.
 //
 //tiermerge:locks(cluster)
-func (b *BaseCluster) mergeSerialLocked(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error) {
+func (b *BaseCluster) mergeSerialLocked(ck Checkout, hm *history.Augmented, o obs.Observer) (*ConnectOutcome, error) {
 	snap, fb := b.snapshotLocked(ck)
 	if fb != FallbackNone {
 		return b.fallbackReprocess(hm, fb), nil
 	}
-	p, err := prepareMerge(b.cfg, snap, hm)
+	p, err := prepareMerge(b.cfg, snap, hm, o)
 	if err != nil {
 		return nil, err
 	}

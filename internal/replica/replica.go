@@ -13,8 +13,27 @@
 package replica
 
 import (
+	"errors"
+	"fmt"
+
 	"tiermerge/internal/cost"
 	"tiermerge/internal/merge"
+	"tiermerge/internal/obs"
+)
+
+// Typed sentinel errors of the replication substrate. They are wrapped
+// with %w at their origin, so callers match them with errors.Is.
+var (
+	// ErrBadConfig wraps every Config validation failure.
+	ErrBadConfig = errors.New("replica: invalid cluster config")
+	// ErrWindowExpired reports a checkout token whose time window has
+	// closed; the corresponding reconnect fallback is
+	// FallbackWindowExpired.
+	ErrWindowExpired = errors.New("replica: time window expired")
+	// ErrOriginInvalid reports a Strategy 1 checkout whose recorded origin
+	// no longer matches any base-history position (the Figure 2 anomaly);
+	// the corresponding reconnect fallback is FallbackOriginInvalid.
+	ErrOriginInvalid = errors.New("replica: checkout origin invalidated")
 )
 
 // OriginStrategy selects how a mobile node's tentative history picks its
@@ -63,10 +82,19 @@ type Config struct {
 	Acceptance Acceptance
 	// MergeAttempts bounds the optimistic prepare/admit attempts of the
 	// concurrent merge pipeline before a merge degrades to running serially
-	// under the cluster lock. 0 means the default (3); a negative value
-	// disables the optimistic path entirely and every merge runs serially
-	// (the benchmark baseline).
+	// under the cluster lock. 0 means the default (3); -1 disables the
+	// optimistic path entirely and every merge runs serially (the benchmark
+	// baseline). Any other negative value is rejected by Validate.
 	MergeAttempts int
+	// Observer receives a span event for every phase of every reconnect —
+	// checkout, disconnect-run, snapshot, the prepare sub-phases (graph
+	// build, back-out, rewrite, prune), each validate-and-admit attempt
+	// with its retry cause, serial degradation, fallbacks and the
+	// whole-merge summary. nil (the zero value) pays exactly one nil check
+	// per would-be event. Events are never emitted while the cluster mutex
+	// is held, but the observer runs inline on the reconnect path: keep it
+	// cheap (obs.Metrics, obs.Tracer) and never call back into the cluster.
+	Observer obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +105,26 @@ func (c Config) withDefaults() Config {
 		c.Weights = cost.DefaultWeights()
 	}
 	return c
+}
+
+// Validate reports misconfiguration as an error wrapping ErrBadConfig (or
+// merge.ErrBadOptions for the embedded MergeOptions). Zero values are
+// valid — they select documented defaults. NewBaseCluster calls it and
+// panics on failure (a programming error, caught at construction instead
+// of surfacing mid-merge); callers building configurations from user input
+// should call it themselves first.
+func (c Config) Validate() error {
+	if c.BaseNodes < 0 {
+		return fmt.Errorf("%w: BaseNodes %d < 0", ErrBadConfig, c.BaseNodes)
+	}
+	if c.MergeAttempts < -1 {
+		return fmt.Errorf("%w: MergeAttempts %d (want >= 0, or -1 for always-serial)",
+			ErrBadConfig, c.MergeAttempts)
+	}
+	if c.Origin != Strategy1 && c.Origin != Strategy2 {
+		return fmt.Errorf("%w: unknown origin strategy %d", ErrBadConfig, c.Origin)
+	}
+	return c.MergeOptions.Validate()
 }
 
 // FallbackReason says why a connect fell back to reprocessing instead of

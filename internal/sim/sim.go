@@ -15,6 +15,7 @@ import (
 	"tiermerge/internal/cost"
 	"tiermerge/internal/merge"
 	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
 	"tiermerge/internal/replica"
 	"tiermerge/internal/tx"
 	"tiermerge/internal/workload"
@@ -110,8 +111,12 @@ type Scenario struct {
 	ServerWorkers int
 	// MergeAttempts forwards replica.Config.MergeAttempts: the optimistic
 	// prepare/admit budget before a merge degrades to the serial path
-	// (0 = default; negative = always serial).
+	// (0 = default; -1 = always serial).
 	MergeAttempts int
+	// Observer forwards replica.Config.Observer: it receives a span event
+	// for every reconnect phase the scenario drives (nil = no
+	// observability overhead beyond a nil check).
+	Observer obs.Observer
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -174,14 +179,22 @@ func Run(sc Scenario) (*Result, error) {
 		HotItems: sc.HotItems, PHot: sc.PHot,
 	})
 	origin := baseGen.OriginState()
-	cluster := replica.NewBaseCluster(origin, replica.Config{
+	cfg := replica.Config{
 		BaseNodes:     sc.BaseNodes,
 		Weights:       sc.Weights,
 		Origin:        sc.Origin,
 		MergeOptions:  sc.MergeOptions,
 		Acceptance:    sc.Acceptance,
 		MergeAttempts: sc.MergeAttempts,
-	})
+		Observer:      sc.Observer,
+	}
+	// Scenarios are built from user input (flags); validate here so
+	// misconfiguration comes back as an error instead of the constructor's
+	// programmer-error panic.
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	cluster := replica.NewBaseCluster(origin, cfg)
 
 	res := &Result{Scenario: sc}
 	switch {
@@ -335,10 +348,18 @@ func runConcurrent(sc Scenario, cluster *replica.BaseCluster, res *Result) error
 }
 
 func connect(sc Scenario, m *replica.MobileNode, cluster *replica.BaseCluster) (*replica.ConnectOutcome, error) {
-	if sc.Protocol == Reprocessing {
-		return m.ConnectReprocess(cluster), nil
+	if m.Cluster() == nil {
+		// A journal-recovered node has no cluster yet; the deprecated
+		// one-argument form binds it.
+		if sc.Protocol == Reprocessing {
+			return m.ConnectReprocess(cluster), nil
+		}
+		return m.ConnectMerge(cluster)
 	}
-	return m.ConnectMerge(cluster)
+	if sc.Protocol == Reprocessing {
+		return m.ConnectReprocess(), nil
+	}
+	return m.ConnectMerge()
 }
 
 // baseTxn deterministically derives the base-tier traffic from the round

@@ -75,7 +75,7 @@ func TestSoakTransferConservation(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			out, err := m.ConnectMerge(b)
+			out, err := m.ConnectMerge()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -144,7 +144,7 @@ func TestSoakAllRewriters(t *testing.T) {
 					workload.ItemName(from), workload.ItemName(to), 3)); err != nil {
 					t.Fatal(err)
 				}
-				if _, err := m.ConnectMerge(b); err != nil {
+				if _, err := m.ConnectMerge(); err != nil {
 					t.Fatal(err)
 				}
 				var got model.Value

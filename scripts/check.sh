@@ -73,8 +73,8 @@ fi
 echo "== tests =="
 go test ./...
 
-echo "== race (concurrent merge pipeline + sharded detector cache) =="
-go test -race ./internal/replica/... ./internal/rewrite/...
+echo "== race (concurrent merge pipeline + observers + sharded detector cache) =="
+go test -race ./internal/replica/... ./internal/rewrite/... ./internal/obs/...
 
 echo "== experiments (E0..E13) =="
 run_logged benchreport go run ./cmd/benchreport
@@ -90,6 +90,9 @@ for f in scenarios/*.txn; do
     echo "-- $f"
     run_logged "scenario-$(basename "$f")" go run ./cmd/txrun -file "$f"
 done
+
+echo "== merge trace smoke =="
+run_logged trace-smoke go run ./cmd/tiermerge trace -mobiles 2 -rounds 2 -txns 3
 
 echo "== benchmark smoke =="
 run_logged bench-smoke go test -run XXX -bench . -benchtime 1x ./...

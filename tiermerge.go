@@ -35,8 +35,12 @@
 //	base := tiermerge.NewBaseCluster(origin, tiermerge.ClusterConfig{})
 //	m := tiermerge.NewMobileNode("m1", base)
 //	_ = m.Run(tiermerge.Deposit("T1", tiermerge.Tentative, "acct", 25))
-//	out, _ := m.ConnectMerge(base)
+//	out, _ := m.ConnectMerge()
 //	fmt.Println(out.Saved, base.Master().Get("acct")) // 1 125
+//
+// The node remembers the cluster it checked out from, so ConnectMerge,
+// ConnectReprocess, PreviewMerge and Checkout take no argument; the old
+// one-argument forms remain as deprecated wrappers.
 package tiermerge
 
 import (
@@ -48,6 +52,7 @@ import (
 	"tiermerge/internal/history"
 	"tiermerge/internal/merge"
 	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
 	"tiermerge/internal/parse"
 	"tiermerge/internal/prune"
 	"tiermerge/internal/recovery"
@@ -326,6 +331,94 @@ func NewBaseCluster(initial State, cfg ClusterConfig) *BaseCluster {
 func NewMobileNode(id string, b *BaseCluster) *MobileNode {
 	return replica.NewMobileNode(id, b)
 }
+
+// Typed sentinel errors. Each is wrapped with %w at its origin; match with
+// errors.Is.
+var (
+	// ErrUnresolvableCycle: a precedence-graph cycle contains only base
+	// transactions, so no back-out set can break it.
+	ErrUnresolvableCycle = graph.ErrUnbreakable
+	// ErrBlindWrites: the history contains blind writes, which Algorithms
+	// 1/2 do not support (use RewriteClosure or RewriteCanFollowBW).
+	ErrBlindWrites = rewrite.ErrBlindWrites
+	// ErrBadMergeOptions: MergeOptions failed validation.
+	ErrBadMergeOptions = merge.ErrBadOptions
+	// ErrBadClusterConfig: ClusterConfig failed validation.
+	ErrBadClusterConfig = replica.ErrBadConfig
+	// ErrWindowExpired: a checkout token's time window has closed.
+	ErrWindowExpired = replica.ErrWindowExpired
+	// ErrOriginInvalid: a Strategy 1 checkout origin was invalidated by a
+	// concurrent merge (the Figure 2 anomaly).
+	ErrOriginInvalid = replica.ErrOriginInvalid
+	// ErrNotBase / ErrNotTentative: a transaction was submitted to the
+	// wrong tier.
+	ErrNotBase      = replica.ErrNotBase
+	ErrNotTentative = replica.ErrNotTentative
+	// ErrNoCluster: a connect method ran on a recovered node before a
+	// cluster was bound.
+	ErrNoCluster = replica.ErrNoCluster
+	// ErrClusterMismatch: the deprecated one-argument connect form named a
+	// cluster other than the node's own.
+	ErrClusterMismatch = replica.ErrClusterMismatch
+	// ErrServerClosed: a request reached a closed BaseServer.
+	ErrServerClosed = replica.ErrServerClosed
+)
+
+// Observability (the merge-pipeline instrumentation layer; see
+// DESIGN.md §9 and docs/METRICS.md).
+type (
+	// Observer receives a span event for every reconnect phase; set it on
+	// ClusterConfig.Observer. A nil observer costs one nil check per
+	// would-be event.
+	Observer = obs.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = obs.ObserverFunc
+	// MergeEvent is one observed span or mark on the reconnect path.
+	MergeEvent = obs.Event
+	// MergePhase names a reconnect stage (checkout, graph-build, rewrite,
+	// admit, ...).
+	MergePhase = obs.Phase
+	// MergeCause classifies admission retries and fallbacks.
+	MergeCause = obs.Cause
+	// Metrics folds the event stream into a MetricsRegistry.
+	Metrics = obs.Metrics
+	// MetricsRegistry holds atomic counters, gauges and latency
+	// histograms, and renders expvar-style JSON or Prometheus text.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time registry copy.
+	MetricsSnapshot = obs.Snapshot
+	// MergeTracer records raw events for per-merge phase breakdowns.
+	MergeTracer = obs.Tracer
+	// MergeTrace groups one reconnect's events.
+	MergeTrace = obs.MergeTrace
+)
+
+// Reconnect phases (see MergePhase).
+const (
+	PhaseCheckout  = obs.PhaseCheckout
+	PhaseRun       = obs.PhaseRun
+	PhaseSnapshot  = obs.PhaseSnapshot
+	PhaseGraph     = obs.PhaseGraph
+	PhaseBackout   = obs.PhaseBackout
+	PhaseRewrite   = obs.PhaseRewrite
+	PhasePrune     = obs.PhasePrune
+	PhaseAdmit     = obs.PhaseAdmit
+	PhaseSerial    = obs.PhaseSerial
+	PhaseFallback  = obs.PhaseFallback
+	PhaseReprocess = obs.PhaseReprocess
+	PhasePropagate = obs.PhasePropagate
+	PhaseMerge     = obs.PhaseMerge
+)
+
+// NewMetrics returns a Metrics observer over a fresh registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewMergeTracer returns an empty tracer.
+func NewMergeTracer() *MergeTracer { return obs.NewTracer() }
+
+// MultiObserver fans events out to several observers (nil entries are
+// skipped; empty yields nil).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
 
 // Cost model (Section 7.1).
 type (

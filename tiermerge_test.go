@@ -15,7 +15,7 @@ func TestQuickstart(t *testing.T) {
 	if err := m.Run(tiermerge.Deposit("T1", tiermerge.Tentative, "acct", 25)); err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.ConnectMerge(base)
+	out, err := m.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
