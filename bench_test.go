@@ -1,5 +1,5 @@
 // Benchmarks for the reproduction suite: one bench per experiment kernel
-// (E0..E9, E13; E10-E12 are timed by the ablation benches, see DESIGN.md) plus
+// (E0..E9, E13, E14; E10-E12 are timed by the ablation benches, see DESIGN.md) plus
 // micro-benchmarks for the algorithmic pieces whose asymptotic costs
 // Section 7.1 discusses (graph construction, the O(n^2) rewriting pass,
 // pruning, and the lock manager).
@@ -10,6 +10,7 @@
 package tiermerge_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -428,6 +429,57 @@ func BenchmarkE0EagerInstability(b *testing.B) {
 		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eager.Run(eager.Config{Seed: 7, Nodes: n})
+			}
+		})
+	}
+}
+
+// BenchmarkE14CrashRecovery times the crash-recovery path: "recover"
+// rebuilds a node by replaying its journal (scan + re-execute + integrity
+// check, the WalRecordsReplayed × ReplayRecordCost column of E14), the
+// protocol variants run whole crash-heavy scenarios (every period dies and
+// recovers before reconciling) so the per-op gap prices recovery-plus-merge
+// against recovery-plus-reprocess on the real substrate.
+func BenchmarkE14CrashRecovery(b *testing.B) {
+	for _, txns := range []int{8, 64} {
+		b.Run(fmt.Sprintf("recover/txns=%d", txns), func(b *testing.B) {
+			gen := workload.NewGenerator(workload.Config{Seed: 14, Items: 64, PCommutative: 0.7})
+			cluster := replica.NewBaseCluster(gen.OriginState(), replica.Config{})
+			m := replica.NewMobileNode("m1", cluster)
+			var journal bytes.Buffer
+			if err := m.AttachJournal(&journal); err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < txns; k++ {
+				if err := m.Run(gen.Txn(tx.Tentative)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			data := journal.Bytes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := replica.RecoverMobileNode("m1", bytes.NewReader(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, tc := range []struct {
+		name  string
+		proto sim.Protocol
+	}{
+		{"merging", sim.Merging},
+		{"reprocessing", sim.Reprocessing},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Scenario{
+					Seed: 14, Mobiles: 4, Rounds: 3, TxnsPerRound: 16,
+					Items: 256, PCommutative: 0.7, PCrash: 1.0, Protocol: tc.proto,
+				}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

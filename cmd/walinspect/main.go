@@ -5,6 +5,12 @@
 //
 //	walinspect m1.wal
 //	walinspect -records m1.wal   # dump raw records too
+//	walinspect -salvage m1.wal   # forensics on a damaged journal
+//
+// By default the journal is read strictly: only a torn final line (crash
+// damage) is tolerated. -salvage decodes the longest valid prefix of a
+// journal strict mode rejects and reports where it tears and what was
+// discarded — for diagnosis only; recovery never trusts a salvaged prefix.
 package main
 
 import (
@@ -26,23 +32,40 @@ func main() {
 func run() error {
 	records := flag.Bool("records", false, "dump every record")
 	code := flag.Bool("code", false, "pretty-print each transaction's code in the profile language")
+	salvage := flag.Bool("salvage", false, "decode the longest valid prefix of a damaged journal and report the tear")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: walinspect [-records] [-code] <journal-file>")
+		return fmt.Errorf("usage: walinspect [-records] [-code] [-salvage] <journal-file>")
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return inspect(os.Stdout, f, *records, *code)
+	return inspect(os.Stdout, f, *records, *code, *salvage)
 }
 
 // inspect dumps and verifies a journal stream onto w.
-func inspect(w io.Writer, r io.Reader, records, code bool) error {
-	recs, err := tiermerge.ReadWAL(r)
-	if err != nil {
-		return err
+func inspect(w io.Writer, r io.Reader, records, code, salvage bool) error {
+	var recs []tiermerge.WALRecord
+	if salvage {
+		res, err := tiermerge.SalvageWAL(r)
+		if err != nil {
+			return err
+		}
+		recs = res.Records
+		if res.Torn {
+			fmt.Fprintf(w, "TORN at line %d (offset %d): %s\n", res.TornLine, res.TornOffset, res.TornReason)
+		}
+		if res.DiscardedLines > 0 {
+			fmt.Fprintf(w, "DISCARDED %d line(s) after the tear — acknowledged work may be lost\n", res.DiscardedLines)
+		}
+	} else {
+		var err error
+		recs, err = tiermerge.ReadWAL(r)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(w, "%d records\n", len(recs))
 	if records {

@@ -39,7 +39,7 @@ func TestInspectGeneratedJournal(t *testing.T) {
 	}
 	defer rf.Close()
 	var out bytes.Buffer
-	if err := inspect(&out, rf, true, true); err != nil {
+	if err := inspect(&out, rf, true, true, false); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -60,7 +60,44 @@ func TestInspectGeneratedJournal(t *testing.T) {
 // TestInspectRejectsGarbage: a non-journal stream fails cleanly.
 func TestInspectRejectsGarbage(t *testing.T) {
 	var out bytes.Buffer
-	if err := inspect(&out, strings.NewReader("not a journal"), false, false); err == nil {
+	if err := inspect(&out, strings.NewReader("not a journal"), false, false, false); err == nil {
 		t.Error("garbage accepted")
+	}
+}
+
+// TestInspectSalvageDamagedJournal: strict mode refuses a mid-journal
+// corruption; -salvage decodes the prefix and reports the tear and the
+// discarded tail.
+func TestInspectSalvageDamagedJournal(t *testing.T) {
+	origin := tiermerge.StateOf(map[tiermerge.Item]tiermerge.Value{"x": 5})
+	base := tiermerge.NewBaseCluster(origin, tiermerge.ClusterConfig{})
+	m := tiermerge.NewMobileNode("m1", base)
+	var journal bytes.Buffer
+	if err := m.AttachJournal(&journal); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"T1", "T2"} {
+		if err := m.Run(tiermerge.Deposit(id, tiermerge.Tentative, "x", 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt an interior line (the damage a crash cannot produce).
+	lines := strings.SplitAfter(journal.String(), "\n")
+	lines[2] = "garbage\n"
+	damaged := strings.Join(lines, "")
+
+	var out bytes.Buffer
+	if err := inspect(&out, strings.NewReader(damaged), false, false, false); err == nil {
+		t.Fatal("strict inspect accepted mid-journal corruption")
+	}
+	out.Reset()
+	if err := inspect(&out, strings.NewReader(damaged), false, false, true); err != nil {
+		t.Fatalf("salvage inspect: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"TORN at line 3", "DISCARDED", "2 records"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("salvage output missing %q:\n%s", want, text)
+		}
 	}
 }

@@ -50,10 +50,11 @@ func run() error {
 		return err
 	}
 	defer f.Close()
-	recovered, err := tiermerge.RecoverMobileNode("m1", f)
+	recovered, report, err := tiermerge.RecoverMobileNode("m1", f)
 	if err != nil {
 		return err
 	}
+	fmt.Println(report)
 	fmt.Printf("recovered %d committed tentative transactions; local state %s\n",
 		recovered.Pending(), recovered.Local())
 

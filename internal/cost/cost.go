@@ -48,6 +48,9 @@ type Weights struct {
 	RewriteOpCost     int64 // one pairwise can-follow/can-precede check
 	PruneOpCost       int64 // one compensation or undo-repair operation
 	ResultReportCost  int64 // informing the user of one re-execution result
+
+	// Crash recovery (DESIGN.md §10).
+	ReplayRecordCost int64 // decode + verify one journal record at recovery
 }
 
 // DefaultWeights returns the weight vector used by the experiments.
@@ -74,6 +77,8 @@ func DefaultWeights() Weights {
 		RewriteOpCost:     2,
 		PruneOpCost:       20,
 		ResultReportCost:  1,
+
+		ReplayRecordCost: 2,
 	}
 }
 
@@ -110,6 +115,12 @@ type Counts struct {
 	TxnsBackedOut   int64
 	MergesPerformed int64
 	MergeFallbacks  int64
+
+	// Crash-recovery events (mobile journal replays and base-log replays
+	// alike; see DESIGN.md §10).
+	Recoveries         int64
+	WalRecordsReplayed int64
+	WalTailDropped     int64
 }
 
 // Add accumulates o into c.
@@ -138,6 +149,9 @@ func (c *Counts) Add(o Counts) {
 	c.TxnsBackedOut += o.TxnsBackedOut
 	c.MergesPerformed += o.MergesPerformed
 	c.MergeFallbacks += o.MergeFallbacks
+	c.Recoveries += o.Recoveries
+	c.WalRecordsReplayed += o.WalRecordsReplayed
+	c.WalTailDropped += o.WalTailDropped
 }
 
 // Msg tallies one message of payloadBytes into the counts, applying the
@@ -164,7 +178,8 @@ func (c Counts) Weighted(w Weights) Report {
 		MobileCompute: c.MobileGraphOps*w.MobileGraphOpCost +
 			c.MobileRewriteOps*w.RewriteOpCost +
 			c.MobilePruneOps*w.PruneOpCost +
-			c.MobileReports*w.ResultReportCost,
+			c.MobileReports*w.ResultReportCost +
+			c.WalRecordsReplayed*w.ReplayRecordCost,
 	}
 }
 

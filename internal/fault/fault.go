@@ -1,0 +1,230 @@
+// Package fault provides deterministic crash- and corruption-injection for
+// the durability stack. The protocol's recovery story (DESIGN.md §10) is
+// only as good as the damage it has been exercised under, so every fault
+// this package injects is reproducible from its parameters alone: a
+// CrashWriter persists exactly the journal prefix a process that died at a
+// chosen kill point would have left behind (including a torn final line),
+// the Mutation set models media damage (bit flips, duplicated and dropped
+// lines, truncation at arbitrary byte offsets), and Schedule is the shared
+// counter-driven predicate behind transport injection
+// (BaseServer.DropEveryNth) and any other every-nth fault plan.
+//
+// Nothing here is random at fault time: harnesses enumerate kill points and
+// mutations exhaustively (internal/sim's kill-point sweep, the wal fuzz
+// targets), so a failing case replays from its inputs.
+package fault
+
+import (
+	"bytes"
+	"sync/atomic"
+)
+
+// Plan specifies where a CrashWriter's process "dies": the point after
+// which appended bytes no longer reach the simulated disk. The zero Plan
+// never kills (everything persists).
+type Plan struct {
+	// KillAfterRecords stops persistence after this many complete records
+	// (newline-terminated lines) have been written; 0 disables the
+	// record-count kill point.
+	KillAfterRecords int
+	// KillAtByte stops persistence after this many bytes; 0 disables the
+	// byte kill point. When both are set, whichever trips first wins.
+	KillAtByte int64
+	// TornTailBytes persists this many additional bytes of the first
+	// suppressed record, modeling a write torn mid-line by the crash. The
+	// torn bytes never include the record's trailing newline.
+	TornTailBytes int
+}
+
+// CrashWriter is an io.Writer that models an OS page cache on a machine
+// that loses power: the application sees every Write succeed, but only the
+// prefix written before the Plan's kill point survives to Persisted(). Use
+// it behind a wal.Writer to reproduce any crash a disconnection period can
+// suffer.
+type CrashWriter struct {
+	plan    Plan
+	disk    bytes.Buffer
+	records int
+	bytes   int64
+	torn    int
+	killed  bool
+}
+
+// NewCrashWriter returns a CrashWriter that persists according to p.
+func NewCrashWriter(p Plan) *CrashWriter {
+	return &CrashWriter{plan: p}
+}
+
+// Write accepts b in full (the process is still alive and its writes
+// "succeed"); bytes beyond the kill point are dropped, except for
+// TornTailBytes of the first suppressed record.
+func (w *CrashWriter) Write(b []byte) (int, error) {
+	for _, c := range b {
+		if !w.killed {
+			w.disk.WriteByte(c)
+			w.bytes++
+			if c == '\n' {
+				w.records++
+			}
+			if w.plan.KillAfterRecords > 0 && w.records >= w.plan.KillAfterRecords {
+				w.killed = true
+			}
+			if w.plan.KillAtByte > 0 && w.bytes >= w.plan.KillAtByte {
+				w.killed = true
+			}
+			continue
+		}
+		if w.torn < w.plan.TornTailBytes && c != '\n' {
+			w.disk.WriteByte(c)
+			w.torn++
+		}
+	}
+	return len(b), nil
+}
+
+// Killed reports whether the kill point has been reached (writes after it
+// were dropped).
+func (w *CrashWriter) Killed() bool { return w.killed }
+
+// Persisted returns the bytes that survived the crash — what recovery gets
+// to read.
+func (w *CrashWriter) Persisted() []byte {
+	return append([]byte(nil), w.disk.Bytes()...)
+}
+
+// Op enumerates the deterministic corruptions Apply can inflict on a
+// journal image.
+type Op int
+
+// Corruption operators.
+const (
+	// TruncateAt keeps the first Arg bytes (a crash mid-write, or a file
+	// system that lost the tail).
+	TruncateAt Op = iota
+	// FlipBit flips bit (Arg mod 8) of byte (Arg div 8) — bit rot.
+	FlipBit
+	// DuplicateLine repeats line index Arg (0-based) immediately after
+	// itself — a replayed buffer flush.
+	DuplicateLine
+	// DropLine removes line index Arg (0-based) — a lost buffer flush.
+	DropLine
+)
+
+func (o Op) String() string {
+	switch o {
+	case TruncateAt:
+		return "truncate-at"
+	case FlipBit:
+		return "flip-bit"
+	case DuplicateLine:
+		return "duplicate-line"
+	case DropLine:
+		return "drop-line"
+	default:
+		return "unknown-op"
+	}
+}
+
+// Mutation is one corruption: an operator plus its position argument.
+type Mutation struct {
+	Op  Op
+	Arg int64
+}
+
+// Apply returns a corrupted copy of data; the input is never modified.
+// Out-of-range arguments clamp to no-ops (fuzzers pass arbitrary offsets).
+func Apply(data []byte, m Mutation) []byte {
+	out := append([]byte(nil), data...)
+	switch m.Op {
+	case TruncateAt:
+		if m.Arg >= 0 && m.Arg < int64(len(out)) {
+			out = out[:m.Arg]
+		}
+	case FlipBit:
+		if m.Arg >= 0 && m.Arg/8 < int64(len(out)) {
+			out[m.Arg/8] ^= 1 << (m.Arg % 8)
+		}
+	case DuplicateLine:
+		lines := splitLines(out)
+		if m.Arg >= 0 && m.Arg < int64(len(lines)) {
+			i := int(m.Arg)
+			dup := append([][]byte{}, lines[:i+1]...)
+			dup = append(dup, lines[i])
+			dup = append(dup, lines[i+1:]...)
+			out = joinLines(dup)
+		}
+	case DropLine:
+		lines := splitLines(out)
+		if m.Arg >= 0 && m.Arg < int64(len(lines)) {
+			i := int(m.Arg)
+			out = joinLines(append(lines[:i:i], lines[i+1:]...))
+		}
+	}
+	return out
+}
+
+// Mutate applies a sequence of mutations left to right.
+func Mutate(data []byte, ms ...Mutation) []byte {
+	for _, m := range ms {
+		data = Apply(data, m)
+	}
+	return data
+}
+
+// NewCrashReader returns a reader over a deterministically corrupted copy
+// of data — the read-side counterpart of CrashWriter, for recovery paths
+// that consume damaged media.
+func NewCrashReader(data []byte, ms ...Mutation) *bytes.Reader {
+	return bytes.NewReader(Mutate(data, ms...))
+}
+
+// splitLines splits on '\n', keeping no terminators; a trailing newline
+// yields no empty final element.
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			out = append(out, data)
+			break
+		}
+		out = append(out, data[:i])
+		data = data[i+1:]
+	}
+	return out
+}
+
+// joinLines re-joins lines with '\n' terminators on every line.
+func joinLines(lines [][]byte) []byte {
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.Write(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Schedule is a deterministic counter-driven fault plan shared by every
+// every-nth injector: the transport layer's response dropper
+// (BaseServer.DropEveryNth) stores one, and harnesses can use it for any
+// "fault every nth event" policy. The zero Schedule never faults. Safe for
+// concurrent use.
+type Schedule struct {
+	everyNth atomic.Int64
+	count    atomic.Int64
+}
+
+// SetEveryNth makes every nth Hit report a fault; n <= 0 disables.
+func (s *Schedule) SetEveryNth(n int64) { s.everyNth.Store(n) }
+
+// EveryNth returns the current period (0 = disabled).
+func (s *Schedule) EveryNth() int64 { return s.everyNth.Load() }
+
+// Hit counts one event and reports whether it should fault.
+func (s *Schedule) Hit() bool {
+	n := s.everyNth.Load()
+	if n <= 0 {
+		return false
+	}
+	return s.count.Add(1)%n == 0
+}

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// journal builds an n-line synthetic journal "r0\nr1\n...".
+func journal(n int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&buf, "record-%d\n", i)
+	}
+	return buf.Bytes()
+}
+
+func TestCrashWriterKillAfterRecords(t *testing.T) {
+	for kill := 1; kill <= 5; kill++ {
+		w := NewCrashWriter(Plan{KillAfterRecords: kill})
+		if _, err := w.Write(journal(5)); err != nil {
+			t.Fatal(err)
+		}
+		want := journal(kill)
+		if got := w.Persisted(); !bytes.Equal(got, want) {
+			t.Errorf("kill=%d persisted %q, want %q", kill, got, want)
+		}
+		if !w.Killed() {
+			t.Errorf("kill=%d not marked killed", kill)
+		}
+	}
+}
+
+func TestCrashWriterNeverKills(t *testing.T) {
+	w := NewCrashWriter(Plan{})
+	data := journal(4)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Persisted(); !bytes.Equal(got, data) {
+		t.Errorf("persisted %q, want everything", got)
+	}
+	if w.Killed() {
+		t.Error("zero plan must never kill")
+	}
+}
+
+func TestCrashWriterTornTail(t *testing.T) {
+	w := NewCrashWriter(Plan{KillAfterRecords: 2, TornTailBytes: 4})
+	if _, err := w.Write(journal(4)); err != nil {
+		t.Fatal(err)
+	}
+	want := append(journal(2), []byte("reco")...)
+	if got := w.Persisted(); !bytes.Equal(got, want) {
+		t.Errorf("persisted %q, want %q", got, want)
+	}
+}
+
+// The torn tail must never include a newline: a torn line stays torn even
+// when the requested torn length spans past the record's end.
+func TestCrashWriterTornTailStopsAtNewline(t *testing.T) {
+	w := NewCrashWriter(Plan{KillAfterRecords: 1, TornTailBytes: 1000})
+	if _, err := w.Write(journal(3)); err != nil {
+		t.Fatal(err)
+	}
+	got := w.Persisted()
+	if bytes.Count(got, []byte("\n")) != 1 {
+		t.Errorf("torn tail leaked newline: %q", got)
+	}
+	if !bytes.HasPrefix(got, journal(1)) {
+		t.Errorf("persisted %q lost the intact prefix", got)
+	}
+}
+
+func TestCrashWriterKillAtByte(t *testing.T) {
+	data := journal(3)
+	for off := int64(1); off <= int64(len(data)); off++ {
+		w := NewCrashWriter(Plan{KillAtByte: off})
+		// Feed in small chunks so kill points land mid-Write.
+		for i := 0; i < len(data); i += 3 {
+			end := i + 3
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := w.Write(data[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := w.Persisted(); !bytes.Equal(got, data[:off]) {
+			t.Errorf("off=%d persisted %q, want %q", off, got, data[:off])
+		}
+	}
+}
+
+func TestMutations(t *testing.T) {
+	data := journal(3) // record-0\nrecord-1\nrecord-2\n
+	cases := []struct {
+		m    Mutation
+		want []byte
+	}{
+		{Mutation{TruncateAt, 5}, []byte("recor")},
+		{Mutation{DropLine, 1}, []byte("record-0\nrecord-2\n")},
+		{Mutation{DuplicateLine, 0}, []byte("record-0\nrecord-0\nrecord-1\nrecord-2\n")},
+		{Mutation{DropLine, 99}, data},     // out of range: no-op
+		{Mutation{TruncateAt, 9999}, data}, // out of range: no-op
+		{Mutation{FlipBit, -3}, data},      // negative: no-op
+	}
+	for _, c := range cases {
+		if got := Apply(data, c.m); !bytes.Equal(got, c.want) {
+			t.Errorf("%v %d: got %q, want %q", c.m.Op, c.m.Arg, got, c.want)
+		}
+	}
+	// FlipBit flips exactly one bit and is its own inverse.
+	flipped := Apply(data, Mutation{FlipBit, 8 * 3})
+	if bytes.Equal(flipped, data) {
+		t.Error("FlipBit changed nothing")
+	}
+	if got := Apply(flipped, Mutation{FlipBit, 8 * 3}); !bytes.Equal(got, data) {
+		t.Error("FlipBit not involutive")
+	}
+	// The input must never be modified in place.
+	if !bytes.Equal(data, journal(3)) {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestScheduleEveryNth(t *testing.T) {
+	var s Schedule
+	for i := 0; i < 10; i++ {
+		if s.Hit() {
+			t.Fatal("zero schedule faulted")
+		}
+	}
+	s.SetEveryNth(3)
+	hits := 0
+	for i := 1; i <= 9; i++ {
+		if s.Hit() {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Errorf("every-3rd over 9 events: %d hits, want 3", hits)
+	}
+}

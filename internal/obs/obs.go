@@ -63,6 +63,14 @@ const (
 	// PhasePropagate is a lazy-replication drain applying queued updates to
 	// follower replicas; Lag carries the number of updates applied.
 	PhasePropagate Phase = "propagate"
+	// PhaseRecover is a crash recovery: a mobile node rebuilt from its
+	// write-ahead journal (emitted when the recovered node binds to its
+	// cluster) or a base cluster replaying its durable log. Replayed
+	// carries the journal records replayed, DroppedTail the trailing
+	// uncommitted transactions discarded, Cause is CauseTornTail when the
+	// journal ended in a partially written line, and Detail names the scan
+	// mode ("strict" or "salvage").
+	PhaseRecover Phase = "recover"
 	// PhaseMerge is the whole-reconnect summary span: its Dur is the
 	// end-to-end reconnect latency, its tallies the final outcome.
 	PhaseMerge Phase = "merge"
@@ -91,6 +99,9 @@ const (
 	// CauseInsertConflict: under Strategy 1, committed base transactions
 	// after the checkout point conflict with the forwarded updates.
 	CauseInsertConflict Cause = "insert-conflict"
+	// CauseTornTail: a crash recovery found its journal ending in a
+	// partially written (torn) final line; the tail was dropped.
+	CauseTornTail Cause = "torn-tail"
 )
 
 // Event is one observed span or mark on the reconnect path. Fields beyond
@@ -120,6 +131,9 @@ type Event struct {
 	Saved, BackedOut, Affected, Reexecuted, Failed int
 	// Lag is the number of queued follower updates applied (propagate).
 	Lag int
+	// Replayed and DroppedTail tally a crash recovery (recover): journal
+	// records replayed and trailing uncommitted transactions discarded.
+	Replayed, DroppedTail int
 	// Err is the error text when the phase failed.
 	Err string
 }

@@ -96,6 +96,13 @@ func (mt MergeTrace) Outcome() string {
 			return "merged"
 		}
 	}
+	// A crash recovery is its own span group: it happens before the
+	// recovered node's next reconnect (which gets its own sequence number).
+	for _, ev := range mt.Events {
+		if ev.Phase == PhaseRecover {
+			return "recovered"
+		}
+	}
 	return "incomplete"
 }
 
@@ -126,6 +133,9 @@ func (mt MergeTrace) Format(w io.Writer) {
 		}
 		if ev.Reexecuted+ev.Failed > 0 {
 			fmt.Fprintf(&b, " reexecuted=%d failed=%d", ev.Reexecuted, ev.Failed)
+		}
+		if ev.Phase == PhaseRecover {
+			fmt.Fprintf(&b, " replayed=%d droppedtail=%d", ev.Replayed, ev.DroppedTail)
 		}
 		if ev.Err != "" {
 			fmt.Fprintf(&b, " err=%q", ev.Err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tiermerge/internal/cost"
 	"tiermerge/internal/model"
 	"tiermerge/internal/tx"
 	"tiermerge/internal/wal"
@@ -66,90 +67,123 @@ func (b *BaseCluster) logWindow() error {
 // state, the current window and its origin, and the base history of the
 // current window (so pending mobile merges from that window still find
 // their base sub-histories). Every replayed commit is verified against its
-// logged write images.
-func RecoverBaseCluster(r io.Reader, cfg Config) (*BaseCluster, error) {
-	recs, err := wal.ReadAll(r)
+// logged write images. Like mobile recovery, the only damage tolerated is
+// a torn final line (the commit it belonged to was never acknowledged);
+// interior damage is wal.ErrCorrupt. The returned Recovery reports what
+// was replayed, and the recovery is charged to the recovered cluster's
+// counters and observer.
+func RecoverBaseCluster(r io.Reader, cfg Config) (*BaseCluster, *Recovery, error) {
+	res, err := wal.Scan(r, wal.Strict)
 	if err != nil {
-		return nil, fmt.Errorf("replica: recover base: %w", err)
+		return nil, nil, fmt.Errorf("replica: recover base: %w", err)
 	}
+	recs := res.Records
 	if len(recs) == 0 || recs[0].Kind != wal.KindCheckout {
-		return nil, fmt.Errorf("replica: recover base: %w", wal.ErrCorrupt)
+		return nil, nil, fmt.Errorf("replica: recover base: %w", wal.ErrCorrupt)
 	}
 	b := NewBaseCluster(model.StateOf(recs[0].Origin), cfg)
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.windowID = recs[0].WindowID
-
 	var (
 		curTxn    *tx.Transaction
 		curWrites map[model.Item]model.Value
+		committed int
 	)
-	for _, rec := range recs[1:] {
-		switch rec.Kind {
-		case wal.KindBegin:
-			if curTxn != nil {
-				return nil, fmt.Errorf("replica: recover base: %w: begin %s while %s open",
-					wal.ErrCorrupt, rec.TxID, curTxn.ID)
-			}
-			t, err := tx.UnmarshalTransaction(rec.Txn)
-			if err != nil {
-				return nil, fmt.Errorf("replica: recover base: %w: %v", wal.ErrCorrupt, err)
-			}
-			curTxn = t
-			curWrites = make(map[model.Item]model.Value)
-		case wal.KindRead:
-			if curTxn == nil || curTxn.ID != rec.TxID {
-				return nil, fmt.Errorf("replica: recover base: %w: stray read for %s",
-					wal.ErrCorrupt, rec.TxID)
-			}
-		case wal.KindWrite:
-			if curTxn == nil || curTxn.ID != rec.TxID {
-				return nil, fmt.Errorf("replica: recover base: %w: stray write for %s",
-					wal.ErrCorrupt, rec.TxID)
-			}
-			curWrites[rec.Item] = rec.After
-		case wal.KindCommit:
-			if curTxn == nil || curTxn.ID != rec.TxID {
-				return nil, fmt.Errorf("replica: recover base: %w: stray commit for %s",
-					wal.ErrCorrupt, rec.TxID)
-			}
-			eff, err := curTxn.ExecInPlace(b.master, nil)
-			if err != nil {
-				return nil, fmt.Errorf("replica: recover base: replay %s: %w", curTxn.ID, err)
-			}
-			for it, v := range curWrites {
-				if eff.Writes[it] != v {
-					return nil, fmt.Errorf("replica: recover base: %w: %s wrote %s=%d, logged %d",
-						wal.ErrCorrupt, curTxn.ID, it, eff.Writes[it], v)
+	// replay applies the journal under the cluster mutex; the recovery
+	// event is emitted after the lock is released (events are never
+	// emitted under b.mu).
+	replay := func() error {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.windowID = recs[0].WindowID
+		for _, rec := range recs[1:] {
+			switch rec.Kind {
+			case wal.KindBegin:
+				if curTxn != nil {
+					return fmt.Errorf("replica: recover base: %w: begin %s while %s open",
+						wal.ErrCorrupt, rec.TxID, curTxn.ID)
 				}
+				t, err := tx.UnmarshalTransaction(rec.Txn)
+				if err != nil {
+					return fmt.Errorf("replica: recover base: %w: %v", wal.ErrCorrupt, err)
+				}
+				curTxn = t
+				curWrites = make(map[model.Item]model.Value)
+			case wal.KindRead:
+				if curTxn == nil || curTxn.ID != rec.TxID {
+					return fmt.Errorf("replica: recover base: %w: stray read for %s",
+						wal.ErrCorrupt, rec.TxID)
+				}
+			case wal.KindWrite:
+				if curTxn == nil || curTxn.ID != rec.TxID {
+					return fmt.Errorf("replica: recover base: %w: stray write for %s",
+						wal.ErrCorrupt, rec.TxID)
+				}
+				curWrites[rec.Item] = rec.After
+			case wal.KindCommit:
+				if curTxn == nil || curTxn.ID != rec.TxID {
+					return fmt.Errorf("replica: recover base: %w: stray commit for %s",
+						wal.ErrCorrupt, rec.TxID)
+				}
+				eff, err := curTxn.ExecInPlace(b.master, nil)
+				if err != nil {
+					return fmt.Errorf("replica: recover base: replay %s: %w", curTxn.ID, err)
+				}
+				for it, v := range curWrites {
+					if eff.Writes[it] != v {
+						return fmt.Errorf("replica: recover base: %w: %s wrote %s=%d, logged %d",
+							wal.ErrCorrupt, curTxn.ID, it, eff.Writes[it], v)
+					}
+				}
+				if len(curWrites) != len(eff.Writes) {
+					return fmt.Errorf("replica: recover base: %w: %s write-count mismatch",
+						wal.ErrCorrupt, curTxn.ID)
+				}
+				b.entries = append(b.entries, baseEntry{t: curTxn, eff: eff, after: b.master.Clone()})
+				b.propagate(curTxn.ID, eff.Writes)
+				committed++
+				curTxn, curWrites = nil, nil
+			case wal.KindWindow:
+				if curTxn != nil {
+					return fmt.Errorf("replica: recover base: %w: window advance mid-transaction",
+						wal.ErrCorrupt)
+				}
+				b.windowID = rec.WindowID
+				b.windowOrigin = model.StateOf(rec.Origin)
+				if !b.windowOrigin.Equal(b.master) {
+					return fmt.Errorf("replica: recover base: %w: window origin diverges from replayed master",
+						wal.ErrCorrupt)
+				}
+				b.entries = nil
+			case wal.KindCheckout:
+				return fmt.Errorf("replica: recover base: %w: duplicate checkout", wal.ErrCorrupt)
+			default:
+				return fmt.Errorf("replica: recover base: %w: unknown record %q",
+					wal.ErrCorrupt, rec.Kind)
 			}
-			if len(curWrites) != len(eff.Writes) {
-				return nil, fmt.Errorf("replica: recover base: %w: %s write-count mismatch",
-					wal.ErrCorrupt, curTxn.ID)
-			}
-			b.entries = append(b.entries, baseEntry{t: curTxn, eff: eff, after: b.master.Clone()})
-			b.propagate(curTxn.ID, eff.Writes)
-			curTxn, curWrites = nil, nil
-		case wal.KindWindow:
-			if curTxn != nil {
-				return nil, fmt.Errorf("replica: recover base: %w: window advance mid-transaction",
-					wal.ErrCorrupt)
-			}
-			b.windowID = rec.WindowID
-			b.windowOrigin = model.StateOf(rec.Origin)
-			if !b.windowOrigin.Equal(b.master) {
-				return nil, fmt.Errorf("replica: recover base: %w: window origin diverges from replayed master",
-					wal.ErrCorrupt)
-			}
-			b.entries = nil
-		case wal.KindCheckout:
-			return nil, fmt.Errorf("replica: recover base: %w: duplicate checkout", wal.ErrCorrupt)
-		default:
-			return nil, fmt.Errorf("replica: recover base: %w: unknown record %q",
-				wal.ErrCorrupt, rec.Kind)
 		}
+		return nil
+	}
+	if err := replay(); err != nil {
+		return nil, nil, err
 	}
 	// A trailing open transaction tore during the crash: it was never
-	// acknowledged, so it is simply dropped.
-	return b, nil
+	// acknowledged, so it is dropped — and reported.
+	dropped := 0
+	if curTxn != nil {
+		dropped = 1
+	}
+	rec := &Recovery{
+		Records:    len(recs),
+		Committed:  committed,
+		Dropped:    dropped,
+		TornTail:   res.Torn,
+		TornLine:   res.TornLine,
+		TornOffset: res.TornOffset,
+	}
+	b.counters.Update(func(c *cost.Counts) {
+		c.Recoveries++
+		c.WalRecordsReplayed += int64(rec.Records)
+		c.WalTailDropped += int64(rec.Dropped)
+	})
+	b.emit(rec.event("base"))
+	return b, rec, nil
 }

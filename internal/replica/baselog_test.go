@@ -35,7 +35,7 @@ func TestBaseRecoveryRebuildsMasterAndWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rec, err := RecoverBaseCluster(bytes.NewReader(journal.Bytes()), Config{})
+	rec, _, err := RecoverBaseCluster(bytes.NewReader(journal.Bytes()), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestBaseRecoveryDropsTornTail(t *testing.T) {
 	}
 	// Tear inside the second commit's records.
 	torn := journal.Bytes()[:sizeAfterFirst+20]
-	rec, err := RecoverBaseCluster(bytes.NewReader(torn), Config{})
+	rec, _, err := RecoverBaseCluster(bytes.NewReader(torn), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestBaseRecoveryDetectsTamper(t *testing.T) {
 	if bytes.Equal(tampered, []byte(s)) {
 		t.Fatal("tamper target not found")
 	}
-	if _, err := RecoverBaseCluster(bytes.NewReader(tampered), Config{}); err == nil {
+	if _, _, err := RecoverBaseCluster(bytes.NewReader(tampered), Config{}); err == nil {
 		t.Error("tampered base journal recovered without error")
 	}
 }
@@ -124,7 +124,7 @@ func TestBaseRecoveryLateAttach(t *testing.T) {
 	if err := b.ExecBase(workload.Deposit("Tb2", tx.Base, "y", 4)); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := RecoverBaseCluster(bytes.NewReader(journal.Bytes()), Config{})
+	rec, _, err := RecoverBaseCluster(bytes.NewReader(journal.Bytes()), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

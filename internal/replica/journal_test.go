@@ -32,7 +32,7 @@ func TestCrashRecoveryMergesIdentically(t *testing.T) {
 		}
 		node := m
 		if recover {
-			rec, err := RecoverMobileNode("m1", bytes.NewReader(journal.Bytes()))
+			rec, _, err := RecoverMobileNode("m1", bytes.NewReader(journal.Bytes()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +71,7 @@ func TestRecoveredNodeStateMatchesLostNode(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rec, err := RecoverMobileNode("m1", bytes.NewReader(journal.Bytes()))
+	rec, _, err := RecoverMobileNode("m1", bytes.NewReader(journal.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestAttachJournalLate(t *testing.T) {
 	if err := m.Run(workload.Deposit("T2", tx.Tentative, "x", 7)); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := RecoverMobileNode("m1", bytes.NewReader(journal.Bytes()))
+	rec, _, err := RecoverMobileNode("m1", bytes.NewReader(journal.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}

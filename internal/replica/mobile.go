@@ -46,6 +46,11 @@ type MobileNode struct {
 	states  []model.State
 	effects []*tx.Effect
 	journal *wal.Writer
+
+	// recovered carries the pending crash-recovery report of a
+	// journal-recovered node until it binds to a cluster, at which point
+	// the recovery is charged to the cluster's counters and observer.
+	recovered *Recovery
 }
 
 // NewMobileNode creates a mobile node bound to b and checks out its
@@ -78,6 +83,7 @@ func (m *MobileNode) resolveCluster(cluster []*BaseCluster) (*BaseCluster, error
 		}
 		if m.cluster == nil {
 			m.cluster = b
+			m.noteRecovery(b)
 		}
 		if m.cluster != b {
 			return nil, fmt.Errorf("%w: %s", ErrClusterMismatch, m.ID)

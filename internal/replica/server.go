@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tiermerge/internal/fault"
 	"tiermerge/internal/history"
 	"tiermerge/internal/model"
 	"tiermerge/internal/tx"
@@ -31,8 +32,9 @@ var ErrServerClosed = errors.New("replica: base server closed")
 var errResponseLost = errors.New("replica: response lost in transit")
 
 // DropEveryNth makes the server discard every nth response — transport
-// fault injection for tests; 0 disables.
-func (s *BaseServer) DropEveryNth(n int64) { s.dropEveryNth.Store(n) }
+// fault injection for tests; 0 disables. The plan is a fault.Schedule, the
+// same counter-driven predicate the crash harnesses use.
+func (s *BaseServer) DropEveryNth(n int64) { s.drops.SetEveryNth(n) }
 
 // reqKind tags server requests.
 type reqKind string
@@ -99,10 +101,9 @@ type BaseServer struct {
 	appliedMu sync.Mutex
 	applied   map[string]appliedReq
 
-	// dropEveryNth, when positive, silently discards every Nth response
-	// (fault injection for transport tests).
-	dropEveryNth atomic.Int64
-	respCount    atomic.Int64
+	// drops, when armed (DropEveryNth), silently discards every nth
+	// mobile-facing response (fault injection for transport tests).
+	drops fault.Schedule
 }
 
 // appliedReq caches one handled reconnect.
@@ -158,7 +159,7 @@ func (s *BaseServer) loop() {
 			s.bytesIn.Add(int64(len(r.payload)))
 			resp, mobileFacing := s.handle(r.payload)
 			s.bytesOut.Add(int64(len(resp)))
-			if n := s.dropEveryNth.Load(); n > 0 && mobileFacing && s.respCount.Add(1)%n == 0 {
+			if mobileFacing && s.drops.Hit() {
 				// Fault injection: the response is lost on the wireless
 				// link; the client times out and retries. Only
 				// mobile-facing responses traverse that link.

@@ -1,0 +1,521 @@
+// Crash-recovery soak: kill a node at every point a disconnection period
+// can die, recover it from its journal, and prove the recovered world is
+// the one the protocol acknowledged. The sweep is exhaustive and
+// deterministic — every kill point (each record boundary, each byte offset,
+// with and without a torn trailing fragment) is enumerated from the
+// reference journal, so a failure replays from its parameters alone
+// (DESIGN.md §10).
+package sim
+
+import (
+	"bytes"
+	"fmt"
+
+	"tiermerge/internal/cost"
+	"tiermerge/internal/fault"
+	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
+	"tiermerge/internal/replica"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/wal"
+	"tiermerge/internal/workload"
+)
+
+// CrashSweep configures one exhaustive kill-point sweep: a single mobile
+// node journals one disconnection period through a fault.CrashWriter while
+// base traffic commits behind its back; the sweep then replays the period
+// once per kill point, crashing at that point, recovering with
+// RecoverMobileNode, re-establishing the journal, finishing the period,
+// crashing a second time, and reconnecting the re-recovered node. Two
+// invariants are asserted at every kill point:
+//
+//   - no lost acknowledged commit: the recovery reports exactly the
+//     transactions whose commit records persisted, and
+//   - serial-order equivalence: after the recovered node finishes the
+//     period and reconnects, the master state equals the no-crash run's.
+type CrashSweep struct {
+	// Seed drives the workload generators.
+	Seed int64
+	// Txns is the tentative-transaction count of the period (default 4).
+	Txns int
+	// BaseTxns is the base traffic committed during the period (default 6).
+	BaseTxns int
+	// Items is the database universe size (default 16 — kept small so the
+	// byte-granular sweep stays cheap).
+	Items int
+	// PCommutative is the additive workload fraction (default 0.6).
+	PCommutative float64
+	// TornTailBytes is the torn-fragment length of the "torn" variant of
+	// each kill point (default 5; must stay shorter than any journal line
+	// so the fragment never parses as a complete record).
+	TornTailBytes int
+	// Protocol selects how recovered nodes reconcile (default Merging).
+	Protocol Protocol
+	// SkipByteSweep disables the byte-granular truncation sweep and runs
+	// only the record-boundary kill points.
+	SkipByteSweep bool
+	// Observer receives the PhaseRecover (and reconnect) events every trial
+	// emits; nil observes nothing.
+	Observer obs.Observer
+}
+
+func (cs CrashSweep) withDefaults() CrashSweep {
+	if cs.Txns == 0 {
+		cs.Txns = 4
+	}
+	if cs.BaseTxns == 0 {
+		cs.BaseTxns = 6
+	}
+	if cs.Items == 0 {
+		cs.Items = 16
+	}
+	if cs.PCommutative == 0 {
+		cs.PCommutative = 0.6
+	}
+	if cs.TornTailBytes == 0 {
+		cs.TornTailBytes = 5
+	}
+	if cs.Protocol == 0 {
+		cs.Protocol = Merging
+	}
+	return cs
+}
+
+// CrashSweepResult tallies what a sweep exercised. Invariant violations are
+// errors, not result fields — a returned result means every kill point
+// recovered correctly.
+type CrashSweepResult struct {
+	// Records is the reference journal's record count (the number of
+	// record-boundary kill points).
+	Records int
+	// KillPoints counts record-boundary trials run (clean and torn).
+	KillPoints int
+	// ByteKillPoints counts byte-granular truncation trials run.
+	ByteKillPoints int
+	// Recoveries counts successful journal recoveries across all trials.
+	Recoveries int
+	// TornTails counts recoveries that dropped a torn trailing fragment.
+	TornTails int
+	// DroppedTxns sums trailing uncommitted transactions discarded (each
+	// one re-entered and re-run after recovery, never silently lost).
+	DroppedTxns int
+	// RecordsReplayed sums journal records replayed across recoveries.
+	RecordsReplayed int64
+}
+
+func (r *CrashSweepResult) String() string {
+	return fmt.Sprintf("crash sweep: %d records, %d kill points (+%d byte-granular), %d recoveries, %d torn tails, %d dropped txns, %d records replayed",
+		r.Records, r.KillPoints, r.ByteKillPoints, r.Recoveries, r.TornTails, r.DroppedTxns, r.RecordsReplayed)
+}
+
+// RunCrashSweep sweeps every kill point of a mobile node's disconnection
+// period. See CrashSweep for the invariants asserted.
+func RunCrashSweep(cs CrashSweep) (*CrashSweepResult, error) {
+	cs = cs.withDefaults()
+	tents := sweepTentatives(cs)
+	baseTxns := sweepBaseTxns(cs)
+
+	// Reference run: the same period with no crash. Its master state is the
+	// serial-order-equivalence oracle and its journal bytes define the kill
+	// points.
+	refCluster := sweepCluster(cs)
+	refNode := replica.NewMobileNode("m1", refCluster)
+	var refJournal bytes.Buffer
+	if err := refNode.AttachJournal(&refJournal); err != nil {
+		return nil, fmt.Errorf("sim: crash sweep: %w", err)
+	}
+	if err := sweepPeriod(refCluster, refNode, baseTxns, tents); err != nil {
+		return nil, fmt.Errorf("sim: crash sweep reference: %w", err)
+	}
+	full := append([]byte(nil), refJournal.Bytes()...)
+	if _, err := sweepConnect(cs, refNode, refCluster); err != nil {
+		return nil, fmt.Errorf("sim: crash sweep reference connect: %w", err)
+	}
+	refMaster := refCluster.Master()
+
+	scanned, err := wal.Scan(bytes.NewReader(full), wal.Strict)
+	if err != nil {
+		return nil, fmt.Errorf("sim: crash sweep: reference journal: %w", err)
+	}
+	allRecs := scanned.Records
+	res := &CrashSweepResult{Records: len(allRecs)}
+
+	// An empty journal (killed before the checkout record persisted) is not
+	// a recoverable image; recovery must refuse it, not fabricate a node.
+	if _, _, err := replica.RecoverMobileNode("m1", bytes.NewReader(nil)); err == nil {
+		return nil, fmt.Errorf("sim: crash sweep: recovery accepted an empty journal")
+	}
+
+	for k := 1; k <= len(allRecs); k++ {
+		for _, torn := range []int{0, cs.TornTailBytes} {
+			if torn > 0 && k == len(allRecs) {
+				continue // no suppressed record left to tear
+			}
+			if err := runMobileTrial(cs, res, tents, baseTxns, allRecs, refMaster, full, k, torn); err != nil {
+				return nil, fmt.Errorf("sim: crash sweep: kill after %d records (torn %d): %w", k, torn, err)
+			}
+			res.KillPoints++
+		}
+	}
+
+	if !cs.SkipByteSweep {
+		if err := runByteSweep(res, full, allRecs, func(data []byte) (*replica.Recovery, error) {
+			_, rep, err := replica.RecoverMobileNode("m1", bytes.NewReader(data))
+			return rep, err
+		}); err != nil {
+			return nil, fmt.Errorf("sim: crash sweep: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// runMobileTrial replays the period against a crash writer that dies after
+// k records (persisting torn extra bytes of the first suppressed one),
+// recovers, finishes the period under a fresh journal, crashes a second
+// time, re-recovers, reconnects and checks every invariant.
+func runMobileTrial(cs CrashSweep, res *CrashSweepResult, tents, baseTxns []*tx.Transaction,
+	allRecs []wal.Record, refMaster model.State, full []byte, k, torn int) error {
+	cluster := sweepCluster(cs)
+	m := replica.NewMobileNode("m1", cluster)
+	cw := fault.NewCrashWriter(fault.Plan{KillAfterRecords: k, TornTailBytes: torn})
+	if err := m.AttachJournal(cw); err != nil {
+		return err
+	}
+	// The period runs to completion from the application's point of view —
+	// the crash writer is the page cache that never made it to disk.
+	if err := sweepPeriod(cluster, m, baseTxns, tents); err != nil {
+		return err
+	}
+	if !cw.Killed() {
+		return fmt.Errorf("crash writer never reached its kill point")
+	}
+
+	// Crash: m is gone; only cw.Persisted() survives.
+	rec, rep, err := replica.RecoverMobileNode("m1", bytes.NewReader(cw.Persisted()))
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	wantCommitted, wantOpen := commitsIn(allRecs[:k])
+	if rep.Committed != wantCommitted {
+		return fmt.Errorf("recovered %d committed txns, journal prefix acknowledged %d", rep.Committed, wantCommitted)
+	}
+	wantDropped := 0
+	if wantOpen {
+		wantDropped = 1
+	}
+	if rep.Dropped != wantDropped {
+		return fmt.Errorf("recovery dropped %d txns, want %d", rep.Dropped, wantDropped)
+	}
+	if wantTorn := torn > 0; rep.TornTail != wantTorn {
+		return fmt.Errorf("recovery torn=%v, want %v", rep.TornTail, wantTorn)
+	}
+	res.Recoveries++
+	res.DroppedTxns += rep.Dropped
+	res.RecordsReplayed += int64(rep.Records)
+	if rep.TornTail {
+		res.TornTails++
+	}
+
+	// Re-establish durability and finish the period: the dropped in-flight
+	// transaction (never acknowledged) and everything after it re-run.
+	var rejournal bytes.Buffer
+	if err := rec.AttachJournal(&rejournal); err != nil {
+		return fmt.Errorf("rejournal: %w", err)
+	}
+	for _, t := range tents[rep.Committed:] {
+		if err := rec.Run(t); err != nil {
+			return fmt.Errorf("rerun %s: %w", t.ID, err)
+		}
+	}
+
+	// Second crash: the re-attached journal must be complete on its own
+	// (AttachJournal re-journals the replayed prefix).
+	rec2, rep2, err := replica.RecoverMobileNode("m1", bytes.NewReader(rejournal.Bytes()))
+	if err != nil {
+		return fmt.Errorf("second recover: %w", err)
+	}
+	res.Recoveries++
+	res.RecordsReplayed += int64(rep2.Records)
+	if rep2.Committed != len(tents) {
+		return fmt.Errorf("second recovery has %d committed txns, want the full period (%d)", rep2.Committed, len(tents))
+	}
+
+	// Reconnect: the re-recovered node reconciles exactly as the lost one
+	// would have.
+	if _, err := sweepConnect(cs, rec2, cluster); err != nil {
+		return fmt.Errorf("reconnect: %w", err)
+	}
+	if got := cluster.Master(); !got.Equal(refMaster) {
+		return fmt.Errorf("master diverged after recovery: %s != %s", got, refMaster)
+	}
+	snap := cluster.Counters().Snapshot()
+	if snap.Recoveries != 1 {
+		return fmt.Errorf("cluster charged %d recoveries, want 1 (only the bound node's)", snap.Recoveries)
+	}
+	if snap.WalRecordsReplayed != int64(rep2.Records) {
+		return fmt.Errorf("cluster charged %d replayed records, want %d", snap.WalRecordsReplayed, rep2.Records)
+	}
+	return nil
+}
+
+// RunBaseCrashSweep is the base-tier counterpart: the cluster journals its
+// day (base commits and a mid-day window advance) through a crash writer;
+// every kill point is recovered with RecoverBaseCluster, the recovered
+// tier commits the rest of the day, and the final master must equal the
+// no-crash run's.
+func RunBaseCrashSweep(cs CrashSweep) (*CrashSweepResult, error) {
+	cs = cs.withDefaults()
+	baseTxns := sweepBaseTxns(cs)
+	advanceAt := cs.BaseTxns / 2
+
+	// Reference run: no crash.
+	refCluster := sweepCluster(cs)
+	var refJournal bytes.Buffer
+	if err := refCluster.AttachJournal(&refJournal); err != nil {
+		return nil, fmt.Errorf("sim: base crash sweep: %w", err)
+	}
+	if err := sweepBaseDay(refCluster, baseTxns, advanceAt); err != nil {
+		return nil, fmt.Errorf("sim: base crash sweep reference: %w", err)
+	}
+	full := append([]byte(nil), refJournal.Bytes()...)
+	refMaster := refCluster.Master()
+
+	scanned, err := wal.Scan(bytes.NewReader(full), wal.Strict)
+	if err != nil {
+		return nil, fmt.Errorf("sim: base crash sweep: reference journal: %w", err)
+	}
+	allRecs := scanned.Records
+	res := &CrashSweepResult{Records: len(allRecs)}
+	cfg := replica.Config{Weights: cost.DefaultWeights(), Observer: cs.Observer}
+
+	if _, _, err := replica.RecoverBaseCluster(bytes.NewReader(nil), cfg); err == nil {
+		return nil, fmt.Errorf("sim: base crash sweep: recovery accepted an empty journal")
+	}
+
+	for k := 1; k <= len(allRecs); k++ {
+		for _, torn := range []int{0, cs.TornTailBytes} {
+			if torn > 0 && k == len(allRecs) {
+				continue
+			}
+			if err := runBaseTrial(res, cfg, baseTxns, allRecs, refMaster, full, k, torn); err != nil {
+				return nil, fmt.Errorf("sim: base crash sweep: kill after %d records (torn %d): %w", k, torn, err)
+			}
+			res.KillPoints++
+		}
+	}
+
+	if !cs.SkipByteSweep {
+		if err := runByteSweep(res, full, allRecs, func(data []byte) (*replica.Recovery, error) {
+			_, rep, err := replica.RecoverBaseCluster(bytes.NewReader(data), cfg)
+			return rep, err
+		}); err != nil {
+			return nil, fmt.Errorf("sim: base crash sweep: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// runBaseTrial recovers the base tier from the journal prefix a crash at
+// kill point k leaves behind, then has the recovered tier commit the rest
+// of the day and checks it converges on the reference master.
+func runBaseTrial(res *CrashSweepResult, cfg replica.Config, baseTxns []*tx.Transaction,
+	allRecs []wal.Record, refMaster model.State, full []byte, k, torn int) error {
+	cw := fault.NewCrashWriter(fault.Plan{KillAfterRecords: k, TornTailBytes: torn})
+	if _, err := cw.Write(full); err != nil {
+		return err
+	}
+	b, rep, err := replica.RecoverBaseCluster(bytes.NewReader(cw.Persisted()), cfg)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	wantCommitted, wantOpen := commitsIn(allRecs[:k])
+	if rep.Committed != wantCommitted {
+		return fmt.Errorf("recovered %d committed txns, journal prefix acknowledged %d", rep.Committed, wantCommitted)
+	}
+	wantDropped := 0
+	if wantOpen {
+		wantDropped = 1
+	}
+	if rep.Dropped != wantDropped {
+		return fmt.Errorf("recovery dropped %d txns, want %d", rep.Dropped, wantDropped)
+	}
+	if wantTorn := torn > 0; rep.TornTail != wantTorn {
+		return fmt.Errorf("recovery torn=%v, want %v", rep.TornTail, wantTorn)
+	}
+	res.Recoveries++
+	res.DroppedTxns += rep.Dropped
+	res.RecordsReplayed += int64(rep.Records)
+	if rep.TornTail {
+		res.TornTails++
+	}
+	snap := b.Counters().Snapshot()
+	if snap.Recoveries != 1 || snap.WalRecordsReplayed != int64(rep.Records) {
+		return fmt.Errorf("recovered cluster charged recoveries=%d replayed=%d, want 1/%d",
+			snap.Recoveries, snap.WalRecordsReplayed, rep.Records)
+	}
+
+	// The recovered tier must be live, not a snapshot: the rest of the day
+	// (including the transaction whose commit record tore, which its client
+	// retries) commits on it and converges on the reference master.
+	for _, t := range baseTxns[rep.Committed:] {
+		if err := b.ExecBase(t); err != nil {
+			return fmt.Errorf("resume %s: %w", t.ID, err)
+		}
+	}
+	if got := b.Master(); !got.Equal(refMaster) {
+		return fmt.Errorf("master diverged after recovery: %s != %s", got, refMaster)
+	}
+	return nil
+}
+
+// runByteSweep truncates the reference journal at every byte offset and
+// asserts recovery classifies each image correctly. Three cases per offset:
+// the cut lands on a record boundary (clean image), one byte before it (the
+// final record lost only its newline — still a complete, recoverable line),
+// or mid-record (a torn fragment, dropped). Offsets that leave no complete
+// checkout record must be refused outright.
+func runByteSweep(res *CrashSweepResult, full []byte, allRecs []wal.Record,
+	recover func([]byte) (*replica.Recovery, error)) error {
+	bounds := lineBounds(full)
+	for b := 1; b <= len(full); b++ {
+		data := fault.Apply(full, fault.Mutation{Op: fault.TruncateAt, Arg: int64(b)})
+		contained := 0
+		for contained < len(bounds) && bounds[contained] <= b {
+			contained++
+		}
+		seen, wantTorn := contained, false
+		switch {
+		case contained < len(bounds) && b == bounds[contained]-1:
+			seen++ // complete final line, only its newline lost
+		case contained == 0 || b != bounds[contained-1]:
+			wantTorn = true // cut mid-record: the fragment is dropped
+		}
+		rep, err := recover(data)
+		if seen == 0 {
+			if err == nil {
+				return fmt.Errorf("truncate at byte %d: recovery accepted a journal with no checkout record", b)
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("truncate at byte %d: %w", b, err)
+		}
+		wantCommitted, _ := commitsIn(allRecs[:seen])
+		if rep.Committed != wantCommitted {
+			return fmt.Errorf("truncate at byte %d: recovered %d committed txns, want %d", b, rep.Committed, wantCommitted)
+		}
+		if rep.TornTail != wantTorn {
+			return fmt.Errorf("truncate at byte %d: torn=%v, want %v", b, rep.TornTail, wantTorn)
+		}
+		res.ByteKillPoints++
+		res.RecordsReplayed += int64(rep.Records)
+		if rep.TornTail {
+			res.TornTails++
+		}
+	}
+	return nil
+}
+
+// sweepCluster builds the deterministic base tier every trial starts from.
+func sweepCluster(cs CrashSweep) *replica.BaseCluster {
+	gen := workload.NewGenerator(workload.Config{
+		Seed: cs.Seed*31 + 7, Items: cs.Items, PCommutative: cs.PCommutative,
+	})
+	return replica.NewBaseCluster(gen.OriginState(), replica.Config{
+		Weights:  cost.DefaultWeights(),
+		Observer: cs.Observer,
+	})
+}
+
+// sweepTentatives generates the period's tentative transactions once; every
+// trial replays the same pointers in the same order.
+func sweepTentatives(cs CrashSweep) []*tx.Transaction {
+	gen := workload.NewGenerator(workload.Config{
+		Seed: cs.Seed + 1, Items: cs.Items, PCommutative: cs.PCommutative,
+	})
+	out := make([]*tx.Transaction, cs.Txns)
+	for i := range out {
+		out[i] = gen.Txn(tx.Tentative)
+	}
+	return out
+}
+
+// sweepBaseTxns generates the base traffic committed during the period.
+func sweepBaseTxns(cs CrashSweep) []*tx.Transaction {
+	out := make([]*tx.Transaction, cs.BaseTxns)
+	for k := range out {
+		gen := workload.NewGenerator(workload.Config{
+			Seed: cs.Seed*1000003 + int64(k), Items: cs.Items, PCommutative: cs.PCommutative,
+		})
+		t := gen.Txn(tx.Base)
+		t.ID = fmt.Sprintf("Tb%d", k)
+		out[k] = t
+	}
+	return out
+}
+
+// sweepPeriod runs one disconnection period: the base commits its traffic
+// while the mobile runs its tentative batch.
+func sweepPeriod(cluster *replica.BaseCluster, m *replica.MobileNode, baseTxns, tents []*tx.Transaction) error {
+	for _, t := range baseTxns {
+		if err := cluster.ExecBase(t); err != nil {
+			return err
+		}
+	}
+	for _, t := range tents {
+		if err := m.Run(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepBaseDay commits the base traffic with a window advance midway.
+func sweepBaseDay(cluster *replica.BaseCluster, baseTxns []*tx.Transaction, advanceAt int) error {
+	for j, t := range baseTxns {
+		if j == advanceAt && j > 0 {
+			cluster.AdvanceWindow()
+		}
+		if err := cluster.ExecBase(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepConnect reconciles via the sweep's protocol. The one-argument form
+// binds journal-recovered nodes; already-bound nodes take it too (it must
+// then match), so one call shape serves both.
+func sweepConnect(cs CrashSweep, m *replica.MobileNode, cluster *replica.BaseCluster) (*replica.ConnectOutcome, error) {
+	if cs.Protocol == Reprocessing {
+		return m.ConnectReprocess(cluster), nil
+	}
+	return m.ConnectMerge(cluster)
+}
+
+// commitsIn counts acknowledged commits in a journal prefix and reports
+// whether the prefix ends inside an open transaction.
+func commitsIn(recs []wal.Record) (committed int, open bool) {
+	for _, r := range recs {
+		switch r.Kind {
+		case wal.KindBegin:
+			open = true
+		case wal.KindCommit:
+			committed++
+			open = false
+		}
+	}
+	return committed, open
+}
+
+// lineBounds returns the byte offset just past each newline — the
+// record-boundary offsets of a journal image.
+func lineBounds(data []byte) []int {
+	var out []int
+	for i, c := range data {
+		if c == '\n' {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}

@@ -257,10 +257,20 @@ func runSerial(sc Scenario, cluster *replica.BaseCluster, res *Result) error {
 			}
 			if crashing {
 				// The device dies before connecting; a fresh node is
-				// recovered from its journal and reconciles instead.
-				rec, err := replica.RecoverMobileNode(m.ID, bytes.NewReader(journal.Bytes()))
+				// recovered from its journal and reconciles instead. No
+				// tentative work was acknowledged-and-lost: the journal
+				// covered the whole period.
+				rec, rep, err := replica.RecoverMobileNode(m.ID, bytes.NewReader(journal.Bytes()))
 				if err != nil {
 					return fmt.Errorf("sim: recover %s: %w", m.ID, err)
+				}
+				if rep.Dropped > 0 {
+					return fmt.Errorf("sim: recover %s: journal dropped %d committed transactions", m.ID, rep.Dropped)
+				}
+				// Re-establish durability for the rest of the period.
+				journal.Reset()
+				if err := rec.AttachJournal(&journal); err != nil {
+					return fmt.Errorf("sim: rejournal %s: %w", m.ID, err)
 				}
 				res.Crashes++
 				m = rec

@@ -231,7 +231,7 @@ func TestTortureEverythingAtOnce(t *testing.T) {
 				}
 			}
 			if crashing {
-				rec, err := replica.RecoverMobileNode(m.ID, bytes.NewReader(journal.Bytes()))
+				rec, _, err := replica.RecoverMobileNode(m.ID, bytes.NewReader(journal.Bytes()))
 				if err != nil {
 					t.Fatal(err)
 				}

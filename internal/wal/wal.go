@@ -150,32 +150,122 @@ func sortedItems[V any](m map[model.Item]V) []model.Item {
 	return out
 }
 
-// ReadAll decodes every record of a journal stream.
-func ReadAll(r io.Reader) ([]Record, error) {
-	var out []Record
+// ScanMode selects how Scan treats journal damage.
+type ScanMode int
+
+// Scan modes.
+const (
+	// Strict accepts exactly one kind of damage: a torn final line (the
+	// crash interrupted the last append). Any earlier damage — a malformed
+	// interior line, a sequence-number break from a dropped or duplicated
+	// line — is ErrCorrupt: the journal no longer represents the history
+	// that was acknowledged, and replaying a silently truncated prefix
+	// would drop committed work.
+	Strict ScanMode = iota
+	// Salvage never fails on damage: it decodes the longest valid prefix,
+	// stops at the first damaged line, and reports where the journal tears
+	// and how much it discarded. Recovery must not run on a salvaged
+	// prefix (acknowledged work past the tear is lost); the mode exists
+	// for forensics — walinspect -salvage dumps what a damaged log still
+	// proves.
+	Salvage
+)
+
+// ScanResult is a decoded journal stream plus the damage report.
+type ScanResult struct {
+	// Records is the decoded prefix.
+	Records []Record
+	// Torn reports whether the stream ended in (Strict) or was cut at
+	// (Salvage) a damaged line.
+	Torn bool
+	// TornLine is the 1-based line number of the tear (0 when !Torn).
+	TornLine int
+	// TornOffset is the byte offset at which the torn line starts.
+	TornOffset int64
+	// TornReason describes the decode or sequence error at the tear.
+	TornReason string
+	// DiscardedLines counts non-empty lines after the tear that Salvage
+	// skipped (always 0 in Strict mode, which fails instead).
+	DiscardedLines int
+}
+
+// Scan decodes a journal stream under the given mode. Beyond per-line JSON
+// validity it verifies the append-only contract: record sequence numbers
+// are contiguous from 1, so dropped and duplicated lines are detected even
+// when every surviving line parses cleanly.
+func Scan(r io.Reader, mode ScanMode) (*ScanResult, error) {
+	res := &ScanResult{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
+	var (
+		line   int
+		offset int64
+	)
+	tearAt := func(reason string) {
+		res.Torn = true
+		res.TornLine = line
+		res.TornOffset = offset
+		res.TornReason = reason
+	}
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
+		if res.Torn {
+			// Past the first damaged line. Strict tolerates damage only on
+			// the final line, so any further content is corruption, not a
+			// tear; Salvage counts what it is discarding.
+			if len(raw) == 0 {
+				offset += int64(len(raw)) + 1
+				continue
+			}
+			if mode == Strict {
+				return nil, fmt.Errorf("wal: line %d: %s (damage before end of journal): %w",
+					res.TornLine, res.TornReason, ErrCorrupt)
+			}
+			res.DiscardedLines++
+			offset += int64(len(raw)) + 1
+			continue
+		}
 		if len(raw) == 0 {
+			offset += int64(len(raw)) + 1
 			continue
 		}
 		var rec Record
 		if err := json.Unmarshal(raw, &rec); err != nil {
-			// A torn final line is expected crash damage: stop there.
-			if line > 0 {
-				break
-			}
-			return nil, fmt.Errorf("wal: line %d: %w", line, err)
+			tearAt(err.Error())
+			offset += int64(len(raw)) + 1
+			continue
 		}
-		out = append(out, rec)
+		if want := int64(len(res.Records)) + 1; rec.Seq != want {
+			// A crash can only tear the tail; a sequence break means a
+			// whole line vanished or repeated, which no crash produces.
+			reason := fmt.Sprintf("sequence break: record %d, want %d", rec.Seq, want)
+			if mode == Salvage {
+				tearAt(reason)
+				res.DiscardedLines++
+				offset += int64(len(raw)) + 1
+				continue
+			}
+			return nil, fmt.Errorf("wal: line %d: %s: %w", line, reason, ErrCorrupt)
+		}
+		res.Records = append(res.Records, rec)
+		offset += int64(len(raw)) + 1
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("wal: scan: %w", err)
 	}
-	return out, nil
+	return res, nil
+}
+
+// ReadAll decodes every record of a journal stream in Strict mode: a torn
+// final line (crash damage) is dropped; any damage before the end of the
+// stream is ErrCorrupt. Callers that need the tear report use Scan.
+func ReadAll(r io.Reader) ([]Record, error) {
+	res, err := Scan(r, Strict)
+	if err != nil {
+		return nil, err
+	}
+	return res.Records, nil
 }
 
 // Replayed is a tentative run reconstructed from a journal.
@@ -205,9 +295,10 @@ func Replay(records []Record) (*Replayed, error) {
 	}
 
 	type pending struct {
-		t      *tx.Transaction
-		reads  map[model.Item]model.Value
-		writes map[model.Item]model.Value
+		t       *tx.Transaction
+		reads   map[model.Item]model.Value
+		writes  map[model.Item]model.Value
+		befores map[model.Item]model.Value
 	}
 	var (
 		cur       *pending
@@ -226,9 +317,10 @@ func Replay(records []Record) (*Replayed, error) {
 				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 			cur = &pending{
-				t:      t,
-				reads:  make(map[model.Item]model.Value),
-				writes: make(map[model.Item]model.Value),
+				t:       t,
+				reads:   make(map[model.Item]model.Value),
+				writes:  make(map[model.Item]model.Value),
+				befores: make(map[model.Item]model.Value),
 			}
 		case KindRead:
 			if cur == nil || cur.t.ID != rec.TxID {
@@ -240,6 +332,7 @@ func Replay(records []Record) (*Replayed, error) {
 				return nil, fmt.Errorf("%w: stray write record for %s", ErrCorrupt, rec.TxID)
 			}
 			cur.writes[rec.Item] = rec.After
+			cur.befores[rec.Item] = rec.Before
 		case KindCommit:
 			if cur == nil || cur.t.ID != rec.TxID {
 				return nil, fmt.Errorf("%w: stray commit record for %s", ErrCorrupt, rec.TxID)
@@ -280,6 +373,15 @@ func Replay(records []Record) (*Replayed, error) {
 		for it, v := range p.writes {
 			if got := eff.Writes[it]; got != v {
 				return nil, fmt.Errorf("%w: %s wrote %s: logged %d, replayed %d",
+					ErrCorrupt, p.t.ID, it, v, got)
+			}
+		}
+		// Before-images feed the undo approach (prune.ByUndo restores
+		// them), so a corrupt before-image is as dangerous as a corrupt
+		// after-image: verify both against the replayed effects.
+		for it, v := range p.befores {
+			if got := eff.Before[it]; got != v {
+				return nil, fmt.Errorf("%w: %s before-image %s: logged %d, replayed %d",
 					ErrCorrupt, p.t.ID, it, v, got)
 			}
 		}

@@ -162,15 +162,19 @@ func TestReplayDetectsTamperedValues(t *testing.T) {
 	}
 }
 
-// tamperAfter flips the first `"after":N` to N+1.
-func tamperAfter(s string) string {
-	idx := strings.Index(s, `"after":`)
+// tamperAfter flips the first `"after":N` to a different value.
+func tamperAfter(s string) string { return tamperField(s, `"after":`) }
+
+// tamperField flips the numeric value after the first occurrence of the
+// given JSON key prefix to a different value.
+func tamperField(s, prefix string) string {
+	idx := strings.Index(s, prefix)
 	if idx < 0 {
 		return s
 	}
 	// Walk the number and bump its last digit (avoiding 9 rollover by
 	// replacing with a different digit).
-	j := idx + len(`"after":`)
+	j := idx + len(prefix)
 	k := j
 	for k < len(s) && (s[k] == '-' || (s[k] >= '0' && s[k] <= '9')) {
 		k++
@@ -264,5 +268,116 @@ func TestReplayAtEveryCrashPoint(t *testing.T) {
 	}
 	if prevCommitted != 5 {
 		t.Fatalf("full journal replayed %d of 5", prevCommitted)
+	}
+}
+
+// TestReadAllRejectsMidJournalCorruption is the regression test for the
+// torn-line guard bug: a malformed line in the *middle* of a journal,
+// followed by validly committed transactions, must fail with ErrCorrupt —
+// silently truncating there would drop acknowledged work.
+func TestReadAllRejectsMidJournalCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	journalHistory(t, &buf, 61, 4)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("journal too short: %d lines", len(lines))
+	}
+	// Mangle an interior line (not the last one).
+	mid := len(lines) / 2
+	lines[mid] = lines[mid][:len(lines[mid])/2]
+	damaged := strings.Join(lines, "\n") + "\n"
+	if _, err := ReadAll(strings.NewReader(damaged)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mid-journal corruption: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadAllDetectsDroppedAndDuplicatedLines: sequence numbers are
+// contiguous, so a lost or repeated buffer flush is corruption even though
+// every surviving line parses.
+func TestReadAllDetectsDroppedAndDuplicatedLines(t *testing.T) {
+	var buf bytes.Buffer
+	journalHistory(t, &buf, 62, 3)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	mid := len(lines) / 2
+
+	dropped := strings.Join(append(append([]string{}, lines[:mid]...), lines[mid+1:]...), "\n") + "\n"
+	if _, err := ReadAll(strings.NewReader(dropped)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("dropped line: got %v, want ErrCorrupt", err)
+	}
+
+	dup := append(append([]string{}, lines[:mid+1]...), lines[mid:]...)
+	duplicated := strings.Join(dup, "\n") + "\n"
+	if _, err := ReadAll(strings.NewReader(duplicated)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("duplicated line: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadAllToleratesTornFinalLineOnly: the one acceptable damage shape.
+func TestReadAllToleratesTornFinalLineOnly(t *testing.T) {
+	var buf bytes.Buffer
+	journalHistory(t, &buf, 63, 3)
+	data := buf.Bytes()
+	torn := data[:len(data)-5] // cut mid final line
+	recs, err := ReadAll(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	full, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(full)-1 {
+		t.Errorf("torn tail: %d records, want %d", len(recs), len(full)-1)
+	}
+}
+
+// TestScanSalvageReportsTear: salvage mode survives interior damage and
+// reports where the journal tears and what it discarded.
+func TestScanSalvageReportsTear(t *testing.T) {
+	var buf bytes.Buffer
+	journalHistory(t, &buf, 64, 4)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	mid := len(lines) / 2
+	lines[mid] = "garbage{{{"
+	damaged := strings.Join(lines, "\n") + "\n"
+
+	res, err := Scan(strings.NewReader(damaged), Salvage)
+	if err != nil {
+		t.Fatalf("salvage must not fail: %v", err)
+	}
+	if !res.Torn || res.TornLine != mid+1 {
+		t.Errorf("tear at line %d (torn=%v), want line %d", res.TornLine, res.Torn, mid+1)
+	}
+	if len(res.Records) != mid {
+		t.Errorf("salvaged %d records, want %d", len(res.Records), mid)
+	}
+	if res.DiscardedLines != len(lines)-mid-1 {
+		t.Errorf("discarded %d lines, want %d", res.DiscardedLines, len(lines)-mid-1)
+	}
+	if res.TornReason == "" {
+		t.Error("tear reason empty")
+	}
+	// The salvaged prefix must itself replay (it is a valid journal
+	// prefix) unless the tear bisected a transaction's record group.
+	if _, err := Replay(res.Records); err != nil && !errors.Is(err, ErrCorrupt) {
+		t.Errorf("salvaged prefix replay: %v", err)
+	}
+}
+
+// TestReplayDetectsTamperedBeforeImage: prune.ByUndo trusts before-images,
+// so Replay must verify them alongside the after-images.
+func TestReplayDetectsTamperedBeforeImage(t *testing.T) {
+	var buf bytes.Buffer
+	journalHistory(t, &buf, 65, 4)
+	tampered := tamperField(buf.String(), `"before":`)
+	if tampered == buf.String() {
+		t.Skip("no before field found")
+	}
+	recs, err := ReadAll(strings.NewReader(tampered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(recs); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tampered before-image replayed without ErrCorrupt: %v", err)
 	}
 }

@@ -73,10 +73,10 @@ fi
 echo "== tests =="
 go test ./...
 
-echo "== race (concurrent merge pipeline + observers + sharded detector cache) =="
-go test -race ./internal/replica/... ./internal/rewrite/... ./internal/obs/...
+echo "== race (concurrent merge pipeline + observers + crash-recovery soak) =="
+go test -race ./internal/replica/... ./internal/rewrite/... ./internal/obs/... ./internal/sim/...
 
-echo "== experiments (E0..E13) =="
+echo "== experiments (E0..E14) =="
 run_logged benchreport go run ./cmd/benchreport
 
 echo "== examples =="

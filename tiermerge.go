@@ -495,21 +495,42 @@ type (
 	WALWriter = wal.Writer
 	// WALReplayed is a tentative run reconstructed from a journal.
 	WALReplayed = wal.Replayed
+	// WALScanResult is a decoded journal stream plus its damage report
+	// (where the journal tears, what was discarded).
+	WALScanResult = wal.ScanResult
+	// WALRecovery reports what a crash recovery replayed and what crash
+	// damage it dropped (see DESIGN.md §10 and docs/RECOVERY.md).
+	WALRecovery = replica.Recovery
 )
+
+// ErrWALCorrupt is returned (wrapped) when a journal contradicts
+// re-execution or carries damage anywhere before its final line.
+var ErrWALCorrupt = wal.ErrCorrupt
 
 // NewWALWriter starts a journal on w.
 func NewWALWriter(w io.Writer) *WALWriter { return wal.NewWriter(w) }
 
-// ReadWAL decodes every record of a journal stream, tolerating a torn
-// final line.
+// ReadWAL decodes every record of a journal stream in strict mode: a torn
+// final line (crash damage) is dropped, but damage anywhere earlier —
+// malformed interior lines, dropped or duplicated lines — fails with
+// ErrWALCorrupt rather than silently truncating acknowledged work.
 func ReadWAL(r io.Reader) ([]WALRecord, error) { return wal.ReadAll(r) }
+
+// SalvageWAL decodes the longest valid prefix of a damaged journal and
+// reports where it tears — forensics for logs strict recovery rejects
+// (walinspect -salvage). Never recover from a salvaged prefix blindly:
+// acknowledged work past the tear is lost.
+func SalvageWAL(r io.Reader) (*WALScanResult, error) { return wal.Scan(r, wal.Salvage) }
 
 // ReplayWAL rebuilds and verifies a tentative run from journal records.
 func ReplayWAL(records []WALRecord) (*WALReplayed, error) { return wal.Replay(records) }
 
 // RecoverMobileNode rebuilds a crashed mobile node from its journal; its
-// next connect merges exactly as the lost node would have.
-func RecoverMobileNode(id string, r io.Reader) (*MobileNode, error) {
+// next connect merges exactly as the lost node would have. The WALRecovery
+// report says what was replayed and whether a torn tail was dropped. The
+// recovered node has no journal attached — call AttachJournal to
+// re-establish durability for the rest of the period.
+func RecoverMobileNode(id string, r io.Reader) (*MobileNode, *WALRecovery, error) {
 	return replica.RecoverMobileNode(id, r)
 }
 
@@ -597,8 +618,9 @@ var (
 
 // RecoverBaseCluster rebuilds a crashed base tier from its journal (see
 // BaseCluster.AttachJournal), verifying every replayed commit against its
-// logged write images.
-func RecoverBaseCluster(r io.Reader, cfg ClusterConfig) (*BaseCluster, error) {
+// logged write images. The WALRecovery report says what was replayed and
+// whether a torn tail was dropped.
+func RecoverBaseCluster(r io.Reader, cfg ClusterConfig) (*BaseCluster, *WALRecovery, error) {
 	return replica.RecoverBaseCluster(r, cfg)
 }
 

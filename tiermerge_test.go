@@ -92,9 +92,12 @@ func TestPublicWALRecovery(t *testing.T) {
 	if err := m.Run(tiermerge.Deposit("T1", tiermerge.Tentative, "x", 3)); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := tiermerge.RecoverMobileNode("m1", bytes.NewReader(journal.Bytes()))
+	rec, report, err := tiermerge.RecoverMobileNode("m1", bytes.NewReader(journal.Bytes()))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if report.Committed != 1 || report.Dropped != 0 || report.TornTail {
+		t.Errorf("recovery report: %s", report)
 	}
 	out, err := rec.ConnectMerge(base)
 	if err != nil {
@@ -244,9 +247,12 @@ func TestFacadeBaseRecovery(t *testing.T) {
 	if err := base.ExecBase(tiermerge.Deposit("Tb1", tiermerge.Base, "x", 4)); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := tiermerge.RecoverBaseCluster(bytes.NewReader(journal.Bytes()), tiermerge.ClusterConfig{})
+	rec, report, err := tiermerge.RecoverBaseCluster(bytes.NewReader(journal.Bytes()), tiermerge.ClusterConfig{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if report.Committed != 1 || report.TornTail {
+		t.Errorf("recovery report: %s", report)
 	}
 	if !rec.Master().Equal(base.Master()) {
 		t.Errorf("recovered %s != %s", rec.Master(), base.Master())
