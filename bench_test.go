@@ -1,5 +1,5 @@
 // Benchmarks for the reproduction suite: one bench per experiment kernel
-// (E0..E9, E13, E14; E10-E12 are timed by the ablation benches, see DESIGN.md) plus
+// (E0..E9, E13..E15; E10-E12 are timed by the ablation benches, see DESIGN.md) plus
 // micro-benchmarks for the algorithmic pieces whose asymptotic costs
 // Section 7.1 discusses (graph construction, the O(n^2) rewriting pass,
 // pruning, and the lock manager).
@@ -483,4 +483,132 @@ func BenchmarkE14CrashRecovery(b *testing.B) {
 			}
 		})
 	}
+}
+
+// e15BenchHistories mirrors the E15 experiment inputs: a 4-transaction
+// mobile history on private items, and a base history whose prefix churns a
+// fixed 32-item working set while its suffix deposits into fresh items,
+// returned whole and split at the prefix boundary.
+func e15BenchHistories(b *testing.B, prefix, suffix int) (hm, full, pre, suf *history.Augmented) {
+	b.Helper()
+	st := model.State{}
+	st.Set("m0", 100)
+	st.Set("m1", 100)
+	for i := 0; i < 32; i++ {
+		st.Set(model.Item(fmt.Sprintf("x%d", i)), 100)
+	}
+	for i := 0; i < suffix; i++ {
+		st.Set(model.Item(fmt.Sprintf("y%d", i)), 100)
+	}
+	hb := &history.History{}
+	for i := 0; i < prefix; i++ {
+		hb.Append(workload.Deposit(fmt.Sprintf("B%d", i), tx.Base, model.Item(fmt.Sprintf("x%d", i%32)), 1))
+	}
+	for i := 0; i < suffix; i++ {
+		hb.Append(workload.Deposit(fmt.Sprintf("S%d", i), tx.Base, model.Item(fmt.Sprintf("y%d", i)), 1))
+	}
+	full, err := history.Run(hb, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hmH := &history.History{}
+	for i, it := range []model.Item{"m0", "m1", "m0", "m1"} {
+		hmH.Append(workload.Deposit(fmt.Sprintf("T%d", i), tx.Tentative, it, 5))
+	}
+	hm, err = history.Run(hmH, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre = &history.Augmented{
+		H:       full.H.Prefix(prefix),
+		States:  full.States[:prefix+1],
+		Effects: full.Effects[:prefix],
+	}
+	suf = &history.Augmented{
+		H:       &history.History{Entries: full.H.Entries[prefix:]},
+		States:  full.States[prefix:],
+		Effects: full.Effects[prefix:],
+	}
+	return hm, full, pre, suf
+}
+
+// BenchmarkE15IncrementalRetry times the two retry amortizations behind
+// experiment E15. The rebuild/extend pair re-prepares a merge invalidated by
+// an 8-entry base suffix: the rebuild arm pays a from-scratch G(Hm, Hb) over
+// the whole extended history and grows with the prefix, while the extend arm
+// pays only the suffix extension and stays flat (the prefix report it
+// consumes is rebuilt off the clock, since Extend grows it in place). The
+// admission pair reconnects 8 disjoint mobiles concurrently: serial
+// admission pays one critical section per merge, batched admission gates the
+// leader until the fleet has enqueued and admits all 8 in one.
+func BenchmarkE15IncrementalRetry(b *testing.B) {
+	const suffix = 8
+	for _, prefix := range []int{64, 1024} {
+		hm, fullAug, preAug, sufAug := e15BenchHistories(b, prefix, suffix)
+		b.Run(fmt.Sprintf("rebuild/prefix=%d", prefix), func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				if _, err := merge.Merge(hm, fullAug, merge.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("extend/prefix=%d", prefix), func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				b.StopTimer()
+				repPre, err := merge.Merge(hm, preAug, merge.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, _, err := merge.Extend(repPre, hm, sufAug, merge.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	const mobiles = 8
+	origin := model.State{}
+	for i := 0; i < mobiles; i++ {
+		origin.Set(model.Item(fmt.Sprintf("a%d", i)), 100)
+	}
+	hms := make([]*history.Augmented, mobiles)
+	for i := range hms {
+		h := &history.History{}
+		for k := 0; k < 3; k++ {
+			it := model.Item(fmt.Sprintf("a%d", i))
+			h.Append(workload.Deposit(fmt.Sprintf("T%d.%d", i, k), tx.Tentative, it, 5))
+		}
+		a, err := history.Run(h, origin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hms[i] = a
+	}
+	runFleet := func(b *testing.B, serial bool) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			cluster := replica.NewBaseCluster(origin, replica.Config{SerialAdmission: serial})
+			if !serial {
+				cluster.SetAdmitGate(func(queued int) bool { return queued == mobiles })
+			}
+			var wg sync.WaitGroup
+			wg.Add(mobiles)
+			for i := 0; i < mobiles; i++ {
+				go func(i int) {
+					defer wg.Done()
+					ck := replica.Checkout{MobileID: fmt.Sprintf("m%d", i), WindowID: 1, Origin: origin}
+					if _, err := cluster.Merge(ck, hms[i]); err != nil {
+						b.Error(err)
+					}
+				}(i)
+			}
+			wg.Wait()
+		}
+		b.ReportMetric(float64(b.N*mobiles)/b.Elapsed().Seconds(), "merges/s")
+	}
+	b.Run(fmt.Sprintf("serialAdmit/mobiles=%d", mobiles), func(b *testing.B) { runFleet(b, true) })
+	b.Run(fmt.Sprintf("batchedAdmit/mobiles=%d", mobiles), func(b *testing.B) { runFleet(b, false) })
 }

@@ -1,5 +1,5 @@
 // Command benchreport regenerates every experiment of the reproduction
-// suite (E0..E13, see DESIGN.md) and prints the tables EXPERIMENTS.md
+// suite (E0..E15, see DESIGN.md) and prints the tables EXPERIMENTS.md
 // records. It exits non-zero if any paper expectation fails.
 package main
 

@@ -79,3 +79,38 @@ func (c *cluster) politeNotify() {
 	c.mu.Unlock()
 	c.wake <- struct{}{}
 }
+
+// admitQueue mirrors the batched-admission entry point: requests enqueue
+// under a short mutex section and then block on a result channel, and the
+// leader delivers results only after every mutex is released.
+type admitQueue struct {
+	mu sync.Mutex
+	q  []chan int
+}
+
+func (a *admitQueue) enqueueAndWait() int {
+	done := make(chan int, 1)
+	a.mu.Lock()
+	a.q = append(a.q, done)
+	a.mu.Unlock()
+	return <-done // mutex released before blocking: allowed
+}
+
+func (a *admitQueue) deliverLocked() {
+	a.mu.Lock()
+	for _, done := range a.q {
+		done <- 1 // want "channel send while a mutex is held"
+	}
+	a.q = nil
+	a.mu.Unlock()
+}
+
+func (a *admitQueue) drainThenDeliver() {
+	a.mu.Lock()
+	q := a.q
+	a.q = nil
+	a.mu.Unlock()
+	for _, done := range q {
+		done <- 1
+	}
+}

@@ -115,6 +115,12 @@ type Counts struct {
 	TxnsBackedOut   int64
 	MergesPerformed int64
 	MergeFallbacks  int64
+	// MergeRetries counts re-prepare attempts after a failed admission
+	// validation (incremental graph extensions and full re-prepares alike).
+	MergeRetries int64
+	// AdmitBatches counts batched-admission critical sections; dividing
+	// MergesPerformed by it gives the mean admission batch size.
+	AdmitBatches int64
 
 	// Crash-recovery events (mobile journal replays and base-log replays
 	// alike; see DESIGN.md §10).
@@ -149,6 +155,8 @@ func (c *Counts) Add(o Counts) {
 	c.TxnsBackedOut += o.TxnsBackedOut
 	c.MergesPerformed += o.MergesPerformed
 	c.MergeFallbacks += o.MergeFallbacks
+	c.MergeRetries += o.MergeRetries
+	c.AdmitBatches += o.AdmitBatches
 	c.Recoveries += o.Recoveries
 	c.WalRecordsReplayed += o.WalRecordsReplayed
 	c.WalTailDropped += o.WalTailDropped

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction suite indexed in
-// DESIGN.md: one function per experiment E0..E14, each regenerating the
+// DESIGN.md: one function per experiment E0..E15, each regenerating the
 // table or series that EXPERIMENTS.md records. cmd/benchreport prints them;
 // the top-level benchmarks time their kernels.
 package experiments
@@ -107,6 +107,7 @@ func All() []*Table {
 		E12WireFidelity(),
 		E13ConcurrentMerge(),
 		E14CrashRecovery(),
+		E15IncrementalRetry(),
 	}
 }
 

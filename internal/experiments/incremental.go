@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"tiermerge/internal/cost"
+	"tiermerge/internal/history"
+	"tiermerge/internal/merge"
+	"tiermerge/internal/model"
+	"tiermerge/internal/replica"
+	"tiermerge/internal/tx"
+	"tiermerge/internal/workload"
+)
+
+// E15IncrementalRetry measures the two retry amortizations of the merge
+// pipeline.
+//
+// Part 1 — incremental re-prepare: a merge prepared against a base prefix
+// of N entries is invalidated by S newly committed entries. A naive retry
+// rebuilds G(Hm, Hb) over all N+S entries; the incremental retry extends
+// the carried graph with just the S-entry suffix (merge.Extend). The table
+// sweeps N with S fixed and records both costs: the full rebuild grows
+// with the prefix, the extension stays flat — and the extended report is
+// checked field-for-field against the from-scratch merge.
+//
+// Part 2 — batched admission: 8 mobiles with disjoint footprints reconnect
+// simultaneously, once with per-merge admission critical sections
+// (Config.SerialAdmission) and once through the admission queue, gated so
+// the whole fleet lands in one batch. The batched fleet pays one critical
+// section for all 8 merges; final states must agree.
+func E15IncrementalRetry() *Table {
+	t := &Table{
+		ID:    "E15",
+		Title: "Incremental re-prepare and batched admission",
+		Header: []string{
+			"case", "N(prefix)", "S(suffix)", "rebuild ops", "extend ops",
+			"merges", "admit sections", "mean batch", "ms",
+		},
+	}
+
+	// Part 1: suffix scaling.
+	const suffix = 8
+	prefixes := []int{64, 256, 1024}
+	reportsEqual := true
+	var extendOps, rebuildOps []int
+	for _, prefix := range prefixes {
+		hm, fullAug, preAug, sufAug := e15Histories(prefix, suffix)
+		repFull := mustMerge(hm, fullAug)
+		repPre := mustMerge(hm, preAug)
+		repExt, info, err := merge.Extend(repPre, hm, sufAug, merge.Options{})
+		if err != nil {
+			panic(err)
+		}
+		full := graphOps(repFull)
+		ext := info.NewVertices + info.NewEdges
+		rebuildOps = append(rebuildOps, full)
+		extendOps = append(extendOps, ext)
+		equal := sameReportOutcome(repExt, repFull)
+		if !equal {
+			reportsEqual = false
+		}
+		t.Rows = append(t.Rows, []string{
+			"extend", fmt.Sprint(prefix), fmt.Sprint(suffix),
+			fmt.Sprint(full), fmt.Sprint(ext), "-", "-", "-", "-",
+		})
+	}
+	flat := true
+	for _, e := range extendOps {
+		// The extension may touch only the suffix: a handful of vertices and
+		// edges per new entry, independent of N.
+		if e > 4*suffix {
+			flat = false
+		}
+	}
+	growing := true
+	for i := 1; i < len(rebuildOps); i++ {
+		if rebuildOps[i] <= rebuildOps[i-1] {
+			growing = false
+		}
+	}
+
+	// Part 2: batched vs serial admission at 8 mobiles.
+	const mobiles = 8
+	serMaster, serCounts, serDur := runE15Fleet(mobiles, true)
+	batMaster, batCounts, batDur := runE15Fleet(mobiles, false)
+	statesEqual := serMaster.Equal(batMaster)
+	meanBatch := func(c cost.Counts) string {
+		if c.AdmitBatches == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(c.MergesPerformed)/float64(c.AdmitBatches))
+	}
+	t.Rows = append(t.Rows,
+		[]string{"serial admission", "-", "-", "-", "-",
+			fmt.Sprint(serCounts.MergesPerformed), fmt.Sprint(serCounts.MergesPerformed),
+			"1.0", fmt.Sprintf("%.2f", float64(serDur)/float64(time.Millisecond))},
+		[]string{"batched admission", "-", "-", "-", "-",
+			fmt.Sprint(batCounts.MergesPerformed), fmt.Sprint(batCounts.AdmitBatches),
+			meanBatch(batCounts), fmt.Sprintf("%.2f", float64(batDur)/float64(time.Millisecond))},
+	)
+
+	t.Checks = append(t.Checks,
+		Check{Name: "extended report equals from-scratch merge over the longer prefix", OK: reportsEqual},
+		Check{Name: "extension cost tracks the suffix, not the prefix", OK: flat,
+			Note: fmt.Sprintf("extend ops %v for prefixes %v", extendOps, prefixes)},
+		Check{Name: "full rebuild cost grows with the prefix", OK: growing,
+			Note: fmt.Sprintf("rebuild ops %v", rebuildOps)},
+		Check{Name: "batched fleet admits all merges in one critical section", OK: batCounts.AdmitBatches == 1 &&
+			batCounts.MergesPerformed == mobiles},
+		Check{Name: "serial and batched admission land on identical masters", OK: statesEqual},
+	)
+	return t
+}
+
+// e15Histories builds the part-1 inputs: a 4-transaction mobile history on
+// private items, and a base history of prefix+suffix disjoint deposits,
+// returned whole and split at the prefix boundary (each slice a
+// self-consistent augmented history).
+func e15Histories(prefix, suffix int) (hm, full, pre, suf *history.Augmented) {
+	st := model.StateOf(map[model.Item]model.Value{"m0": 100, "m1": 100})
+	for i := 0; i < 32; i++ {
+		st.Set(model.Item(fmt.Sprintf("x%d", i)), 100)
+	}
+	for i := 0; i < suffix; i++ {
+		st.Set(model.Item(fmt.Sprintf("y%d", i)), 100)
+	}
+	// The prefix churns a fixed 32-item working set; the suffix touches
+	// fresh items, so its extension cost is purely per-suffix-entry (a
+	// suffix hitting hot prefix items would additionally pay the base-base
+	// conflict edges those items accumulated — real work a rebuild pays
+	// too).
+	var baseTxns []*tx.Transaction
+	for i := 0; i < prefix; i++ {
+		it := model.Item(fmt.Sprintf("x%d", i%32))
+		baseTxns = append(baseTxns, workload.Deposit(fmt.Sprintf("B%d", i), tx.Base, it, 1))
+	}
+	for i := 0; i < suffix; i++ {
+		it := model.Item(fmt.Sprintf("y%d", i))
+		baseTxns = append(baseTxns, workload.Deposit(fmt.Sprintf("S%d", i), tx.Base, it, 1))
+	}
+	fullAug := mustRun(history.New(baseTxns...), st)
+	hm = mustRun(history.New(
+		workload.Deposit("T0", tx.Tentative, "m0", 5),
+		workload.Deposit("T1", tx.Tentative, "m1", 5),
+		workload.Deposit("T2", tx.Tentative, "m0", 7),
+		workload.Deposit("T3", tx.Tentative, "m1", 7),
+	), st)
+	pre = &history.Augmented{
+		H:       fullAug.H.Prefix(prefix),
+		States:  fullAug.States[:prefix+1],
+		Effects: fullAug.Effects[:prefix],
+	}
+	suf = &history.Augmented{
+		H:       &history.History{Entries: fullAug.H.Entries[prefix:]},
+		States:  fullAug.States[prefix:],
+		Effects: fullAug.Effects[prefix:],
+	}
+	return hm, fullAug, pre, suf
+}
+
+// mustMerge runs the merging protocol with default options or panics;
+// experiment inputs are static.
+func mustMerge(hm, hb *history.Augmented) *merge.Report {
+	rep, err := merge.Merge(hm, hb, merge.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// graphOps sizes a from-scratch graph build: every vertex plus every edge.
+func graphOps(rep *merge.Report) int {
+	ops := rep.Graph.Len()
+	for v := 0; v < rep.Graph.Len(); v++ {
+		ops += len(rep.Graph.Succ(v))
+	}
+	return ops
+}
+
+// sameReportOutcome compares the outcome-bearing fields of two merge
+// reports: the back-out set, the saved set, and the forwarded updates.
+func sameReportOutcome(a, b *merge.Report) bool {
+	return reflect.DeepEqual(a.BadIDs, b.BadIDs) &&
+		reflect.DeepEqual(a.SavedIDs, b.SavedIDs) &&
+		reflect.DeepEqual(a.ForwardUpdates, b.ForwardUpdates)
+}
+
+// runE15Fleet reconnects n disjoint mobiles concurrently, with admission
+// either per-merge (serial=true) or through the gated batched queue, and
+// returns the final master, counters and reconnect wall time.
+func runE15Fleet(n int, serial bool) (model.State, cost.Counts, time.Duration) {
+	st := model.State{}
+	for i := 0; i < n; i++ {
+		st.Set(model.Item(fmt.Sprintf("a%d", i)), 100)
+	}
+	b := replica.NewBaseCluster(st, replica.Config{SerialAdmission: serial})
+	if !serial {
+		// Gate the admission leader until the whole fleet has enqueued, so
+		// the batch forms deterministically regardless of GOMAXPROCS.
+		b.SetAdmitGate(func(queued int) bool { return queued == n })
+	}
+	nodes := make([]*replica.MobileNode, n)
+	for i := range nodes {
+		nodes[i] = replica.NewMobileNode(fmt.Sprintf("m%d", i), b)
+		it := model.Item(fmt.Sprintf("a%d", i))
+		for k := 0; k < 3; k++ {
+			if err := nodes[i].Run(workload.Deposit(fmt.Sprintf("T%d.%d", i, k), tx.Tentative, it, 5)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := range nodes {
+		go func(i int) {
+			defer wg.Done()
+			if _, err := nodes[i].ConnectMerge(); err != nil {
+				panic(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return b.Master(), b.Counters().Snapshot(), time.Since(start)
+}

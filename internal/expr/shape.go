@@ -1,0 +1,83 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tiermerge/internal/model"
+)
+
+// Shape serialization: a canonical prefix encoding of an expression's or
+// predicate's structure — operators, constants and parameter names verbatim,
+// with every data-item reference routed through a caller-supplied renaming.
+// Two ASTs produce the same shape string iff they are structurally identical
+// modulo the renaming, which is exactly the equivalence the rewrite
+// detector-cache (rewrite.CachedDetector) needs for its memo keys: the
+// static can-precede analysis reads operator structure, constants and the
+// item-coincidence pattern, never concrete item names or parameter values.
+//
+// Parameter *names* are included: within one canned transaction type the
+// profile code is fixed, so names always agree, and across types a name
+// difference correctly separates keys.
+
+// WriteShape appends the canonical shape of e to b, renaming every item
+// reference through item (typically a densifying first-occurrence counter).
+func WriteShape(b *strings.Builder, e Expr, item func(model.Item) int) {
+	switch v := e.(type) {
+	case constExpr:
+		b.WriteByte('c')
+		b.WriteString(strconv.FormatInt(int64(v.v), 10))
+	case varExpr:
+		b.WriteByte('i')
+		b.WriteString(strconv.Itoa(item(v.it)))
+	case paramExpr:
+		b.WriteByte('$')
+		b.WriteString(v.name)
+	case binExpr:
+		b.WriteByte('(')
+		b.WriteString(v.op.String())
+		b.WriteByte(' ')
+		WriteShape(b, v.l, item)
+		b.WriteByte(' ')
+		WriteShape(b, v.r, item)
+		b.WriteByte(')')
+	default:
+		// Unknown node: fall back to its String, raw item names included.
+		// That over-separates keys (never conflates them), so callers stay
+		// correct at the cost of cache misses.
+		fmt.Fprintf(b, "?%T:%s", e, e)
+	}
+}
+
+// WritePredShape appends the canonical shape of p to b; see WriteShape.
+func WritePredShape(b *strings.Builder, p Pred, item func(model.Item) int) {
+	switch v := p.(type) {
+	case cmpPred:
+		b.WriteByte('(')
+		b.WriteString(v.op.String())
+		b.WriteByte(' ')
+		WriteShape(b, v.l, item)
+		b.WriteByte(' ')
+		WriteShape(b, v.r, item)
+		b.WriteByte(')')
+	case andPred:
+		b.WriteString("(&& ")
+		WritePredShape(b, v.l, item)
+		b.WriteByte(' ')
+		WritePredShape(b, v.r, item)
+		b.WriteByte(')')
+	case orPred:
+		b.WriteString("(|| ")
+		WritePredShape(b, v.l, item)
+		b.WriteByte(' ')
+		WritePredShape(b, v.r, item)
+		b.WriteByte(')')
+	case notPred:
+		b.WriteString("(! ")
+		WritePredShape(b, v.p, item)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "?%T:%s", p, p)
+	}
+}

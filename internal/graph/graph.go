@@ -77,123 +77,10 @@ type Graph struct {
 // (O(n² · items)), it groups accesses per item and emits conflict pairs
 // only where transactions actually meet — the way a log-parsing
 // implementation would work (Section 7.1 builds the graph "by parsing the
-// log ... only once").
+// log ... only once"). Build delegates to the retained-index builder; use
+// NewIncremental directly when the base tier will be extended later.
 func Build(mobile, base []Access) *Graph {
-	n := len(mobile) + len(base)
-	g := &Graph{
-		MobileLen: len(mobile),
-		BaseLen:   len(base),
-		ids:       make([]string, n),
-		kind:      make([]tx.Kind, n),
-		succ:      make([][]int, n),
-		pred:      make([][]int, n),
-		cost:      make([]int, n),
-	}
-	for i, a := range mobile {
-		g.ids[i] = a.ID
-		g.kind[i] = tx.Tentative
-	}
-	for i, a := range base {
-		g.ids[len(mobile)+i] = a.ID
-		g.kind[len(mobile)+i] = tx.Base
-	}
-	edges := make(map[[2]int]struct{})
-	addEdge := func(u, v int) {
-		if u == v {
-			return
-		}
-		key := [2]int{u, v}
-		if _, dup := edges[key]; dup {
-			return
-		}
-		edges[key] = struct{}{}
-		g.succ[u] = append(g.succ[u], v)
-		g.pred[v] = append(g.pred[v], u)
-	}
-
-	// Per-item access lists. access.vertex is the graph vertex; mobile
-	// positions double as tentative history positions.
-	type access struct {
-		vertex int
-		writes bool
-	}
-	perItem := make(map[model.Item]struct {
-		mobile, base []access
-	})
-	record := func(it model.Item, vertex int, isBase, writes bool) {
-		e := perItem[it]
-		if isBase {
-			e.base = append(e.base, access{vertex: vertex, writes: writes})
-		} else {
-			e.mobile = append(e.mobile, access{vertex: vertex, writes: writes})
-		}
-		perItem[it] = e
-	}
-	collect := func(a Access, vertex int, isBase bool) {
-		for it := range a.ReadSet {
-			record(it, vertex, isBase, a.WriteSet.Has(it))
-		}
-		for it := range a.WriteSet {
-			if !a.ReadSet.Has(it) { // blind write: not already recorded
-				record(it, vertex, isBase, true)
-			}
-		}
-	}
-	for i, a := range mobile {
-		collect(a, i, false)
-	}
-	for j, a := range base {
-		collect(a, len(mobile)+j, true)
-	}
-
-	for _, e := range perItem {
-		// Rules 1 and 2: same-tier conflicting pairs ordered by history
-		// position (vertex order encodes it within each tier).
-		samePairs := func(list []access) {
-			for x := 0; x < len(list); x++ {
-				for y := x + 1; y < len(list); y++ {
-					if list[x].writes || list[y].writes {
-						u, v := list[x].vertex, list[y].vertex
-						if u > v {
-							u, v = v, u
-						}
-						addEdge(u, v)
-					}
-				}
-			}
-		}
-		samePairs(e.mobile)
-		samePairs(e.base)
-	}
-	// Rule 3: cross edges, reader precedes writer. A transaction that both
-	// reads and writes an item the other tier also touches gets both
-	// directions (the two-cycle).
-	for it, e := range perItem {
-		for _, m := range e.mobile {
-			for _, b := range e.base {
-				if mobileReads(mobile, m.vertex, it) && b.writes {
-					addEdge(m.vertex, b.vertex)
-				}
-				if baseReads(base, b.vertex-len(mobile), it) && m.writes {
-					addEdge(b.vertex, m.vertex)
-				}
-			}
-		}
-	}
-	g.computeCosts(mobile)
-	for i := range g.succ {
-		sort.Ints(g.succ[i])
-		sort.Ints(g.pred[i])
-	}
-	return g
-}
-
-func mobileReads(mobile []Access, v int, it model.Item) bool {
-	return mobile[v].ReadSet.Has(it)
-}
-
-func baseReads(base []Access, j int, it model.Item) bool {
-	return base[j].ReadSet.Has(it)
+	return NewIncremental(mobile, base).Graph()
 }
 
 // BuildFromHistories executes nothing; it builds the graph from two already

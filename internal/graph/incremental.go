@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"sort"
+
+	"tiermerge/internal/model"
+	"tiermerge/internal/tx"
+)
+
+// Incremental is a precedence-graph builder that retains its per-item access
+// index and edge set, so the base tier can be grown in place after the
+// initial build. The merge pipeline uses it across admission retries: base
+// transactions are durable and only *append* to Hb between structural
+// changes, and the precedence graph is monotone in the base suffix — new
+// base entries add vertices and edges but never remove or reorder anything
+// among existing vertices. Extending the attempt-1 graph with the entries
+// committed since its snapshot therefore yields exactly the graph a
+// from-scratch build over the longer prefix would produce, at a cost
+// proportional to the suffix.
+type Incremental struct {
+	mobile []Access
+	g      *Graph
+	edges  map[[2]int]struct{}
+	// perItem groups accesses per item, split by tier; itemRef.writes is
+	// WriteSet membership for that item (true for blind writes too).
+	perItem map[model.Item]*itemIndex
+}
+
+type itemRef struct {
+	vertex int
+	writes bool
+}
+
+type itemIndex struct {
+	mobile, base []itemRef
+}
+
+// ExtendStats summarizes one Extend call.
+type ExtendStats struct {
+	// NewVertices is the number of base vertices appended.
+	NewVertices int
+	// NewEdges is the number of edges added (after deduplication).
+	NewEdges int
+	// MobileEdges counts the new edges incident to a tentative vertex. When
+	// zero, the extension is invisible to Hm: the back-out set, the rewrite
+	// and the forwarded updates computed on the pre-extension graph remain
+	// valid (only base-base ordering changed).
+	MobileEdges int
+}
+
+// NewIncremental builds the precedence graph over the two access sequences
+// and retains the construction index for later Extend calls. Build is a thin
+// wrapper over it; the resulting graph is identical.
+func NewIncremental(mobile, base []Access) *Incremental {
+	n := len(mobile)
+	inc := &Incremental{
+		mobile: mobile,
+		g: &Graph{
+			MobileLen: n,
+			ids:       make([]string, n),
+			kind:      make([]tx.Kind, n),
+			succ:      make([][]int, n),
+			pred:      make([][]int, n),
+			cost:      make([]int, n),
+		},
+		edges:   make(map[[2]int]struct{}),
+		perItem: make(map[model.Item]*itemIndex),
+	}
+	for i, a := range mobile {
+		inc.g.ids[i] = a.ID
+		inc.g.kind[i] = tx.Tentative
+		inc.collectMobile(a, i)
+	}
+	// Rule 1: same-tier conflicting tentative pairs, ordered as in Hm.
+	for _, e := range inc.perItem {
+		for x := 0; x < len(e.mobile); x++ {
+			for y := x + 1; y < len(e.mobile); y++ {
+				if e.mobile[x].writes || e.mobile[y].writes {
+					inc.addEdge(e.mobile[x].vertex, e.mobile[y].vertex, nil)
+				}
+			}
+		}
+	}
+	inc.g.computeCosts(mobile)
+	inc.Extend(base)
+	for i := range inc.g.succ {
+		sort.Ints(inc.g.succ[i])
+		sort.Ints(inc.g.pred[i])
+	}
+	return inc
+}
+
+// Graph returns the built graph. The graph stays owned by the builder:
+// Extend mutates it in place.
+func (inc *Incremental) Graph() *Graph { return inc.g }
+
+// Extend appends base accesses to the graph: one vertex per access, rule-2
+// edges against earlier base accesses of the same items (existing vertices
+// always precede new ones in Hb order), and rule-3 cross edges against the
+// tentative accesses. Existing edges are never removed or reordered, so the
+// result equals a from-scratch build over the concatenated base sequence.
+func (inc *Incremental) Extend(newBase []Access) ExtendStats {
+	g := inc.g
+	st := ExtendStats{NewVertices: len(newBase)}
+	touched := make(map[int]struct{})
+	for _, a := range newBase {
+		v := len(g.ids)
+		g.ids = append(g.ids, a.ID)
+		g.kind = append(g.kind, tx.Base)
+		g.succ = append(g.succ, nil)
+		g.pred = append(g.pred, nil)
+		g.cost = append(g.cost, 1)
+		g.BaseLen++
+		pair := func(it model.Item, writes bool) {
+			e := inc.perItem[it]
+			if e == nil {
+				e = &itemIndex{}
+				inc.perItem[it] = e
+			}
+			// Rule 2: conflicting base pairs ordered as in Hb.
+			for _, b := range e.base {
+				if b.writes || writes {
+					if inc.addEdge(b.vertex, v, touched) {
+						st.NewEdges++
+					}
+				}
+			}
+			// Rule 3: cross edges, reader precedes writer.
+			reads := a.ReadSet.Has(it)
+			for _, m := range e.mobile {
+				if inc.mobile[m.vertex].ReadSet.Has(it) && writes {
+					if inc.addEdge(m.vertex, v, touched) {
+						st.NewEdges++
+						st.MobileEdges++
+					}
+				}
+				if reads && m.writes {
+					if inc.addEdge(v, m.vertex, touched) {
+						st.NewEdges++
+						st.MobileEdges++
+					}
+				}
+			}
+			e.base = append(e.base, itemRef{vertex: v, writes: writes})
+		}
+		for it := range a.ReadSet {
+			pair(it, a.WriteSet.Has(it))
+		}
+		for it := range a.WriteSet {
+			if !a.ReadSet.Has(it) { // blind write: not already paired
+				pair(it, true)
+			}
+		}
+	}
+	for u := range touched {
+		sort.Ints(g.succ[u])
+		sort.Ints(g.pred[u])
+	}
+	return st
+}
+
+// addEdge inserts u -> v unless it is a self-loop or a duplicate, reporting
+// whether an edge was added. touched (may be nil during the initial build,
+// which sorts everything at the end) collects vertices whose adjacency lists
+// need re-sorting.
+func (inc *Incremental) addEdge(u, v int, touched map[int]struct{}) bool {
+	if u == v {
+		return false
+	}
+	key := [2]int{u, v}
+	if _, dup := inc.edges[key]; dup {
+		return false
+	}
+	inc.edges[key] = struct{}{}
+	inc.g.succ[u] = append(inc.g.succ[u], v)
+	inc.g.pred[v] = append(inc.g.pred[v], u)
+	if touched != nil {
+		touched[u] = struct{}{}
+		touched[v] = struct{}{}
+	}
+	return true
+}
+
+// collectMobile records a tentative access in the per-item index.
+func (inc *Incremental) collectMobile(a Access, vertex int) {
+	rec := func(it model.Item, writes bool) {
+		e := inc.perItem[it]
+		if e == nil {
+			e = &itemIndex{}
+			inc.perItem[it] = e
+		}
+		e.mobile = append(e.mobile, itemRef{vertex: vertex, writes: writes})
+	}
+	for it := range a.ReadSet {
+		rec(it, a.WriteSet.Has(it))
+	}
+	for it := range a.WriteSet {
+		if !a.ReadSet.Has(it) { // blind write: not already recorded
+			rec(it, true)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tiermerge/internal/model"
+)
+
+// randAccesses builds n random accesses over a small item universe, with
+// read/write overlap, blind writes and read-only transactions all possible.
+func randAccesses(r *rand.Rand, prefix string, n, items int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		rs, ws := make(model.ItemSet), make(model.ItemSet)
+		for k := 0; k < 1+r.Intn(3); k++ {
+			it := model.Item(fmt.Sprintf("x%d", r.Intn(items)))
+			switch r.Intn(3) {
+			case 0:
+				rs.Add(it)
+			case 1:
+				ws.Add(it) // blind write unless also read below
+			default:
+				rs.Add(it)
+				ws.Add(it)
+			}
+		}
+		out[i] = Access{ID: fmt.Sprintf("%s%d", prefix, i), ReadSet: rs, WriteSet: ws}
+	}
+	return out
+}
+
+// TestIncrementalMatchesBuild grows the base tier in random chunks and
+// checks that the extended graph is indistinguishable from a from-scratch
+// build over the same prefix: same edges, same costs, same adjacency.
+func TestIncrementalMatchesBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		mobile := randAccesses(r, "m", r.Intn(6), 5)
+		base := randAccesses(r, "b", r.Intn(12), 5)
+
+		cut := 0
+		if len(base) > 0 {
+			cut = r.Intn(len(base) + 1)
+		}
+		inc := NewIncremental(mobile, base[:cut])
+		mobileEdges := 0
+		for rest := base[cut:]; len(rest) > 0; {
+			step := 1 + r.Intn(3)
+			if step > len(rest) {
+				step = len(rest)
+			}
+			st := inc.Extend(rest[:step])
+			if st.NewVertices != step {
+				t.Fatalf("trial %d: NewVertices=%d, want %d", trial, st.NewVertices, step)
+			}
+			mobileEdges += st.MobileEdges
+			rest = rest[step:]
+		}
+
+		got, want := inc.Graph(), Build(mobile, base)
+		if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+			t.Fatalf("trial %d: edges diverge\n got %v\nwant %v", trial, got.Edges(), want.Edges())
+		}
+		if got.MobileLen != want.MobileLen || got.BaseLen != want.BaseLen {
+			t.Fatalf("trial %d: shape %d+%d, want %d+%d",
+				trial, got.MobileLen, got.BaseLen, want.MobileLen, want.BaseLen)
+		}
+		wantMobile := 0
+		for v := 0; v < got.Len(); v++ {
+			if got.Cost(v) != want.Cost(v) {
+				t.Fatalf("trial %d: cost(%d)=%d, want %d", trial, v, got.Cost(v), want.Cost(v))
+			}
+			if !reflect.DeepEqual(got.Succ(v), want.Succ(v)) || !reflect.DeepEqual(got.Pred(v), want.Pred(v)) {
+				t.Fatalf("trial %d: adjacency of %d diverges", trial, v)
+			}
+			if v >= got.MobileLen {
+				for _, s := range want.Succ(v) {
+					if s < want.MobileLen && baseAfterCut(want, v, cut) {
+						wantMobile++
+					}
+				}
+				for _, p := range want.Pred(v) {
+					if p < want.MobileLen && baseAfterCut(want, v, cut) {
+						wantMobile++
+					}
+				}
+			}
+		}
+		if mobileEdges != wantMobile {
+			t.Fatalf("trial %d: MobileEdges=%d, want %d", trial, mobileEdges, wantMobile)
+		}
+	}
+}
+
+// baseAfterCut reports whether base vertex v lies in the extension suffix
+// (i.e. was added by Extend rather than the initial build).
+func baseAfterCut(g *Graph, v, cut int) bool {
+	return v >= g.MobileLen+cut
+}
+
+// TestExtendStatsNoMobileEdges checks the fast-retry classifier: a base
+// extension whose items are disjoint from Hm adds no mobile-incident edge,
+// and a read-read meeting (base reads what Hm read) also adds none —
+// read-read is no conflict, so the prior merge report stays valid even
+// though the footprints intersect.
+func TestExtendStatsNoMobileEdges(t *testing.T) {
+	rs := func(items ...model.Item) model.ItemSet {
+		s := make(model.ItemSet)
+		for _, it := range items {
+			s.Add(it)
+		}
+		return s
+	}
+	mobile := []Access{{ID: "t1", ReadSet: rs("a"), WriteSet: rs("a")}}
+	inc := NewIncremental(mobile, nil)
+
+	if st := inc.Extend([]Access{{ID: "b1", ReadSet: rs("z"), WriteSet: rs("z")}}); st.MobileEdges != 0 {
+		t.Fatalf("disjoint extension: MobileEdges=%d, want 0", st.MobileEdges)
+	}
+	// t1 writes a, so a base *reader* of a conflicts; use a pure read of an
+	// item only read by a read-only tentative transaction instead.
+	mobile2 := []Access{{ID: "t1", ReadSet: rs("a"), WriteSet: rs()}}
+	inc2 := NewIncremental(mobile2, nil)
+	if st := inc2.Extend([]Access{{ID: "b1", ReadSet: rs("a"), WriteSet: rs()}}); st.MobileEdges != 0 {
+		t.Fatalf("read-read extension: MobileEdges=%d, want 0", st.MobileEdges)
+	}
+	if st := inc2.Extend([]Access{{ID: "b2", ReadSet: rs("a"), WriteSet: rs("a")}}); st.MobileEdges == 0 {
+		t.Fatal("base write over a tentative read must add a mobile-incident edge")
+	}
+}

@@ -1,0 +1,74 @@
+package merge
+
+import (
+	"errors"
+	"time"
+
+	"tiermerge/internal/graph"
+	"tiermerge/internal/history"
+	"tiermerge/internal/obs"
+)
+
+// ErrNotExtendable is returned by Extend when the prior report carries no
+// retained graph builder (a nil report, or one deserialized without its
+// construction index); the caller must fall back to a full Merge.
+var ErrNotExtendable = errors.New("merge: report not extendable")
+
+// ExtendInfo summarizes one incremental re-merge.
+type ExtendInfo struct {
+	// NewVertices and NewEdges size the graph extension.
+	NewVertices, NewEdges int
+	// MobileEdges is the number of new edges incident to Hm.
+	MobileEdges int
+	// Reran reports whether back-out, rewrite and prune had to rerun. When
+	// false the extension added no edge incident to Hm, so the prior
+	// report's outcome (B, the rewrite, the forwarded updates) was reused
+	// unchanged.
+	Reran bool
+}
+
+// Extend grows a prior merge report's precedence graph with base entries
+// committed after the prefix it was built against, and revalidates the
+// report. newBase must hold exactly those newer entries, in base-history
+// order, executed under the same window (the base history is append-only
+// between structural changes, which makes the extension sound: new entries
+// only append vertices and edges, never disturbing the existing graph — see
+// graph.Incremental).
+//
+// When the extension adds no edge incident to Hm, the prior back-out set,
+// rewrite and forwarded updates are still exactly what a from-scratch merge
+// over the longer prefix would compute, and Extend returns without
+// rerunning them — the incremental fast path whose cost scales with the
+// base suffix, not the prefix. Otherwise steps 2–5 rerun on the extended
+// graph.
+//
+// Extend consumes prev: the returned report is prev itself with its graph
+// grown in place, and prev must not be used independently afterwards.
+func Extend(prev *Report, hm, newBase *history.Augmented, opts Options) (*Report, ExtendInfo, error) {
+	if prev == nil || prev.inc == nil {
+		return nil, ExtendInfo{}, ErrNotExtendable
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, ExtendInfo{}, err
+	}
+	opts = effectiveOptions(hm, opts)
+	rep := prev
+	rep.Options = opts
+	o := opts.Observer
+
+	start := spanStart(o)
+	st := rep.inc.Extend(graph.AccessesOf(newBase))
+	info := ExtendInfo{NewVertices: st.NewVertices, NewEdges: st.NewEdges, MobileEdges: st.MobileEdges}
+	if o != nil {
+		o.Observe(obs.Event{Phase: obs.PhaseExtend, Dur: time.Since(start),
+			NewVertices: st.NewVertices, NewEdges: st.NewEdges, Affected: st.MobileEdges})
+	}
+	if st.MobileEdges == 0 {
+		return rep, info, nil
+	}
+	info.Reran = true
+	if err := runFromGraph(rep, hm, opts); err != nil {
+		return nil, info, err
+	}
+	return rep, info, nil
+}

@@ -182,6 +182,11 @@ type Report struct {
 	PruneMethod string
 	// Options echoes the effective options.
 	Options Options
+
+	// inc is the retained incremental builder backing Graph. Extend uses it
+	// to grow the base tier in place when a merge retries against a longer
+	// base prefix.
+	inc *graph.Incremental
 }
 
 // Merge runs the merging protocol for one tentative history against the
@@ -192,6 +197,30 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	opts = effectiveOptions(hm, opts)
+	rep := &Report{Options: opts}
+	o := opts.Observer // nil observer: every span below is one nil check
+
+	// Step 1: precedence graph, via the retained-index builder so a retry
+	// can later extend it instead of rebuilding (see Extend).
+	start := spanStart(o)
+	rep.inc = graph.NewIncremental(graph.AccessesOf(hm), graph.AccessesOf(hb))
+	rep.Graph = rep.inc.Graph()
+	if o != nil {
+		o.Observe(obs.Event{Phase: obs.PhaseGraph, Dur: time.Since(start)})
+	}
+
+	if err := runFromGraph(rep, hm, opts); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// effectiveOptions resolves the option defaults the way Merge documents:
+// when no rewriter was chosen explicitly, RewriteCanPrecede is selected,
+// degrading to RewriteCanFollowBW if the tentative history contains blind
+// writes.
+func effectiveOptions(hm *history.Augmented, opts Options) Options {
 	defaulted := opts.Rewriter == 0
 	opts = opts.withDefaults()
 	if defaulted {
@@ -202,19 +231,23 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 			}
 		}
 	}
-	rep := &Report{Options: opts}
-	o := opts.Observer // nil observer: every span below is one nil check
+	return opts
+}
 
-	// Step 1: precedence graph.
-	start := spanStart(o)
-	g := graph.BuildFromHistories(hm, hb)
-	rep.Graph = g
-	if o != nil {
-		o.Observe(obs.Event{Phase: obs.PhaseGraph, Dur: time.Since(start)})
-	}
+// runFromGraph runs protocol steps 2–5 (back-out, rewrite, prune, forward
+// updates) plus optional verification against the graph already stored in
+// rep. It resets every outcome field first, so Extend can rerun it on a
+// report whose graph was grown in place.
+func runFromGraph(rep *Report, hm *history.Augmented, opts Options) error {
+	o := opts.Observer
+	g := rep.Graph
+	rep.Conflict = false
+	rep.BadIDs, rep.AffectedIDs, rep.SavedIDs = nil, nil, nil
+	rep.Reexecute, rep.ForwardUpdates = nil, nil
+	rep.RewriteResult, rep.Repaired, rep.RepairedState, rep.PruneMethod = nil, nil, nil, ""
 
 	// Step 2: back-out set.
-	start = spanStart(o)
+	start := spanStart(o)
 	var badPos map[int]bool
 	if g.Acyclic(nil) {
 		badPos = map[int]bool{}
@@ -226,7 +259,7 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 				o.Observe(obs.Event{Phase: obs.PhaseBackout, Dur: time.Since(start),
 					Detail: fmt.Sprintf("%T", opts.Strategy), Err: err.Error()})
 			}
-			return nil, fmt.Errorf("merge: back-out: %w", err)
+			return fmt.Errorf("merge: back-out: %w", err)
 		}
 		badPos = make(map[int]bool, len(b))
 		for _, v := range b {
@@ -240,7 +273,7 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 
 	// Steps 3 and 4: rewrite and prune.
 	if err := rewriteAndPrune(rep, hm, badPos, opts); err != nil {
-		return nil, err
+		return err
 	}
 
 	// Step 5: forward only final values of items the repaired history
@@ -249,10 +282,10 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 
 	if opts.Verify {
 		if err := verifyRepair(hm, rep); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return rep, nil
+	return nil
 }
 
 // spanStart returns the span's start time, or the zero time when no

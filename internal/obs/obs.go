@@ -42,6 +42,13 @@ const (
 	PhaseSnapshot Phase = "snapshot"
 	// PhaseGraph is precedence-graph construction (step 1).
 	PhaseGraph Phase = "graph-build"
+	// PhaseExtend is an incremental re-prepare: instead of rebuilding
+	// G(Hm, Hb) from scratch, a retry attempt extends the previous attempt's
+	// graph with only the base entries committed since its snapshot.
+	// NewVertices/NewEdges carry the extension size; Affected carries the
+	// number of new edges incident to Hm (zero means the prior back-out and
+	// rewrite were reused unchanged).
+	PhaseExtend Phase = "graph-extend"
 	// PhaseBackout is the back-out set computation (step 2).
 	PhaseBackout Phase = "back-out"
 	// PhaseRewrite is the history rewrite (steps 3, Algorithms 1/2/CBT).
@@ -134,6 +141,13 @@ type Event struct {
 	// Replayed and DroppedTail tally a crash recovery (recover): journal
 	// records replayed and trailing uncommitted transactions discarded.
 	Replayed, DroppedTail int
+	// NewVertices and NewEdges size an incremental graph extension
+	// (graph-extend only).
+	NewVertices, NewEdges int
+	// Batch is the number of merges admitted in the same admission critical
+	// section (admit events of an installed merge under batched admission;
+	// 0 when the attempt failed validation or batching is disabled).
+	Batch int
 	// Err is the error text when the phase failed.
 	Err string
 }

@@ -197,18 +197,21 @@ func TestMetricsObserve(t *testing.T) {
 	m.Observe(Event{Phase: PhaseFallback, Cause: CauseWindowExpired, Reexecuted: 3, Failed: 1})
 	m.Observe(Event{Phase: PhaseMerge, Dur: time.Millisecond, Saved: 2, BackedOut: 1, Reexecuted: 3, Failed: 1})
 	m.Observe(Event{Phase: PhaseReprocess, Reexecuted: 5, Failed: 2})
+	m.Observe(Event{Phase: PhaseExtend, NewVertices: 4, NewEdges: 7})
+	m.Observe(Event{Phase: PhaseAdmit, Batch: 3})
 	s := m.Registry().Snapshot()
 	for name, want := range map[string]int64{
 		Label(MetricAdmitRetries, "cause", string(CauseStructChanged)): 1,
-		MetricAdmits: 1,
+		MetricAdmits: 2,
 		MetricSerial: 1,
 		Label(MetricFallbacks, "cause", string(CauseWindowExpired)): 1,
-		MetricMerges:     1,
-		MetricSaved:      2,
-		MetricBackedOut:  1,
-		MetricReexecuted: 8, // 3 (merge summary) + 5 (reprocess); fallback event adds nothing
-		MetricFailed:     3, // 1 + 2
-		Label(MetricEvents, "phase", string(PhaseAdmit)): 2,
+		MetricMerges:      1,
+		MetricSaved:       2,
+		MetricBackedOut:   1,
+		MetricReexecuted:  8, // 3 (merge summary) + 5 (reprocess); fallback event adds nothing
+		MetricFailed:      3, // 1 + 2
+		MetricIncremental: 1,
+		Label(MetricEvents, "phase", string(PhaseAdmit)): 3,
 	} {
 		if got := s.Counters[name]; got != want {
 			t.Errorf("%s = %d, want %d", name, got, want)
@@ -216,5 +219,8 @@ func TestMetricsObserve(t *testing.T) {
 	}
 	if got := s.Histograms[MetricReconnectSec].Count; got != 1 {
 		t.Errorf("reconnect histogram count = %d, want 1", got)
+	}
+	if h := s.Histograms[MetricAdmitBatch]; h.Count != 1 || h.Sum != 3 {
+		t.Errorf("admit batch histogram = count %d sum %.0f, want 1/3", h.Count, h.Sum)
 	}
 }

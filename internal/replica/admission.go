@@ -1,0 +1,234 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"tiermerge/internal/cost"
+	"tiermerge/internal/history"
+	"tiermerge/internal/lockmgr"
+	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
+)
+
+// Batched admission. When several prepared merges race for the admission
+// critical section, each paying a lock-manager round trip plus a cluster
+// mutex acquisition serializes the tail of every reconnect. Instead,
+// prepared merges enqueue on an admission queue; the first arrival becomes
+// the leader and drains the queue, admitting every queued merge whose
+// admission set (merge footprint plus lock plan) is pairwise disjoint from
+// the rest of its batch in ONE critical section: one sorted pass over the
+// union of the members' lock plans, one cluster-mutex acquisition, then
+// each member validated and installed in turn.
+//
+// Correctness does not rest on the batch selection: inside the critical
+// section every member is still validated individually, in order, against
+// the live history — a member invalidated by an earlier member's install
+// (or by anything else) fails its own validation and retries, exactly as
+// under direct admission. Disjointness serves two purposes: the leader can
+// acquire the union of the lock plans in one globally sorted pass without
+// self-conflicts (two members holding overlapping exclusive items would
+// deadlock a single acquiring goroutine), and members cannot invalidate
+// each other — everything an installed merge appends to the history touches
+// only its own admission set — so a disjoint batch admits wholesale.
+
+// admitRequest is one prepared merge waiting for admission.
+type admitRequest struct {
+	ck Checkout
+	hm *history.Augmented
+	p  *preparedMerge
+	// done receives the admission result; buffered so the leader never
+	// blocks delivering it.
+	done chan admitResult
+	// set memoizes admitSet.
+	set model.ItemSet
+}
+
+// admitResult is what one admission attempt resolved to.
+type admitResult struct {
+	out      *ConnectOutcome
+	admitted bool
+	cause    obs.Cause
+	batch    int
+	err      error
+}
+
+// admitSet is the request's admission set: the merge footprint (items whose
+// base history must not have changed) plus the lock plan (items the install
+// will touch). Batch disjointness is computed over it.
+func (r *admitRequest) admitSet() model.ItemSet {
+	if r.set == nil {
+		r.set = make(model.ItemSet, len(r.p.footprint))
+		for it := range r.p.footprint {
+			r.set.Add(it)
+		}
+		_, items, _ := r.p.lockPlan(r.ck.MobileID)
+		for _, it := range items {
+			r.set.Add(it)
+		}
+	}
+	return r.set
+}
+
+// admitPrepared routes a prepared merge through admission: the batched
+// queue by default, or a private critical section under
+// Config.SerialAdmission. batch reports how many merges shared the
+// admitting critical section (0 under serial admission).
+//
+//tiermerge:locks(none)
+//tiermerge:blocking
+func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *preparedMerge) (out *ConnectOutcome, admitted bool, cause obs.Cause, batch int, err error) {
+	if b.cfg.SerialAdmission {
+		out, admitted, cause, err = b.admitDirect(ck, hm, p)
+		return out, admitted, cause, 0, err
+	}
+	req := &admitRequest{ck: ck, hm: hm, p: p, done: make(chan admitResult, 1)}
+	b.admitMu.Lock()
+	b.admitQ = append(b.admitQ, req)
+	leader := !b.admitActive
+	if leader {
+		b.admitActive = true
+	}
+	b.admitMu.Unlock()
+	if leader {
+		if gate := b.admitGate; gate != nil {
+			for {
+				b.admitMu.Lock()
+				queued := len(b.admitQ)
+				b.admitMu.Unlock()
+				if gate(queued) {
+					break
+				}
+				runtime.Gosched()
+			}
+		}
+		b.admitDrain()
+	}
+	r := <-req.done
+	return r.out, r.admitted, r.cause, r.batch, r.err
+}
+
+// admitDrain is the admission leader loop: it repeatedly snapshots the
+// queue, carves it into disjoint batches, and admits each batch in one
+// critical section. Requests arriving while a batch runs land in the next
+// snapshot. Leadership ends only when the queue is observed empty under
+// admitMu — a request enqueued after that observation found admitActive
+// false and leads itself, so no request is ever stranded.
+//
+//tiermerge:blocking
+func (b *BaseCluster) admitDrain() {
+	for {
+		b.admitMu.Lock()
+		q := b.admitQ
+		b.admitQ = nil
+		if len(q) == 0 {
+			b.admitActive = false
+			b.admitMu.Unlock()
+			return
+		}
+		b.admitMu.Unlock()
+		for len(q) > 0 {
+			var batch []*admitRequest
+			batch, q = selectBatch(q)
+			b.admitBatch(batch)
+		}
+	}
+}
+
+// selectBatch greedily picks, from the front of the queue, a maximal set of
+// requests with pairwise-disjoint admission sets. The head request is
+// always selected, so FIFO progress is guaranteed; requests that do not fit
+// stay queued for the following batch.
+func selectBatch(q []*admitRequest) (batch, rest []*admitRequest) {
+	batch = append(batch, q[0])
+	taken := make(model.ItemSet)
+	for it := range q[0].admitSet() {
+		taken.Add(it)
+	}
+	for _, req := range q[1:] {
+		s := req.admitSet()
+		if s.Disjoint(taken) {
+			batch = append(batch, req)
+			for it := range s {
+				taken.Add(it)
+			}
+		} else {
+			rest = append(rest, req)
+		}
+	}
+	return batch, rest
+}
+
+// admitBatch admits one disjoint batch: acquire the union of the members'
+// lock plans in one globally sorted pass (the ExecBase discipline, so batch
+// admission cannot deadlock against concurrent base transactions), validate
+// and install each member under a single cluster-mutex critical section,
+// release, and deliver every result. Results are delivered strictly after
+// all locks are dropped — the leader never blocks a member on itself.
+//
+//tiermerge:blocking
+func (b *BaseCluster) admitBatch(batch []*admitRequest) {
+	type lockReq struct {
+		item  model.Item
+		owner string
+		excl  bool
+	}
+	var plan []lockReq
+	var owners []string
+	for _, req := range batch {
+		owner, items, writes := req.p.lockPlan(req.ck.MobileID)
+		if len(items) > 0 {
+			owners = append(owners, owner)
+		}
+		for _, it := range items {
+			plan = append(plan, lockReq{item: it, owner: owner, excl: writes.Has(it)})
+		}
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].item < plan[j].item })
+	releaseAll := func() {
+		for _, o := range owners {
+			b.lm.ReleaseAll(o)
+		}
+	}
+	if len(plan) > 0 {
+		for attempt := 0; ; attempt++ {
+			var lockErr error
+			for _, lr := range plan {
+				mode := lockmgr.Shared
+				if lr.excl {
+					mode = lockmgr.Exclusive
+				}
+				if lockErr = b.lm.Acquire(lr.owner, lr.item, mode); lockErr != nil {
+					break
+				}
+			}
+			if lockErr == nil {
+				break
+			}
+			releaseAll()
+			if errors.Is(lockErr, lockmgr.ErrDeadlock) && attempt < 10 {
+				continue
+			}
+			err := fmt.Errorf("replica: batch merge locks: %w", lockErr)
+			for _, req := range batch {
+				req.done <- admitResult{err: err}
+			}
+			return
+		}
+	}
+
+	results := make([]admitResult, len(batch))
+	b.mu.Lock()
+	for i, req := range batch {
+		out, admitted, cause, err := b.admitOneLocked(req.ck, req.hm, req.p)
+		results[i] = admitResult{out: out, admitted: admitted, cause: cause, batch: len(batch), err: err}
+	}
+	b.mu.Unlock()
+	releaseAll()
+	b.counters.Update(func(c *cost.Counts) { c.AdmitBatches++ })
+	for i, req := range batch {
+		req.done <- results[i]
+	}
+}

@@ -22,10 +22,13 @@ import (
 // path, the variadic connect API, and exporter-versus-counter parity on an
 // E13-style concurrent workload.
 
-// phaseRank orders the phases one optimistic attempt emits.
+// phaseRank orders the phases one optimistic attempt emits. Graph build and
+// graph extend share a rank: an attempt either builds from scratch or
+// extends the carried graph, never both.
 var phaseRank = map[obs.Phase]int{
 	obs.PhaseSnapshot: 0,
 	obs.PhaseGraph:    1,
+	obs.PhaseExtend:   1,
 	obs.PhaseBackout:  2,
 	obs.PhaseRewrite:  3,
 	obs.PhasePrune:    4,
@@ -34,8 +37,10 @@ var phaseRank = map[obs.Phase]int{
 
 // validateTrace checks the invariants every merge trace must satisfy:
 // exactly one summary event in final position, consistent identity on every
-// event, and within each attempt the pipeline order snapshot -> graph-build
-// -> back-out -> rewrite -> prune -> admit.
+// event, within each attempt the pipeline order snapshot -> graph-build (or
+// extend) -> back-out -> rewrite -> prune -> admit, and — when the merge
+// degraded to the serial path (attempt-0 sub-phase events) — exactly one
+// serial-degrade mark, ordered after every buffered sub-phase event.
 func validateTrace(t *testing.T, mt obs.MergeTrace) {
 	t.Helper()
 	if len(mt.Events) == 0 {
@@ -47,7 +52,9 @@ func validateTrace(t *testing.T, mt obs.MergeTrace) {
 	summaries := 0
 	curAttempt := -1
 	lastRank := -1
-	for _, ev := range mt.Events {
+	lastSerialPrep := -1 // index of the last attempt-0 sub-phase event
+	serialMarks, serialIdx := 0, -1
+	for i, ev := range mt.Events {
 		if ev.Mobile != mt.Mobile || ev.Seq != mt.Seq {
 			t.Errorf("merge #%d: event %s carries identity %s/%d, want %s/%d",
 				mt.Seq, ev.Phase, ev.Mobile, ev.Seq, mt.Mobile, mt.Seq)
@@ -56,13 +63,20 @@ func validateTrace(t *testing.T, mt obs.MergeTrace) {
 		case obs.PhaseMerge:
 			summaries++
 			continue
-		case obs.PhaseFallback, obs.PhaseSerial:
+		case obs.PhaseSerial:
+			serialMarks++
+			serialIdx = i
+			continue
+		case obs.PhaseFallback:
 			continue // marks outside the attempt structure
 		}
 		rank, ok := phaseRank[ev.Phase]
 		if !ok {
 			t.Errorf("merge #%d: unexpected phase %s inside a merge trace", mt.Seq, ev.Phase)
 			continue
+		}
+		if ev.Attempt == 0 {
+			lastSerialPrep = i
 		}
 		if ev.Attempt != curAttempt {
 			// A new attempt: numbered attempts increase and open with their
@@ -84,6 +98,17 @@ func validateTrace(t *testing.T, mt obs.MergeTrace) {
 	}
 	if summaries != 1 {
 		t.Errorf("merge #%d: %d summary events, want 1", mt.Seq, summaries)
+	}
+	if lastSerialPrep >= 0 {
+		// The merge ran the serial path; its mark must be present exactly
+		// once and must not hide behind the buffered sub-phase flush.
+		if serialMarks != 1 {
+			t.Errorf("merge #%d: %d serial-degrade marks, want 1 (serial sub-phases present)",
+				mt.Seq, serialMarks)
+		} else if serialIdx < lastSerialPrep {
+			t.Errorf("merge #%d: serial-degrade mark at index %d precedes buffered sub-phase at %d",
+				mt.Seq, serialIdx, lastSerialPrep)
+		}
 	}
 }
 

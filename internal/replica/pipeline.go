@@ -38,6 +38,23 @@ import (
 // retry) before entering the critical section, so merges serialize with
 // concurrent base transactions under the same strict-2PL discipline
 // ExecBase uses.
+//
+// Two amortizations keep retries and contention cheap at scale:
+//
+//   - Incremental re-prepare: a retry carries the previous attempt's
+//     preparedMerge. Base transactions are durable and only append to the
+//     history between structural changes, so the precedence graph is
+//     monotone in the base suffix: prepareMerge extends the prior graph
+//     with just the entries in [prevSnap.histLen, snap.histLen) instead of
+//     rebuilding it, and reruns back-out/rewrite only when the extension
+//     adds an edge incident to Hm (merge.Extend). The mobile's upload (set
+//     entries, local graph edges) is billed once per reconnect, never on a
+//     retry.
+//
+//   - Batched admission: prepared merges funnel through an admission queue
+//     (admission.go); one leader drains it, admitting every queued merge
+//     with a pairwise-disjoint footprint in a single critical section, so
+//     N reconnecting mobiles pay ~1 critical section instead of N.
 
 // defaultMergeAttempts is the optimistic prepare/admit attempt budget when
 // Config.MergeAttempts is zero.
@@ -70,6 +87,13 @@ type preparedMerge struct {
 	// deltaPrepare holds charges incurred by any merge that ran to the
 	// insert-conflict check; deltaCommit holds charges only an installed
 	// merge pays. Both merge into the shared counters at admission.
+	//
+	// Across retry attempts deltaPrepare accumulates: each re-prepare
+	// starts from the previous attempt's delta and adds only the new work
+	// (the incremental graph extension, or a full rebuild when the prefix
+	// changed shape), so the admitted attempt bills every piece of compute
+	// the reconnect actually performed — and the mobile→base upload
+	// exactly once.
 	deltaPrepare, deltaCommit cost.Counts
 }
 
@@ -137,6 +161,7 @@ func (b *BaseCluster) mergePipelined(ck Checkout, hm *history.Augmented) (*Conne
 		b.emit(ev)
 		return out, err
 	}
+	var prev *preparedMerge
 	for attempt := 1; attempt <= attempts; attempt++ {
 		snapStart := b.spanStart()
 		b.mu.Lock()
@@ -152,28 +177,40 @@ func (b *BaseCluster) mergePipelined(ck Checkout, hm *history.Augmented) (*Conne
 			Phase: obs.PhaseSnapshot, Attempt: attempt, Dur: sinceSpan(snapStart),
 		})
 
-		p, err := prepareMerge(b.cfg, snap, hm, bindMerge(b.cfg.Observer, ck.MobileID, seq, attempt))
+		p, err := prepareMerge(b.cfg, snap, hm, prev, bindMerge(b.cfg.Observer, ck.MobileID, seq, attempt))
 		if err != nil {
 			return finish(nil, err)
+		}
+		if h := b.hookAfterPrepare; h != nil {
+			h(attempt)
 		}
 		admitStart := b.spanStart()
-		out, admitted, cause, err := b.admitPrepared(ck, hm, p)
+		out, admitted, cause, batch, err := b.admitPrepared(ck, hm, p)
 		if err != nil {
 			return finish(nil, err)
 		}
-		b.emit(obs.Event{
+		ev := obs.Event{
 			Mobile: ck.MobileID, Seq: seq,
 			Phase: obs.PhaseAdmit, Attempt: attempt, Dur: sinceSpan(admitStart), Cause: cause,
-		})
+		}
+		if admitted && cause == obs.CauseNone {
+			ev.Batch = batch
+		}
+		b.emit(ev)
 		if admitted {
 			return finish(out, nil)
 		}
 		// Validation failed: the base history grew a conflicting extension
-		// (or changed shape). Retry prepare against the extended prefix.
+		// (or changed shape). Retry prepare against the extended prefix,
+		// carrying the prepared merge so the retry extends instead of
+		// rebuilding.
+		prev = p
 	}
 	// Degrade to the serial path: the whole protocol under the cluster
-	// lock cannot be invalidated. Sub-phase events are buffered and
-	// flushed after unlock (see eventBuffer).
+	// lock cannot be invalidated. The carried prepared merge still applies:
+	// the serial prepare extends it (or rebuilds without re-billing the
+	// upload). Sub-phase events are buffered and flushed after unlock (see
+	// eventBuffer).
 	var buf *eventBuffer
 	var inner obs.Observer
 	if b.cfg.Observer != nil {
@@ -182,17 +219,20 @@ func (b *BaseCluster) mergePipelined(ck Checkout, hm *history.Augmented) (*Conne
 	}
 	serialStart := b.spanStart()
 	b.mu.Lock()
-	out, err := b.mergeSerialLocked(ck, hm, inner)
+	out, err := b.mergeSerialLocked(ck, hm, prev, inner)
 	b.mu.Unlock()
 	if buf != nil {
 		for _, ev := range buf.events {
 			b.cfg.Observer.Observe(ev)
 		}
-		b.emit(obs.Event{
-			Mobile: ck.MobileID, Seq: seq,
-			Phase: obs.PhaseSerial, Attempt: attempts, Dur: sinceSpan(serialStart),
-		})
 	}
+	// The serial-degrade mark goes through b.emit like every other phase,
+	// so trace consumers always see the serial attempt (it must not hide
+	// behind the buffered sub-phase flush above).
+	b.emit(obs.Event{
+		Mobile: ck.MobileID, Seq: seq,
+		Phase: obs.PhaseSerial, Attempt: attempts, Dur: sinceSpan(serialStart),
+	})
 	return finish(out, err)
 }
 
@@ -223,42 +263,149 @@ func (b *BaseCluster) snapshotLocked(ck Checkout) (prefixSnapshot, FallbackReaso
 // prepareMerge runs every heavy step of the merging protocol against the
 // snapshot without any cluster lock, accumulating the Section 7.1 charges
 // into private deltas. o (may be nil) receives the prepare sub-phase span
-// events — graph build, back-out, rewrite, prune — already bound to the
-// owning merge.
-func prepareMerge(cfg Config, snap prefixSnapshot, hm *history.Augmented, o obs.Observer) (*preparedMerge, error) {
+// events — graph build/extend, back-out, rewrite, prune — already bound to
+// the owning merge.
+//
+// prev, when non-nil, is the previous attempt's prepared merge. Its
+// accumulated charges carry over, and the mobile→base upload (set entries,
+// local graph edges and their message) is never re-billed: the mobile ships
+// Hm once per reconnect. When the new snapshot is an append-only extension
+// of prev's — same window, same structure version, same position, history
+// at least as long — the precedence graph is extended in place
+// (merge.Extend) and only the incremental graph work is charged; otherwise
+// the prepare rebuilds from scratch (charging the rebuild, which is work
+// actually performed).
+func prepareMerge(cfg Config, snap prefixSnapshot, hm *history.Augmented, prev *preparedMerge, o obs.Observer) (*preparedMerge, error) {
 	w := cfg.Weights
 	p := &preparedMerge{snap: snap}
-
-	// Communication, mobile -> base: read/write sets of Hm plus G(Hm).
-	var setEntries, localEdges int64
-	mobAcc := graph.AccessesOf(hm)
-	p.footprint = make(model.ItemSet)
-	for _, a := range mobAcc {
-		setEntries += int64(len(a.ReadSet) + len(a.WriteSet))
-		for it := range a.ReadSet {
-			p.footprint.Add(it)
-		}
-		for it := range a.WriteSet {
-			p.footprint.Add(it)
-		}
-	}
-	gm := graph.Build(mobAcc, nil)
-	for v := 0; v < gm.Len(); v++ {
-		localEdges += int64(len(gm.Succ(v)))
-	}
-	p.deltaPrepare.Msg(w, setEntries*w.SetEntryBytes+localEdges*w.GraphEdgeBytes)
-	p.deltaPrepare.SetEntriesSent += setEntries
-	p.deltaPrepare.GraphEdgesSent += localEdges
-	p.deltaPrepare.MobileGraphOps += int64(gm.Len()) + localEdges
-
 	opts := cfg.MergeOptions
 	opts.Observer = o
+
+	if prev != nil {
+		// A retry: carry the accumulated charges (failed-attempt compute is
+		// work performed; the admitted attempt bills it all) and the
+		// Hm-derived state, which no base change can alter.
+		p.deltaPrepare = prev.deltaPrepare
+		p.deltaPrepare.MergeRetries++
+		p.footprint = prev.footprint
+		p.effByTxn = prev.effByTxn
+		if canExtend(prev.snap, snap) {
+			if done, err := p.extendFrom(cfg, snap, hm, prev, opts); err != nil {
+				return nil, err
+			} else if done {
+				return p, nil
+			}
+			// Not extendable after all: fall through to a full re-prepare.
+		}
+	} else {
+		// First attempt. Communication, mobile -> base: read/write sets of
+		// Hm plus G(Hm) — billed exactly once per reconnect.
+		var setEntries, localEdges int64
+		mobAcc := graph.AccessesOf(hm)
+		p.footprint = make(model.ItemSet)
+		for _, a := range mobAcc {
+			setEntries += int64(len(a.ReadSet) + len(a.WriteSet))
+			for it := range a.ReadSet {
+				p.footprint.Add(it)
+			}
+			for it := range a.WriteSet {
+				p.footprint.Add(it)
+			}
+		}
+		gm := graph.Build(mobAcc, nil)
+		for v := 0; v < gm.Len(); v++ {
+			localEdges += int64(len(gm.Succ(v)))
+		}
+		p.deltaPrepare.Msg(w, setEntries*w.SetEntryBytes+localEdges*w.GraphEdgeBytes)
+		p.deltaPrepare.SetEntriesSent += setEntries
+		p.deltaPrepare.GraphEdgesSent += localEdges
+		p.deltaPrepare.MobileGraphOps += int64(gm.Len()) + localEdges
+
+		p.effByTxn = make(map[*tx.Transaction]*tx.Effect, hm.H.Len())
+		for i := 0; i < hm.H.Len(); i++ {
+			p.effByTxn[hm.H.Txn(i)] = hm.Effects[i]
+		}
+	}
+
 	rep, err := merge.Merge(hm, snap.hb, opts)
 	if err != nil {
 		return nil, fmt.Errorf("replica: merge: %w", err)
 	}
 	p.rep = rep
+	p.chargePrepared(cfg, hm, snap.hb.Effects)
+	p.chargeCommit(w)
+	return p, nil
+}
 
+// canExtend reports whether next is an append-only extension of prev: the
+// same window, the same structural shape and checkout position, with a base
+// history at least as long. Exactly then the entries in
+// [prev.histLen, next.histLen) are the only difference, and grafting them
+// onto prev's precedence graph reproduces a from-scratch build.
+func canExtend(prev, next prefixSnapshot) bool {
+	return prev.windowID == next.windowID &&
+		prev.structVer == next.structVer &&
+		prev.pos == next.pos &&
+		next.histLen >= prev.histLen
+}
+
+// extendFrom performs the incremental re-prepare: extend prev's precedence
+// graph with the base entries committed since prev's snapshot, rerun the
+// downstream protocol steps only if the extension added an edge incident to
+// Hm, and charge only the incremental work. Returns done=false (with p
+// untouched beyond the carried fields) when the prior report cannot be
+// extended and the caller must rebuild.
+func (p *preparedMerge) extendFrom(cfg Config, snap prefixSnapshot, hm *history.Augmented, prev *preparedMerge, opts merge.Options) (done bool, err error) {
+	w := cfg.Weights
+	prevBase := prev.rep.Graph.BaseLen
+	suffix := &history.Augmented{
+		H:       &history.History{Entries: snap.hb.H.Entries[prevBase:]},
+		States:  snap.hb.States[prevBase:],
+		Effects: snap.hb.Effects[prevBase:],
+	}
+	rep, info, err := merge.Extend(prev.rep, hm, suffix, opts)
+	if err != nil {
+		if errors.Is(err, merge.ErrNotExtendable) {
+			return false, nil
+		}
+		return false, fmt.Errorf("replica: merge extend: %w", err)
+	}
+	p.rep = rep
+	// Incremental graph work: vertices and edges actually added.
+	p.deltaPrepare.BaseGraphOps += int64(info.NewVertices + info.NewEdges)
+	if info.Reran {
+		// Back-out, rewrite and prune reran on the extended graph; charge
+		// them like a fresh prepare, and the refreshed set B travels
+		// base -> mobile again.
+		var fullEdges int64
+		for v := 0; v < rep.Graph.Len(); v++ {
+			fullEdges += int64(len(rep.Graph.Succ(v)))
+		}
+		rewriteOps := int64(hm.H.Len())
+		if rep.RewriteResult != nil {
+			rewriteOps += int64(rep.RewriteResult.PairChecks)
+		}
+		p.deltaPrepare.BaseBackoutOps += fullEdges + int64(len(rep.BadIDs))*int64(rep.Graph.Len())
+		p.deltaPrepare.MobileRewriteOps += rewriteOps
+		p.deltaPrepare.MobilePruneOps += int64(len(rep.Reexecute) + len(rep.AffectedIDs))
+		p.deltaPrepare.Msg(w, int64(len(rep.BadIDs))*w.SetEntryBytes)
+		p.insertConflict = scanInsertConflict(cfg, snap.hb.Effects, rep.ForwardUpdates)
+	} else {
+		// The report is unchanged; only the new suffix needs the Strategy 1
+		// insert-conflict scan.
+		p.insertConflict = prev.insertConflict ||
+			scanInsertConflict(cfg, suffix.Effects, rep.ForwardUpdates)
+	}
+	p.chargeCommit(w)
+	return true, nil
+}
+
+// chargePrepared records the base- and mobile-side compute of a full
+// (from-scratch) prepare, plus the Strategy 1 insert-conflict scan over the
+// snapshot prefix.
+func (p *preparedMerge) chargePrepared(cfg Config, hm *history.Augmented, prefixEffects []*tx.Effect) {
+	w := cfg.Weights
+	rep := p.rep
 	// Base computing: building G(Hm, Hb) and computing B.
 	var fullEdges int64
 	for v := 0; v < rep.Graph.Len(); v++ {
@@ -280,31 +427,40 @@ func prepareMerge(cfg Config, snap prefixSnapshot, hm *history.Augmented, o obs.
 	// conflicts with the forwarded updates (otherwise durable history
 	// would change). The snapshot prefix covers entries[pos:histLen];
 	// admission's extension check covers everything committed since.
-	if cfg.Origin == Strategy1 && len(rep.ForwardUpdates) > 0 {
-		updItems := make(model.ItemSet, len(rep.ForwardUpdates))
-		for it := range rep.ForwardUpdates {
-			updItems.Add(it)
-		}
-		for _, eff := range snap.hb.Effects {
-			if !eff.ReadSet.Disjoint(updItems) || !eff.WriteSet.Disjoint(updItems) {
-				p.insertConflict = true
-				break
-			}
+	p.insertConflict = scanInsertConflict(cfg, prefixEffects, rep.ForwardUpdates)
+}
+
+// scanInsertConflict applies the Strategy 1 insert-position test: some
+// committed base transaction in effects touches an item the forwarded
+// updates would rewrite at the checkout position.
+func scanInsertConflict(cfg Config, effects []*tx.Effect, updates map[model.Item]model.Value) bool {
+	if cfg.Origin != Strategy1 || len(updates) == 0 {
+		return false
+	}
+	updItems := make(model.ItemSet, len(updates))
+	for it := range updates {
+		updItems.Add(it)
+	}
+	for _, eff := range effects {
+		if !eff.ReadSet.Disjoint(updItems) || !eff.WriteSet.Disjoint(updItems) {
+			return true
 		}
 	}
+	return false
+}
 
-	// Mobile -> base: the forwarded updates.
+// chargeCommit records the charges only an installed merge pays: the
+// forwarded-updates message and the outcome tallies. Recomputed fresh on
+// every attempt (never accumulated) — they describe the one admitted
+// outcome, not work performed.
+func (p *preparedMerge) chargeCommit(w cost.Weights) {
+	rep := p.rep
+	p.deltaCommit = cost.Counts{}
 	p.deltaCommit.Msg(w, int64(len(rep.ForwardUpdates))*w.UpdateEntryBytes)
 	p.deltaCommit.UpdatesSent += int64(len(rep.ForwardUpdates))
 	p.deltaCommit.TxnsSaved += int64(len(rep.SavedIDs))
 	p.deltaCommit.TxnsBackedOut += int64(len(rep.Reexecute))
 	p.deltaCommit.MergesPerformed++
-
-	p.effByTxn = make(map[*tx.Transaction]*tx.Effect, hm.H.Len())
-	for i := 0; i < hm.H.Len(); i++ {
-		p.effByTxn[hm.H.Txn(i)] = hm.Effects[i]
-	}
-	return p, nil
 }
 
 // lockPlan derives the admission lock set: exclusive on every item the
@@ -330,14 +486,14 @@ func (p *preparedMerge) lockPlan(mobileID string) (owner string, items []model.I
 	return owner, all.Items(), writes
 }
 
-// admitPrepared is the short admission critical section: acquire the
+// admitDirect is the unbatched admission critical section: acquire the
 // merge's lock footprint, revalidate the snapshot, and install. It returns
 // admitted=false when validation failed and the caller should re-prepare;
 // cause classifies the retry (struct-changed, extension-conflict) or the
 // in-admission fallback (window-expired).
 //
 //tiermerge:locks(none)
-func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *preparedMerge) (out *ConnectOutcome, admitted bool, cause obs.Cause, err error) {
+func (b *BaseCluster) admitDirect(ck Checkout, hm *history.Augmented, p *preparedMerge) (out *ConnectOutcome, admitted bool, cause obs.Cause, err error) {
 	owner, items, writes := p.lockPlan(ck.MobileID)
 	if len(items) > 0 {
 		// Same two-phase pattern as ExecBase: take item locks first (sorted
@@ -359,6 +515,15 @@ func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *prepa
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.admitOneLocked(ck, hm, p)
+}
+
+// admitOneLocked validates one prepared merge against the live base history
+// and installs it on success. Caller holds b.mu (and the merge's item
+// locks).
+//
+//tiermerge:locks(cluster)
+func (b *BaseCluster) admitOneLocked(ck Checkout, hm *history.Augmented, p *preparedMerge) (out *ConnectOutcome, admitted bool, cause obs.Cause, err error) {
 	if ck.WindowID != b.windowID {
 		// The window closed between prepare and admit; the prepared work is
 		// unusable under any validation.
@@ -384,17 +549,19 @@ func (b *BaseCluster) admitPrepared(ck Checkout, hm *history.Augmented, p *prepa
 
 // mergeSerialLocked runs the whole protocol under the cluster lock — the
 // degradation path after repeated validation failures, immune to
-// invalidation by construction. Caller holds b.mu. o must not be a user
+// invalidation by construction. Caller holds b.mu. prev (may be nil) is the
+// last optimistic attempt's prepared merge: the serial prepare extends it
+// when possible and never re-bills the upload. o must not be a user
 // observer: events would fire under the mutex. The caller passes an
 // eventBuffer (or nil) and flushes it after unlocking.
 //
 //tiermerge:locks(cluster)
-func (b *BaseCluster) mergeSerialLocked(ck Checkout, hm *history.Augmented, o obs.Observer) (*ConnectOutcome, error) {
+func (b *BaseCluster) mergeSerialLocked(ck Checkout, hm *history.Augmented, prev *preparedMerge, o obs.Observer) (*ConnectOutcome, error) {
 	snap, fb := b.snapshotLocked(ck)
 	if fb != FallbackNone {
 		return b.fallbackReprocess(hm, fb), nil
 	}
-	p, err := prepareMerge(b.cfg, snap, hm, o)
+	p, err := prepareMerge(b.cfg, snap, hm, prev, o)
 	if err != nil {
 		return nil, err
 	}

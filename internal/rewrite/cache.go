@@ -20,15 +20,21 @@ import (
 //
 // Rather than an offline table, the detector memoizes its inner detector's
 // verdicts keyed by the *type-pair instance shape*: the two canned type
-// names plus a canonical renaming of the data items each profile touches
-// and of the fixed items. Two queries with the same key are guaranteed the
-// same answer because the static analysis depends only on the profiles'
-// structure and item-coincidence pattern, never on parameter values or on
-// the fix's concrete values (Definition 4 quantifies over those).
+// names plus the full body shape of each profile — statement opcodes,
+// operator structure, constants and parameter names — under a canonical
+// renaming of the data items the profiles and the fix touch. Two queries
+// with the same key are guaranteed the same answer because the static
+// analysis depends only on that structure and item-coincidence pattern,
+// never on parameter values or on the fix's concrete values (Definition 4
+// quantifies over those). Keying on the full shape rather than the item
+// sequence alone means two profiles that touch the same items through
+// different code (an additive vs a multiplicative update, say) can never
+// share a memo slot, even if their Type names collide.
 //
-// Caching assumes the canned-system contract the paper assumes: equal Type
-// names imply equal code shape modulo item bindings. Ad-hoc transactions
-// (empty Type) are never cached.
+// Under the canned-system contract the paper assumes — equal Type names
+// imply equal code shape modulo item bindings — instances of the same type
+// pair still coalesce onto one key. Ad-hoc transactions (empty Type) are
+// never cached.
 //
 // The memo table is sharded by key hash with per-shard read/write locks and
 // atomic hit/miss counters, so concurrent Algorithm-2 rewrites (many merge
@@ -112,10 +118,18 @@ func (c *CachedDetector) CanPrecede(t2, t1 *tx.Transaction, fix tx.Fix) bool {
 	return v
 }
 
-// pairKey canonicalizes the type-pair instance: items are renamed to dense
-// indices in first-occurrence order over (t2's body items, t1's body items,
-// sorted fix items), so any item-consistent renaming of the same type pair
-// produces the same key.
+// pairKey canonicalizes the type-pair instance: the two type names, the
+// full body shape of each profile (statement opcodes, operator structure,
+// constants, parameter names — see expr.WriteShape), and the fix's item
+// set, with every item renamed to a dense index in first-occurrence order
+// over (t2's body, t1's body, sorted fix items). Any item-consistent
+// renaming of the same code produces the same key, and — unlike keying on
+// the item sequence alone — two profiles that touch the same items through
+// different code (a += $amt vs a *= $f) can never collide: the static
+// analysis reads exactly the structure the shape serializes, nothing more.
+//
+// The fix contributes only its item indices: Definition 4 quantifies over
+// the fixed values, so the verdict cannot depend on them.
 func pairKey(t2, t1 *tx.Transaction, fix tx.Fix) string {
 	rename := make(map[model.Item]int)
 	assign := func(it model.Item) int {
@@ -131,13 +145,9 @@ func pairKey(t2, t1 *tx.Transaction, fix tx.Fix) string {
 	b.WriteByte('|')
 	b.WriteString(t1.Type)
 	b.WriteByte('|')
-	for _, it := range itemsInBodyOrder(t2) {
-		fmt.Fprintf(&b, "%d,", assign(it))
-	}
+	writeBodyShape(&b, t2, assign)
 	b.WriteByte('|')
-	for _, it := range itemsInBodyOrder(t1) {
-		fmt.Fprintf(&b, "%d,", assign(it))
-	}
+	writeBodyShape(&b, t1, assign)
 	b.WriteByte('|')
 	fixItems := make([]model.Item, 0, len(fix))
 	for it := range fix {
@@ -150,35 +160,38 @@ func pairKey(t2, t1 *tx.Transaction, fix tx.Fix) string {
 	return b.String()
 }
 
-// itemsInBodyOrder lists every item a profile references, in deterministic
-// body-walk order with duplicates preserved (the duplication pattern is
-// part of the shape).
-func itemsInBodyOrder(t *tx.Transaction) []model.Item {
-	var out []model.Item
+// writeBodyShape appends the canonical shape of a profile body: one token
+// per statement in body-walk order, items renamed through assign,
+// expressions and predicates serialized by the expr shape writers.
+func writeBodyShape(b *strings.Builder, t *tx.Transaction, assign func(model.Item) int) {
 	var walkStmts func(body []tx.Stmt)
-	addExpr := func(e expr.Expr) {
-		// ItemsOf returns a set; order it deterministically.
-		items := expr.ItemsOf(e).Items()
-		out = append(out, items...)
-	}
 	walkStmts = func(body []tx.Stmt) {
 		for _, s := range body {
 			switch st := s.(type) {
 			case *tx.ReadStmt:
-				out = append(out, st.Item)
+				fmt.Fprintf(b, "r%d;", assign(st.Item))
 			case *tx.UpdateStmt:
-				out = append(out, st.Item)
-				addExpr(st.Expr)
+				fmt.Fprintf(b, "u%d=", assign(st.Item))
+				expr.WriteShape(b, st.Expr, assign)
+				b.WriteByte(';')
 			case *tx.AssignStmt:
-				out = append(out, st.Item)
-				addExpr(st.Expr)
+				fmt.Fprintf(b, "a%d=", assign(st.Item))
+				expr.WriteShape(b, st.Expr, assign)
+				b.WriteByte(';')
 			case *tx.IfStmt:
-				out = append(out, expr.PredItemsOf(st.Cond).Items()...)
+				b.WriteString("if(")
+				expr.WritePredShape(b, st.Cond, assign)
+				b.WriteString("){")
 				walkStmts(st.Then)
+				b.WriteString("}else{")
 				walkStmts(st.Else)
+				b.WriteString("};")
+			default:
+				// Unknown statement kind: identify it by type, keeping keys
+				// distinct (conservative misses, never conflation).
+				fmt.Fprintf(b, "?%T;", s)
 			}
 		}
 	}
 	walkStmts(t.Body)
-	return out
 }

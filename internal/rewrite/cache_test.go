@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"tiermerge/internal/expr"
+	"tiermerge/internal/model"
 	"tiermerge/internal/tx"
 	"tiermerge/internal/workload"
 )
@@ -148,5 +150,39 @@ func TestCachedDetectorConcurrent(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Error("cache never hit under concurrency")
+	}
+}
+
+// TestCachedDetectorKeyRespectsBodyShape: two canned types that (illegally
+// or accidentally) share a Type name and the same body-item sequence but
+// differ in code — an additive update a := a + $amt versus a multiplicative
+// update a := a * $f — must not share a memo slot. Before the key carried
+// the full body shape, both reduced to "op|op|0,0,|0,0,|" and the second
+// query returned the first query's verdict.
+func TestCachedDetectorKeyRespectsBodyShape(t *testing.T) {
+	mk := func(id string, e expr.Expr, params map[string]model.Value) *tx.Transaction {
+		return tx.MustNew(id, tx.Tentative, tx.Update("a", e)).
+			WithType("op").WithParams(params)
+	}
+	add1 := mk("A1", expr.Add(expr.Var("a"), expr.Param("amt")), map[string]model.Value{"amt": 5})
+	add2 := mk("A2", expr.Add(expr.Var("a"), expr.Param("amt")), map[string]model.Value{"amt": 7})
+	mul := mk("M", expr.Mul(expr.Var("a"), expr.Param("f")), map[string]model.Value{"f": 3})
+
+	static := StaticDetector{}
+	wantAdd := static.CanPrecede(add2, add1, nil)
+	wantMul := static.CanPrecede(mul, add1, nil)
+	if wantAdd == wantMul {
+		t.Fatalf("static verdicts coincide (add=%v mul=%v); test needs differing ground truth",
+			wantAdd, wantMul)
+	}
+
+	cached := NewCachedDetector(StaticDetector{})
+	if got := cached.CanPrecede(add2, add1, nil); got != wantAdd {
+		t.Errorf("cached add-pair verdict = %v, want %v", got, wantAdd)
+	}
+	// Pre-fix this second query hit the first query's memo slot and returned
+	// the additive verdict.
+	if got := cached.CanPrecede(mul, add1, nil); got != wantMul {
+		t.Errorf("cached mul-pair verdict = %v, want %v (stale memo from add pair?)", got, wantMul)
 	}
 }

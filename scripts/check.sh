@@ -76,7 +76,14 @@ go test ./...
 echo "== race (concurrent merge pipeline + observers + crash-recovery soak) =="
 go test -race ./internal/replica/... ./internal/rewrite/... ./internal/obs/... ./internal/sim/...
 
-echo "== experiments (E0..E14) =="
+echo "== race (incremental re-prepare parity + batched admission) =="
+# Explicit gate for the retry-amortization invariants: incremental
+# re-prepare must match a from-scratch prepare (reports and counters),
+# uploads bill once per reconnect, and a disjoint fleet batches its
+# admission — all under the race detector.
+go test -race -count=1 -run 'IncrementalRetryMatchesFromScratch|RetryBillsUploadOnce|BatchedAdmission|SerialAdmissionDiagnosticSwitch' ./internal/replica/
+
+echo "== experiments (E0..E15) =="
 run_logged benchreport go run ./cmd/benchreport
 
 echo "== examples =="
