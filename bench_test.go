@@ -612,3 +612,81 @@ func BenchmarkE15IncrementalRetry(b *testing.B) {
 	b.Run(fmt.Sprintf("serialAdmit/mobiles=%d", mobiles), func(b *testing.B) { runFleet(b, true) })
 	b.Run(fmt.Sprintf("batchedAdmit/mobiles=%d", mobiles), func(b *testing.B) { runFleet(b, false) })
 }
+
+// BenchmarkE16ShardedFleet measures the sharded base tier: a 64-mobile
+// fleet of disjoint deposit histories reconnects concurrently against 1,
+// 2, 4 and 8 shards, all-disjoint and with ~10% of mobiles carrying one
+// cross-shard transfer. The fleet checks out, the base commits 2048
+// deposits while they are away, then every mobile merges at once — so
+// each merge's prepare scans the base traffic committed since checkout,
+// which partitioning divides by the shard count, along with the admission
+// critical sections. The merges/s metric is the E16 headline recorded in
+// BENCH_E16.json.
+func BenchmarkE16ShardedFleet(b *testing.B) {
+	const mobiles, txns, warmup = 64, 3, 2048
+	origin := model.State{}
+	for i := 0; i < mobiles; i++ {
+		origin.Set(model.Item(fmt.Sprintf("m%d.acct", i)), 100)
+	}
+	item := func(i int) model.Item { return model.Item(fmt.Sprintf("m%d.acct", i)) }
+	for _, shards := range []int{1, 2, 4, 8} {
+		router := replica.NewShardedBase(origin, shards, replica.Config{}).Router()
+		// crossPartner: the first other mobile whose account hashes to a
+		// different shard (next mobile when there is only one shard).
+		crossPartner := func(i int) int {
+			for d := 1; d < mobiles; d++ {
+				j := (i + d) % mobiles
+				if router.Shard(item(j)) != router.Shard(item(i)) {
+					return j
+				}
+			}
+			return (i + 1) % mobiles
+		}
+		for _, crossPct := range []int{0, 10} {
+			hms := make([]*history.Augmented, mobiles)
+			for i := range hms {
+				h := &history.History{}
+				for k := 0; k < txns; k++ {
+					h.Append(workload.Deposit(fmt.Sprintf("T%d.%d", i, k), tx.Tentative, item(i), 1))
+				}
+				if crossPct > 0 && i%(100/crossPct) == 0 {
+					h.Append(workload.Transfer(fmt.Sprintf("X%d", i), tx.Tentative, item(i), item(crossPartner(i)), 1))
+				}
+				a, err := history.Run(h, origin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hms[i] = a
+			}
+			b.Run(fmt.Sprintf("shards=%d/cross=%d%%", shards, crossPct), func(b *testing.B) {
+				b.ReportAllocs()
+				for n := 0; n < b.N; n++ {
+					b.StopTimer()
+					s := replica.NewShardedBase(origin, shards, replica.Config{})
+					cks := make([]replica.Checkout, mobiles)
+					for i := range cks {
+						cks[i] = s.CheckoutReplica(fmt.Sprintf("m%d", i))
+					}
+					for w := 0; w < warmup; w++ {
+						if err := s.ExecBase(workload.Deposit(fmt.Sprintf("B%d", w), tx.Base, item(w%mobiles), 1)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+					var wg sync.WaitGroup
+					wg.Add(mobiles)
+					for i := 0; i < mobiles; i++ {
+						go func(i int) {
+							defer wg.Done()
+							if _, err := s.Merge(cks[i], hms[i]); err != nil {
+								b.Error(err)
+							}
+						}(i)
+					}
+					wg.Wait()
+				}
+				b.ReportMetric(float64(b.N*mobiles)/b.Elapsed().Seconds(), "merges/s")
+			})
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench-JSON mode: parse `go test -bench` output from stdin and persist
+// one BENCH_<ID>.json per experiment-tagged benchmark (BenchmarkE13...,
+// BenchmarkE15..., BenchmarkE16...) so each PR's perf numbers land in the
+// repo instead of a terminal scrollback. scripts/bench.sh is the driver.
+
+// benchResult is one benchmark line, normalized.
+type benchResult struct {
+	// Name is the sub-benchmark path without the Benchmark prefix and
+	// GOMAXPROCS suffix, e.g. "E16ShardedFleet/shards=4/cross=0%".
+	Name string `json:"name"`
+	// Runs is the measured iteration count (b.N).
+	Runs int64 `json:"runs"`
+	// NsPerOp is the headline ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics carries every other reported unit (merges/s, B/op, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchFile is the persisted shape of one BENCH_<ID>.json.
+type benchFile struct {
+	Experiment string             `json:"experiment"`
+	Command    string             `json:"command"`
+	Results    []benchResult      `json:"results"`
+	Summary    map[string]float64 `json:"summary,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// experiment IDs whose benchmarks persist; anything else on stdin passes
+// through untouched.
+var benchIDs = regexp.MustCompile(`^Benchmark(E\d+)`)
+
+// runBenchJSON reads go-bench output from r, echoes it to stderr so the
+// caller still sees the run, and writes BENCH_<ID>.json files under dir.
+func runBenchJSON(r io.Reader, dir string) int {
+	files := map[string]*benchFile{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		id := benchIDs.FindStringSubmatch(m[1])
+		if id == nil {
+			continue
+		}
+		runs, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{
+			Name:    strings.TrimPrefix(m[1], "Benchmark"),
+			Runs:    runs,
+			Metrics: map[string]float64{},
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				res.NsPerOp = v
+			} else {
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		f := files[id[1]]
+		if f == nil {
+			f = &benchFile{
+				Experiment: id[1],
+				Command:    "go test -run '^$' -bench Benchmark" + id[1] + " -benchmem .",
+			}
+			files[id[1]] = f
+		}
+		f.Results = append(f.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: read: %v\n", err)
+		return 1
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no experiment benchmark lines on stdin")
+		return 1
+	}
+	ids := make([]string, 0, len(files))
+	for id := range files {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		f := files[id]
+		if id == "E16" {
+			f.Summary = e16Summary(f.Results)
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			return 1
+		}
+		path := filepath.Join(dir, "BENCH_"+id+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d results)\n", path, len(f.Results))
+	}
+	return 0
+}
+
+// e16Summary derives the E16 headline: disjoint-fleet merge throughput
+// speedup of every shard count over the single-shard baseline. The
+// acceptance bar is speedup_shards_4 >= 3.
+func e16Summary(results []benchResult) map[string]float64 {
+	tput := map[string]float64{}
+	for _, r := range results {
+		if strings.HasSuffix(r.Name, "/cross=0%") {
+			if i := strings.Index(r.Name, "shards="); i >= 0 {
+				key := strings.TrimSuffix(r.Name[i:], "/cross=0%")
+				tput[key] = r.Metrics["merges/s"]
+			}
+		}
+	}
+	base, ok := tput["shards=1"]
+	if !ok || base == 0 {
+		return nil
+	}
+	sum := map[string]float64{}
+	for key, v := range tput {
+		n := strings.TrimPrefix(key, "shards=")
+		sum["disjoint_merges_per_s_"+n+"_shards"] = v
+		sum["speedup_shards_"+n] = v / base
+	}
+	return sum
+}

@@ -240,6 +240,15 @@ func exprString(e ast.Expr) string {
 			return ""
 		}
 		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		base := exprString(e.X)
+		idx := exprString(e.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.BasicLit:
+		return e.Value
 	}
 	return ""
 }

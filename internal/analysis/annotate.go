@@ -20,7 +20,10 @@ type Ann struct {
 	Immutable bool
 	// Locks is the lock contract: "none" means the function acquires the
 	// cluster mutex itself and must not run while any mutex is held;
-	// "cluster" means the function requires the cluster mutex held.
+	// "cluster" means the function requires the cluster mutex held;
+	// "shard" means the function requires the mutexes of every shard its
+	// arguments involve held (acquired in ascending shard order through
+	// lockClusters — the sharded tier's deadlock-free discipline).
 	Locks string
 	// Blocking marks a function that may block (lock waits, channel I/O);
 	// lockheld forbids calling it under a held mutex.
@@ -157,10 +160,10 @@ func parseDirectives(pkg *Package, doc *ast.CommentGroup, isType bool) (*Ann, []
 				continue
 			}
 			switch arg {
-			case "none", "cluster":
+			case "none", "cluster", "shard":
 				an.Locks = arg
 			default:
-				bad(`lock contract must be "none" or "cluster"`)
+				bad(`lock contract must be "none", "cluster" or "shard"`)
 			}
 		default:
 			bad("unknown directive")

@@ -77,7 +77,7 @@ func TestAnnotationErrors(t *testing.T) {
 		t.Fatalf("got %d annotation errors, want 4: %v", len(errs), errs)
 	}
 	for _, want := range []string{
-		`lock contract must be "none" or "cluster"`,
+		`lock contract must be "none", "cluster" or "shard"`,
 		"unknown directive",
 		"missing closing parenthesis",
 		"only //tiermerge:immutable applies to type declarations",

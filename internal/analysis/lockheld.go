@@ -15,6 +15,19 @@ import (
 //   - a function annotated //tiermerge:locks(cluster) requires the
 //     cluster mutex; calling it without a mutex held (and outside another
 //     locks(cluster) function) mutates shared state unprotected;
+//   - a function annotated //tiermerge:locks(shard) requires the mutexes
+//     of every shard its arguments involve, acquired in ascending shard
+//     order (the sharded tier's deadlock-free discipline). The acquisition
+//     runs through the lockClusters helper, whose loop the function-local
+//     scan cannot attribute to concrete mutex keys, so — unlike
+//     locks(cluster) — a locks(shard) call with no lint-visible mutex held
+//     is not flagged; the contract is enforced at the annotated callee's
+//     own call sites and by the race suite;
+//   - acquiring a second, distinct mutex while one is already held is
+//     flagged: nesting mutexes ad hoc is how shard-mutex deadlocks are
+//     made. Multi-mutex acquisition must go through a sorted-order loop
+//     helper (lockClusters), which the linear scan naturally exempts —
+//     each loop-body pass locks exactly one key;
 //   - no blocking operation — channel send/receive/select/range,
 //     sync.WaitGroup.Wait, time.Sleep, or a call annotated
 //     //tiermerge:blocking — may run while a mutex is held: the admission
@@ -27,9 +40,10 @@ import (
 // unlocks-and-returns does not leak its state.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
-	Doc: "enforces //tiermerge:locks(none|cluster) call contracts and forbids " +
+	Doc: "enforces //tiermerge:locks(none|cluster|shard) call contracts, forbids " +
 		"blocking operations (channel ops, Wait, Sleep, //tiermerge:blocking calls) " +
-		"while a mutex is held",
+		"while a mutex is held, and flags acquiring a second distinct mutex under " +
+		"a held one (shard mutexes nest only through the sorted-order helper)",
 	Run: runLockHeld,
 }
 
@@ -42,10 +56,16 @@ func runLockHeld(pass *Pass) error {
 			}
 			lh := &lockChecker{pass: pass, fn: fd}
 			held := make(lockSet)
-			if pass.Ann.Func(pass.Pkg.Info.Defs[fd.Name]).Locks == "cluster" {
+			switch pass.Ann.Func(pass.Pkg.Info.Defs[fd.Name]).Locks {
+			case "cluster":
 				// The caller's contract: the cluster mutex is held on entry.
 				held["<caller>"] = true
 				lh.inCluster = true
+			case "shard":
+				// The caller's contract: every involved shard's mutex is
+				// held on entry.
+				held["<caller>"] = true
+				lh.inShard = true
 			}
 			lh.block(fd.Body.List, held)
 		}
@@ -77,6 +97,7 @@ type lockChecker struct {
 	pass      *Pass
 	fn        *ast.FuncDecl
 	inCluster bool // enclosing function is annotated locks(cluster)
+	inShard   bool // enclosing function is annotated locks(shard)
 }
 
 // block walks statements in order, threading the held set through.
@@ -91,6 +112,12 @@ func (lc *lockChecker) stmt(s ast.Stmt, held lockSet) {
 	case *ast.ExprStmt:
 		if key, locks, ok := mutexOp(lc.pass.Pkg.Info, s.X); ok {
 			if locks {
+				if other := lc.otherHeld(held, key); other != "" {
+					lc.pass.Reportf(s.Pos(),
+						"lock of %s while %s is already held: nested distinct mutexes deadlock; "+
+							"acquire multiple shard mutexes through the ascending-order helper (lockClusters)",
+						key, other)
+				}
 				held[key] = true
 			} else {
 				delete(held, key)
@@ -250,6 +277,24 @@ func (lc *lockChecker) call(call *ast.CallExpr, held lockSet) {
 // linear scan's held set is authoritative today.
 func (lc *lockChecker) holdsVisibleLock(*ast.CallExpr) bool { return false }
 
+// otherHeld returns a held mutex key distinct from key ("" when none).
+// The caller-held contract counts: a locks(cluster)/locks(shard) function
+// acquiring a further mutex nests just as dangerously.
+func (lc *lockChecker) otherHeld(held lockSet, key string) string {
+	for k, h := range held {
+		if h && k != key {
+			if k == "<caller>" {
+				if lc.inShard {
+					return "the caller-held shard mutexes"
+				}
+				return "the caller-held cluster mutex"
+			}
+			return k
+		}
+	}
+	return ""
+}
+
 func (lc *lockChecker) heldDesc(held lockSet) string {
 	for k, h := range held {
 		if h && k != "<caller>" {
@@ -257,6 +302,9 @@ func (lc *lockChecker) heldDesc(held lockSet) string {
 		}
 	}
 	if held["<caller>"] {
+		if lc.inShard {
+			return " (caller-held shard mutexes)"
+		}
 		return " (caller-held cluster mutex)"
 	}
 	return ""

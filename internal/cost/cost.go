@@ -121,6 +121,11 @@ type Counts struct {
 	// AdmitBatches counts batched-admission critical sections; dividing
 	// MergesPerformed by it gives the mean admission batch size.
 	AdmitBatches int64
+	// CrossShardMerges counts merges whose footprint spanned more than one
+	// shard of a sharded base tier and therefore ran the two-phase
+	// cross-shard admit instead of a single shard's pipeline. Always zero
+	// on an unsharded cluster.
+	CrossShardMerges int64
 
 	// Crash-recovery events (mobile journal replays and base-log replays
 	// alike; see DESIGN.md §10).
@@ -157,6 +162,7 @@ func (c *Counts) Add(o Counts) {
 	c.MergeFallbacks += o.MergeFallbacks
 	c.MergeRetries += o.MergeRetries
 	c.AdmitBatches += o.AdmitBatches
+	c.CrossShardMerges += o.CrossShardMerges
 	c.Recoveries += o.Recoveries
 	c.WalRecordsReplayed += o.WalRecordsReplayed
 	c.WalTailDropped += o.WalTailDropped

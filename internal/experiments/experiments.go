@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction suite indexed in
-// DESIGN.md: one function per experiment E0..E15, each regenerating the
+// DESIGN.md: one function per experiment E0..E16, each regenerating the
 // table or series that EXPERIMENTS.md records. cmd/benchreport prints them;
 // the top-level benchmarks time their kernels.
 package experiments
@@ -108,6 +108,7 @@ func All() []*Table {
 		E13ConcurrentMerge(),
 		E14CrashRecovery(),
 		E15IncrementalRetry(),
+		E16ShardedFleet(),
 	}
 }
 

@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-// TestAllExperimentsPass regenerates the full E0..E15 suite and requires
+// TestAllExperimentsPass regenerates the full E0..E16 suite and requires
 // every paper expectation to hold — the same gate cmd/benchreport enforces.
 func TestAllExperimentsPass(t *testing.T) {
 	if testing.Short() {

@@ -31,6 +31,25 @@ type baseEntry struct {
 	t     *tx.Transaction
 	eff   *tx.Effect
 	after model.State // state snapshot after this entry
+	// global, when non-nil, links a per-shard slice of a cross-shard
+	// transaction to its global identity (shard.go). The slice's t/eff are
+	// restricted to this shard's items — exact for single-shard merges,
+	// whose conflicts with the transaction can only involve this shard's
+	// items — while a cross-shard merge's combined base view deduplicates
+	// sibling slices through this pointer and sees one transaction with
+	// the full footprint, so cycles spanning partitions stay detectable.
+	global *crossTxn
+}
+
+// crossTxn is the global identity of one cross-shard installed transaction:
+// the full transaction and its full effect over every involved shard.
+// Sibling baseEntry slices on different shards share one *crossTxn, so
+// pointer identity deduplicates them when shards' histories are combined.
+//
+//tiermerge:immutable
+type crossTxn struct {
+	t   *tx.Transaction
+	eff *tx.Effect
 }
 
 // BaseCluster is the base tier: the master copy of every item, the
@@ -343,6 +362,20 @@ func (b *BaseCluster) baseAugmented(pos int) *history.Augmented {
 	}
 }
 
+// crossRefsLocked copies the cross-shard identities of entries[pos:],
+// parallel to the augmented view baseAugmented(pos) returns (nil elements
+// for shard-local entries). The copy stays valid after the lock is
+// released. Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
+func (b *BaseCluster) crossRefsLocked(pos int) []*crossTxn {
+	out := make([]*crossTxn, len(b.entries)-pos)
+	for i := pos; i < len(b.entries); i++ {
+		out[i-pos] = b.entries[i].global
+	}
+	return out
+}
+
 // forwardTxn builds the synthetic base transaction that installs a merge's
 // forwarded updates. Its read set equals its write set — the saved
 // tentative transactions read every item they wrote (no blind writes
@@ -430,13 +463,21 @@ func (b *BaseCluster) applyForwarded(mobileID string, updates map[model.Item]mod
 	if len(updates) == 0 {
 		return -1
 	}
-	ft := b.forwardTxn(mobileID, updates)
+	return b.applyForwardTxn(b.forwardTxn(mobileID, updates), updates, nil)
+}
+
+// applyForwardTxn appends one forwarded-updates transaction at the history
+// tail, stamping g (may be nil) as its cross-shard identity. Caller holds
+// b.mu.
+//
+//tiermerge:locks(cluster)
+func (b *BaseCluster) applyForwardTxn(ft *tx.Transaction, updates map[model.Item]model.Value, g *crossTxn) int {
 	eff, err := ft.ExecInPlace(b.master, nil)
 	if err != nil {
 		// Const-assignments cannot fail; a failure is a programming error.
 		panic(fmt.Sprintf("replica: forwarded updates failed: %v", err))
 	}
-	b.entries = append(b.entries, baseEntry{t: ft, eff: eff, after: b.master.Clone()})
+	b.entries = append(b.entries, baseEntry{t: ft, eff: eff, after: b.master.Clone(), global: g})
 	b.counters.Update(func(c *cost.Counts) {
 		c.BaseApplies += int64(len(updates))
 		c.BaseLocks += int64(len(updates))
@@ -478,17 +519,26 @@ func (b *BaseCluster) installForwarded(mobileID string, updates map[model.Item]m
 	if len(updates) == 0 {
 		return
 	}
+	b.installForwardTxn(b.forwardTxn(mobileID, updates), updates, at, nil)
+}
+
+// installForwardTxn is installForwarded over an already-built forwarded
+// transaction, stamping g (may be nil) as its cross-shard identity — the
+// sharded coordinator builds per-shard slice transactions itself so their
+// IDs share the global transaction's namespace. Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
+func (b *BaseCluster) installForwardTxn(ft *tx.Transaction, updates map[model.Item]model.Value, at int, g *crossTxn) {
 	if at >= len(b.entries) {
-		b.applyForwarded(mobileID, updates)
+		b.applyForwardTxn(ft, updates, g)
 		return
 	}
-	ft := b.forwardTxn(mobileID, updates)
 	st := b.stateAt(at).Clone()
 	eff, err := ft.ExecInPlace(st, nil)
 	if err != nil {
 		panic(fmt.Sprintf("replica: forwarded updates failed: %v", err))
 	}
-	entry := baseEntry{t: ft, eff: eff, after: st}
+	entry := baseEntry{t: ft, eff: eff, after: st, global: g}
 	b.entries = append(b.entries, baseEntry{})
 	copy(b.entries[at+1:], b.entries[at:])
 	b.entries[at] = entry
@@ -561,6 +611,11 @@ type Checkout struct {
 	Pos int
 	// Origin is the snapshot the tentative history starts from.
 	Origin model.State
+	// Shards carries the per-shard checkout tokens when the checkout came
+	// from a sharded base tier (ShardedBase.CheckoutReplica); nil for a
+	// plain cluster checkout. All entries agree on WindowID (the window
+	// barrier guarantees it), and Origin is their union.
+	Shards []Checkout
 }
 
 // CheckoutReplica hands a mobile node its origin snapshot: the window

@@ -105,9 +105,38 @@ func (b *BaseCluster) WriteDebugJSON(w io.Writer) error {
 	return writeJSON(w, b.DebugSnapshot())
 }
 
+// DebugSnapshot captures a sharded tier's aggregate introspection state:
+// counters summed across shards, history length totalled, the barrier's
+// window id.
+//
+//tiermerge:locks(none)
+func (sh *ShardedBase) DebugSnapshot() DebugSnapshot {
+	counts := sh.Counters()
+	s := DebugSnapshot{
+		WindowID: sh.WindowID(),
+		Cost:     make(map[string]int64),
+		Weighted: counts.Weighted(sh.cfg.Weights),
+	}
+	for _, b := range sh.shards {
+		s.HistoryLen += b.HistoryLen()
+		s.MergeSeq += b.mergeSeq.Load()
+	}
+	counts.Each(func(name string, v int64) { s.Cost[name] = v })
+	if reg := obs.RegistryOf(sh.cfg.Observer); reg != nil {
+		snap := reg.Snapshot()
+		s.Metrics = &snap
+	}
+	return s
+}
+
 // Cluster returns the served cluster (for observers and debug handlers
-// built around a BaseServer).
+// built around a BaseServer); nil when the server fronts a multi-shard
+// tier — use Sharded then.
 func (s *BaseServer) Cluster() *BaseCluster { return s.b }
+
+// Sharded returns the served sharded tier, or nil when the server fronts a
+// plain cluster.
+func (s *BaseServer) Sharded() *ShardedBase { return s.sharded }
 
 // DebugSnapshot is the server-side dump: the cluster snapshot plus
 // transport statistics.
@@ -121,8 +150,14 @@ type ServerDebugSnapshot struct {
 // DebugSnapshot captures the server's introspection state.
 func (s *BaseServer) DebugSnapshot() ServerDebugSnapshot {
 	req, in, out := s.Stats()
+	var tier DebugSnapshot
+	if s.sharded != nil {
+		tier = s.sharded.DebugSnapshot()
+	} else {
+		tier = s.b.DebugSnapshot()
+	}
 	return ServerDebugSnapshot{
-		DebugSnapshot: s.b.DebugSnapshot(),
+		DebugSnapshot: tier,
 		Requests:      req,
 		BytesIn:       in,
 		BytesOut:      out,
@@ -132,11 +167,17 @@ func (s *BaseServer) DebugSnapshot() ServerDebugSnapshot {
 // WritePrometheus renders the cluster dump plus the server's transport
 // counters.
 func (s *BaseServer) WritePrometheus(w io.Writer) error {
-	if err := s.b.WritePrometheus(w); err != nil {
+	var err error
+	if s.sharded != nil {
+		err = s.sharded.WritePrometheus(w)
+	} else {
+		err = s.b.WritePrometheus(w)
+	}
+	if err != nil {
 		return err
 	}
 	req, in, out := s.Stats()
-	_, err := fmt.Fprintf(w,
+	_, err = fmt.Fprintf(w,
 		"# TYPE tiermerge_server_requests_total counter\ntiermerge_server_requests_total %d\n"+
 			"# TYPE tiermerge_server_bytes_in_total counter\ntiermerge_server_bytes_in_total %d\n"+
 			"# TYPE tiermerge_server_bytes_out_total counter\ntiermerge_server_bytes_out_total %d\n",

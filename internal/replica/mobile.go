@@ -37,8 +37,14 @@ type MobileNode struct {
 
 	// cluster is the base tier the node checked out from; connects go back
 	// to it. nil only for journal-recovered nodes before their first
-	// cluster-carrying call binds them.
+	// cluster-carrying call binds them, and for nodes bound to a sharded
+	// tier (then sharded is set instead).
 	cluster *BaseCluster
+
+	// sharded, when non-nil, is the sharded base tier the node is bound to
+	// (NewShardedMobileNode); connects route through it instead of a single
+	// cluster. cluster and sharded are mutually exclusive.
+	sharded *ShardedBase
 
 	ck      Checkout
 	local   model.State
@@ -61,15 +67,34 @@ func NewMobileNode(id string, b *BaseCluster) *MobileNode {
 	return m
 }
 
+// NewShardedMobileNode creates a mobile node bound to a sharded base tier
+// and checks out its initial replica. With one shard it is exactly
+// NewMobileNode on the underlying cluster.
+func NewShardedMobileNode(id string, s *ShardedBase) *MobileNode {
+	if s.Shards() == 1 {
+		return NewMobileNode(id, s.Shard(0))
+	}
+	m := &MobileNode{ID: id, sharded: s}
+	m.Checkout()
+	return m
+}
+
 // Cluster returns the base cluster the node is bound to (nil for a
-// journal-recovered node that has not been rebound yet).
+// journal-recovered node that has not been rebound yet, and for a node
+// bound to a multi-shard tier — see Sharded).
 func (m *MobileNode) Cluster() *BaseCluster { return m.cluster }
+
+// Sharded returns the sharded base tier the node is bound to, or nil.
+func (m *MobileNode) Sharded() *ShardedBase { return m.sharded }
 
 // resolveCluster implements the one-name two-forms connect API: with no
 // argument the node's bound cluster is used; the deprecated one-argument
 // form must name the bound cluster (it binds a recovered node on first
 // use, and errors with ErrClusterMismatch otherwise).
 func (m *MobileNode) resolveCluster(cluster []*BaseCluster) (*BaseCluster, error) {
+	if m.sharded != nil {
+		return nil, fmt.Errorf("%w: %s is bound to a sharded tier", ErrClusterMismatch, m.ID)
+	}
 	switch len(cluster) {
 	case 0:
 		if m.cluster == nil {
@@ -102,11 +127,21 @@ func (m *MobileNode) resolveCluster(cluster []*BaseCluster) (*BaseCluster, error
 // one-argument form is deprecated and panics when the argument is a
 // different cluster.
 func (m *MobileNode) Checkout(cluster ...*BaseCluster) {
+	if m.sharded != nil && len(cluster) == 0 {
+		m.resetFrom(m.sharded.CheckoutReplica(m.ID))
+		return
+	}
 	b, err := m.resolveCluster(cluster)
 	if err != nil {
 		panic(fmt.Sprintf("replica: Checkout: %v", err))
 	}
-	m.ck = b.CheckoutReplica(m.ID)
+	m.resetFrom(b.CheckoutReplica(m.ID))
+}
+
+// resetFrom installs a fresh checkout token and restarts the tentative
+// history from its origin.
+func (m *MobileNode) resetFrom(ck Checkout) {
+	m.ck = ck
 	m.local = m.ck.Origin.Clone()
 	m.hist = &history.History{}
 	m.states = []model.State{m.ck.Origin.Clone()}
@@ -123,7 +158,10 @@ func (m *MobileNode) Run(t *tx.Transaction) error {
 		return fmt.Errorf("%w: %s", ErrNotTentative, t.ID)
 	}
 	var start time.Time
-	if m.cluster != nil {
+	switch {
+	case m.sharded != nil:
+		start = m.sharded.spanStart()
+	case m.cluster != nil:
 		start = m.cluster.spanStart()
 	}
 	next, eff, err := t.Exec(m.local, nil)
@@ -137,7 +175,10 @@ func (m *MobileNode) Run(t *tx.Transaction) error {
 	if err := m.logTentative(t, eff); err != nil {
 		return fmt.Errorf("replica: journal %s: %w", t.ID, err)
 	}
-	if m.cluster != nil {
+	switch {
+	case m.sharded != nil:
+		m.sharded.emit(obs.Event{Mobile: m.ID, Phase: obs.PhaseRun, Dur: sinceSpan(start)})
+	case m.cluster != nil:
 		m.cluster.emit(obs.Event{Mobile: m.ID, Phase: obs.PhaseRun, Dur: sinceSpan(start)})
 	}
 	return nil
@@ -165,6 +206,14 @@ func (m *MobileNode) Augmented() *history.Augmented {
 // journal-recovered node on first use and otherwise must name the bound
 // cluster (ErrClusterMismatch).
 func (m *MobileNode) ConnectMerge(cluster ...*BaseCluster) (*ConnectOutcome, error) {
+	if m.sharded != nil && len(cluster) == 0 {
+		out, err := m.sharded.Merge(m.ck, m.Augmented())
+		if err != nil {
+			return nil, err
+		}
+		m.Checkout()
+		return out, nil
+	}
 	b, err := m.resolveCluster(cluster)
 	if err != nil {
 		return nil, err
@@ -182,6 +231,11 @@ func (m *MobileNode) ConnectMerge(cluster ...*BaseCluster) (*ConnectOutcome, err
 // fresh replica. Like Checkout it takes no argument; the deprecated
 // one-argument form panics on a different cluster.
 func (m *MobileNode) ConnectReprocess(cluster ...*BaseCluster) *ConnectOutcome {
+	if m.sharded != nil && len(cluster) == 0 {
+		out := m.sharded.Reprocess(m.Augmented())
+		m.Checkout()
+		return out
+	}
 	b, err := m.resolveCluster(cluster)
 	if err != nil {
 		panic(fmt.Sprintf("replica: ConnectReprocess: %v", err))
@@ -195,6 +249,9 @@ func (m *MobileNode) ConnectReprocess(cluster ...*BaseCluster) *ConnectOutcome {
 // performing it. Call it with no argument; the one-argument form is
 // deprecated.
 func (m *MobileNode) PreviewMerge(cluster ...*BaseCluster) (*merge.Report, error) {
+	if m.sharded != nil && len(cluster) == 0 {
+		return m.sharded.Preview(m.ck, m.Augmented())
+	}
 	b, err := m.resolveCluster(cluster)
 	if err != nil {
 		return nil, err

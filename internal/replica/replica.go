@@ -18,6 +18,7 @@ import (
 
 	"tiermerge/internal/cost"
 	"tiermerge/internal/merge"
+	"tiermerge/internal/model"
 	"tiermerge/internal/obs"
 )
 
@@ -86,6 +87,11 @@ type Config struct {
 	// optimistic path entirely and every merge runs serially (the benchmark
 	// baseline). Any other negative value is rejected by Validate.
 	MergeAttempts int
+	// ShardFn, when non-nil, overrides the default FNV-hash item router of
+	// a sharded base tier (NewShardedBase): it must map every item to a
+	// stable shard index in [0, shards). Values outside that range are
+	// reduced modulo the shard count. NewBaseCluster ignores it.
+	ShardFn func(model.Item) int
 	// SerialAdmission disables batched admission: each prepared merge
 	// validates and installs in its own admission critical section instead
 	// of joining the admission queue, where one leader admits every queued

@@ -81,13 +81,26 @@ type rpc struct {
 	reply   chan []byte
 }
 
+// baseTier is the reconcile surface a BaseServer serves; BaseCluster and
+// ShardedBase both implement it, so one server fronts either tier shape.
+type baseTier interface {
+	CheckoutReplica(mobileID string) Checkout
+	ExecBase(t *tx.Transaction) error
+	Merge(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error)
+	Reprocess(hm *history.Augmented) *ConnectOutcome
+}
+
 // BaseServer serves a BaseCluster over an in-process message channel. A
 // pool of worker goroutines drains the request channel, so concurrent
 // reconnects exercise the cluster's optimistic merge pipeline instead of
 // queueing end-to-end behind one goroutine (the always-connected base
 // site's request processors).
 type BaseServer struct {
+	// tier is the served reconcile surface; b and sharded retain the
+	// concrete tier (exactly one is non-nil) for debug endpoints.
+	tier    baseTier
 	b       *BaseCluster
+	sharded *ShardedBase
 	req     chan rpc
 	stop    chan struct{}
 	workers sync.WaitGroup
@@ -121,20 +134,38 @@ func ServeBase(b *BaseCluster) *BaseServer { return ServeBaseWorkers(b, 1) }
 // run their merge prepare phases concurrently and serialize only at
 // admission. Callers must Close it when done.
 func ServeBaseWorkers(b *BaseCluster, n int) *BaseServer {
+	s := &BaseServer{tier: b, b: b}
+	s.start(n)
+	return s
+}
+
+// ServeShardedBase starts a single-worker server over a sharded base tier.
+// Callers must Close it when done.
+func ServeShardedBase(sh *ShardedBase) *BaseServer { return ServeShardedBaseWorkers(sh, 1) }
+
+// ServeShardedBaseWorkers starts a server with n request workers over a
+// sharded base tier. A one-shard tier is served as its underlying plain
+// cluster. Callers must Close it when done.
+func ServeShardedBaseWorkers(sh *ShardedBase, n int) *BaseServer {
+	if sh.Shards() == 1 {
+		return ServeBaseWorkers(sh.Shard(0), n)
+	}
+	s := &BaseServer{tier: sh, sharded: sh}
+	s.start(n)
+	return s
+}
+
+func (s *BaseServer) start(n int) {
 	if n < 1 {
 		n = 1
 	}
-	s := &BaseServer{
-		b:       b,
-		req:     make(chan rpc),
-		stop:    make(chan struct{}),
-		applied: make(map[string]appliedReq),
-	}
+	s.req = make(chan rpc)
+	s.stop = make(chan struct{})
+	s.applied = make(map[string]appliedReq)
 	s.workers.Add(n)
 	for i := 0; i < n; i++ {
 		go s.loop()
 	}
-	return s
 }
 
 // Close stops the worker goroutines and waits for them to exit.
@@ -206,14 +237,14 @@ func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
 	}
 	switch req.Kind {
 	case reqCheckout:
-		ck := s.b.CheckoutReplica(req.MobileID)
+		ck := s.tier.CheckoutReplica(req.MobileID)
 		return mustResp(wireResp{Window: ck.WindowID, Pos: ck.Pos, Origin: ck.Origin}), true
 	case reqExecBase:
 		t, err := tx.UnmarshalTransaction(req.Txn)
 		if err != nil {
 			return mustResp(wireResp{Err: err.Error()}), false
 		}
-		if err := s.b.ExecBase(t); err != nil {
+		if err := s.tier.ExecBase(t); err != nil {
 			return mustResp(wireResp{Err: err.Error()}), false
 		}
 		return mustResp(wireResp{}), false
@@ -236,7 +267,7 @@ func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
 		}
 		var out *ConnectOutcome
 		if req.Kind == reqReprocess {
-			out = s.b.Reprocess(rep.Augmented)
+			out = s.tier.Reprocess(rep.Augmented)
 		} else {
 			ck := Checkout{
 				MobileID: req.MobileID,
@@ -244,7 +275,7 @@ func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
 				Pos:      rep.Pos,
 				Origin:   rep.Origin,
 			}
-			out, err = s.b.Merge(ck, rep.Augmented)
+			out, err = s.tier.Merge(ck, rep.Augmented)
 			if err != nil {
 				return mustResp(wireResp{Err: err.Error()}), true
 			}

@@ -121,6 +121,17 @@ type Scenario struct {
 	// for every reconnect phase the scenario drives (nil = no
 	// observability overhead beyond a nil check).
 	Observer obs.Observer
+	// Shards > 0 partitions the base tier across that many clusters
+	// (replica.ShardedBase) and switches to the sharded fleet driver: each
+	// mobile deposits into its own account item, so merges from different
+	// mobiles land on independent shards. Shards == 1 runs the same fleet
+	// on a single-shard tier (the apples-to-apples baseline); 0 keeps the
+	// plain cluster and the item-generator workload.
+	Shards int
+	// PCrossShard is the probability a tentative transaction is a transfer
+	// to another mobile's account on a different shard, exercising the
+	// two-phase cross-shard merge (sharded driver only).
+	PCrossShard float64
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -178,6 +189,25 @@ type Result struct {
 // Run executes the scenario and returns its result.
 func Run(sc Scenario) (*Result, error) {
 	sc = sc.withDefaults()
+	if sc.Shards > 0 {
+		cfg := replica.Config{
+			BaseNodes:       sc.BaseNodes,
+			Weights:         sc.Weights,
+			Origin:          sc.Origin,
+			MergeOptions:    sc.MergeOptions,
+			Acceptance:      sc.Acceptance,
+			MergeAttempts:   sc.MergeAttempts,
+			SerialAdmission: sc.SerialAdmission,
+			Observer:        sc.Observer,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if sc.MessagePassing {
+			return nil, fmt.Errorf("sim: %w: MessagePassing is not supported with Shards set", replica.ErrBadConfig)
+		}
+		return runSharded(sc, cfg)
+	}
 	baseGen := workload.NewGenerator(workload.Config{
 		Seed: sc.Seed * 31, Items: sc.Items, PCommutative: sc.PCommutative,
 		HotItems: sc.HotItems, PHot: sc.PHot,

@@ -83,7 +83,15 @@ echo "== race (incremental re-prepare parity + batched admission) =="
 # admission — all under the race detector.
 go test -race -count=1 -run 'IncrementalRetryMatchesFromScratch|RetryBillsUploadOnce|BatchedAdmission|SerialAdmissionDiagnosticSwitch' ./internal/replica/
 
-echo "== experiments (E0..E15) =="
+echo "== race (sharded base tier: two-phase cross-shard merges + window barrier) =="
+# Explicit gate for the sharding invariants: N=1 parity with the plain
+# cluster, serial-order equivalence of concurrent sharded reconnects,
+# admission-mode counter parity, cross-shard merges vs the single-shard
+# baseline, the checkout/advance window barrier, and the
+# all-shards-contended deadlock smoke — all under the race detector.
+go test -race -count=1 -run 'TestShard|TestCrossShard|TestWindowBarrier' ./internal/replica/
+
+echo "== experiments (E0..E16) =="
 run_logged benchreport go run ./cmd/benchreport
 
 echo "== examples =="

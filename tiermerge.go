@@ -332,6 +332,30 @@ func NewMobileNode(id string, b *BaseCluster) *MobileNode {
 	return replica.NewMobileNode(id, b)
 }
 
+// Sharded base tier (DESIGN.md §11): the item space partitioned across N
+// base clusters, each with its own mutex, window clock, history, journal
+// and admission queue. Shard-local merges run entirely on their shard;
+// cross-shard merges run a two-phase admit across the involved shards.
+type (
+	// ShardedBase coordinates N base-cluster shards behind the BaseCluster
+	// connect surface. A one-shard tier behaves exactly like a plain
+	// cluster.
+	ShardedBase = replica.ShardedBase
+	// ShardRouter maps items to shards (ClusterConfig.ShardFn or FNV-1a).
+	ShardRouter = replica.ShardRouter
+)
+
+// NewShardedBase builds a sharded base tier over the initial master state.
+func NewShardedBase(initial State, shards int, cfg ClusterConfig) *ShardedBase {
+	return replica.NewShardedBase(initial, shards, cfg)
+}
+
+// NewShardedMobileNode creates a mobile node bound to a sharded base tier
+// and checks out its first replica.
+func NewShardedMobileNode(id string, s *ShardedBase) *MobileNode {
+	return replica.NewShardedMobileNode(id, s)
+}
+
 // Typed sentinel errors. Each is wrapped with %w at its origin; match with
 // errors.Is.
 var (
@@ -636,6 +660,10 @@ type (
 
 // ServeBase starts the server goroutine; Close it when done.
 func ServeBase(b *BaseCluster) *BaseServer { return replica.ServeBase(b) }
+
+// ServeShardedBase starts the server goroutine over a sharded base tier;
+// Close it when done.
+func ServeShardedBase(s *ShardedBase) *BaseServer { return replica.ServeShardedBase(s) }
 
 // DialBase checks a mobile client out from the server.
 func DialBase(id string, srv *BaseServer) (*MobileClient, error) {
