@@ -1,8 +1,8 @@
 // Command tiermergelint is the multichecker for the merge protocol's
-// statically-enforced invariants. It runs the five tiermerge analyzers
-// (durablebase, snapshotmut, atomicmix, lockheld, itemsetalias) over the
-// module and exits non-zero when any invariant is violated; scripts/check.sh
-// and CI run it as a hard gate.
+// statically-enforced invariants. It runs the seven tiermerge analyzers
+// (durablebase, snapshotmut, atomicmix, lockheld, itemsetalias, lockorder,
+// costaccount) over the module and exits non-zero when any invariant is
+// violated; scripts/check.sh and CI run it as a hard gate.
 //
 // Usage:
 //
@@ -10,6 +10,9 @@
 //	tiermergelint -dir <path>          lint one directory as an ad-hoc
 //	                                   package (used for testdata fixtures)
 //	tiermergelint -list                print the analyzer suite
+//	tiermergelint -json ...            emit one JSON diagnostic per line
+//	                                   (machine-readable; CI's problem
+//	                                   matcher consumes the plain format)
 //
 // Packages are loaded from source with the standard library's source
 // importer, so the tool works offline with no module cache. See
@@ -17,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +38,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("tiermergelint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("dir", "", "lint a single directory as an ad-hoc package")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON, one object per line")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,12 +73,27 @@ func run(args []string) int {
 		}
 		return 2
 	}
-	diags, err := analysis.Run(analysis.All(), pkgs, ann)
+	diags, err := analysis.Run(analysis.All(), pkgs, ann, loader.Packages())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tiermergelint:", err)
 		return 2
 	}
 	for _, d := range diags {
+		if *jsonOut {
+			line, err := json.Marshal(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tiermergelint:", err)
+				return 2
+			}
+			fmt.Println(string(line))
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {

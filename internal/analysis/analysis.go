@@ -1,11 +1,13 @@
 // Package analysis is tiermergelint's static-analysis toolkit: a small,
 // dependency-free reimplementation of the golang.org/x/tools go/analysis
 // vocabulary (Analyzer, Pass, Diagnostic) plus a source-level package
-// loader, an annotation parser for the //tiermerge: directives, and the
-// five analyzers that enforce the merge protocol's invariants — the
-// side-conditions the paper's correctness argument needs but the compiler
-// cannot see (base durability, snapshot immutability, atomic counter
-// discipline, lock ordering, item-set aliasing).
+// loader, an annotation parser for the //tiermerge: directives, an
+// interprocedural summary engine (call graph + fixpoint lock-set
+// summaries, see summary.go), and the seven analyzers that enforce the
+// merge protocol's invariants — the side-conditions the paper's
+// correctness argument needs but the compiler cannot see (base
+// durability, snapshot immutability, atomic counter discipline, lock
+// holding and ordering, item-set aliasing, cost-accounting discipline).
 //
 // The framework is intentionally API-compatible in spirit with go/analysis
 // so the analyzers could be ported to a vettool later; it is built on the
@@ -50,8 +52,12 @@ type Pass struct {
 	Pkg      *Package
 	// Ann is the module-wide annotation table (collected over every
 	// source-loaded package, so cross-package annotations resolve).
-	Ann   *Annotations
-	diags *[]Diagnostic
+	Ann *Annotations
+	// Engine is the interprocedural summary engine, built once per Run
+	// over every source-loaded package (not just the packages being
+	// linted), so summaries see through cross-package calls.
+	Engine *Engine
+	diags  *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos.
@@ -68,18 +74,29 @@ func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 
 // Run applies every analyzer to every package, drops suppressed
 // diagnostics (//tiermerge:ignore), and returns the remainder sorted by
-// position.
-func Run(analyzers []*Analyzer, pkgs []*Package, ann *Annotations) ([]Diagnostic, error) {
+// (file, line, column, analyzer, message) with exact duplicates removed.
+// all is the full source-loaded package set the interprocedural engine
+// analyzes (so summaries see through calls into packages that are not
+// themselves being linted); nil means pkgs is the whole world.
+func Run(analyzers []*Analyzer, pkgs []*Package, ann *Annotations, all []*Package) ([]Diagnostic, error) {
+	if all == nil {
+		all = pkgs
+	}
+	eng := BuildEngine(all, ann)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Ann: ann, diags: &diags}
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Ann: ann, Engine: eng, diags: &diags}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
 	diags = filterSuppressed(diags, pkgs)
+	// Total order: position, then analyzer, then message — so two
+	// analyzers (or one analyzer reached through two packages) reporting
+	// the same position always print in the same order regardless of map
+	// or package iteration order.
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -91,9 +108,22 @@ func Run(analyzers []*Analyzer, pkgs []*Package, ann *Annotations) ([]Diagnostic
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
+	// Dedupe exact duplicates: the engine anchors module-wide findings
+	// (lock-order cycles) at every involved site, and a site can be
+	// reached from several linted packages.
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // filterSuppressed removes diagnostics whose line (or the line above)
@@ -148,6 +178,8 @@ func All() []*Analyzer {
 		AtomicMix,
 		LockHeld,
 		ItemSetAlias,
+		LockOrder,
+		CostAccount,
 	}
 }
 
@@ -158,6 +190,7 @@ func All() []*Analyzer {
 const (
 	modelPath = "tiermerge/internal/model"
 	txPath    = "tiermerge/internal/tx"
+	costPath  = "tiermerge/internal/cost"
 )
 
 // deref removes one level of pointer indirection.

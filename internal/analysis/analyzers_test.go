@@ -7,6 +7,13 @@ func TestSnapshotMut(t *testing.T)  { runFixture(t, []*Analyzer{SnapshotMut}, "s
 func TestAtomicMix(t *testing.T)    { runFixture(t, []*Analyzer{AtomicMix}, "atomicmix") }
 func TestLockHeld(t *testing.T)     { runFixture(t, []*Analyzer{LockHeld}, "lockheld") }
 func TestItemSetAlias(t *testing.T) { runFixture(t, []*Analyzer{ItemSetAlias}, "itemsetalias") }
+func TestLockOrder(t *testing.T)    { runFixture(t, []*Analyzer{LockOrder}, "lockorder") }
+func TestCostAccount(t *testing.T)  { runFixture(t, []*Analyzer{CostAccount}, "costaccount") }
+
+// TestLockInfer covers lockheld's interprocedural half: summaries make
+// locks(...) annotations checked assertions and catch unannotated
+// self-deadlock chains.
+func TestLockInfer(t *testing.T) { runFixture(t, []*Analyzer{LockHeld}, "lockinfer") }
 
 // TestCleanPackage runs the full suite over a package following every
 // discipline at once; nothing may fire.
@@ -25,7 +32,10 @@ func TestSuiteComplete(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"durablebase", "snapshotmut", "atomicmix", "lockheld", "itemsetalias"} {
+	for _, want := range []string{
+		"durablebase", "snapshotmut", "atomicmix", "lockheld",
+		"itemsetalias", "lockorder", "costaccount",
+	} {
 		if !names[want] {
 			t.Errorf("suite is missing %q", want)
 		}

@@ -38,6 +38,21 @@ type Ann struct {
 	// function intentionally fills; itemsetalias does not treat them as
 	// shared aliases. Callers must pass containers they own.
 	Sink bool
+	// BufferedEvents marks a function whose observer emissions land in an
+	// in-memory buffer (eventBuffer) that the caller flushes after
+	// unlocking, not in user observers directly. lockorder's
+	// emission-under-mutex checks treat such a function as non-emitting.
+	BufferedEvents bool
+	// CostPath marks an approved cost-accumulation helper: its body may
+	// assign cost.Counts fields directly (it IS a delta-accumulation
+	// path). costaccount exempts it.
+	CostPath bool
+	// NonBlocking asserts a function never parks the goroutine even
+	// though its body contains channel operations — e.g. a wake helper
+	// sending on buffered channels with guaranteed free capacity. The
+	// summary engine trusts it and infers no MayBlock fact; the deadlock
+	// and race suites back the assertion at runtime.
+	NonBlocking bool
 }
 
 // Annotations is the module-wide directive table, keyed by type-checker
@@ -153,6 +168,12 @@ func parseDirectives(pkg *Package, doc *ast.CommentGroup, isType bool) (*Ann, []
 			an.BackoutSource = true
 		case directive == "sink":
 			an.Sink = true
+		case directive == "buffered-events":
+			an.BufferedEvents = true
+		case directive == "costpath":
+			an.CostPath = true
+		case directive == "nonblocking":
+			an.NonBlocking = true
 		case strings.HasPrefix(directive, "locks("):
 			arg, ok := strings.CutSuffix(strings.TrimPrefix(directive, "locks("), ")")
 			if !ok {
@@ -170,7 +191,8 @@ func parseDirectives(pkg *Package, doc *ast.CommentGroup, isType bool) (*Ann, []
 		}
 		if isType {
 			switch {
-			case an.Locks != "", an.Blocking, an.Shared, an.BackoutSource, an.Sink:
+			case an.Locks != "", an.Blocking, an.Shared, an.BackoutSource, an.Sink,
+				an.BufferedEvents, an.CostPath, an.NonBlocking:
 				bad("only //tiermerge:immutable applies to type declarations")
 			}
 		}

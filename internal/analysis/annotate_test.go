@@ -103,8 +103,8 @@ func TestAnnotationErrors(t *testing.T) {
 // analyzer's diagnostics (exercised end-to-end by the snapshotmut
 // fixture's suppressed case; this pins the name-matching rule).
 func TestSuppression(t *testing.T) {
-	_, p, ann := loadFixture(t, "snapshotmut")
-	diags, err := Run([]*Analyzer{SnapshotMut}, []*Package{p}, ann)
+	loader, p, ann := loadFixture(t, "snapshotmut")
+	diags, err := Run([]*Analyzer{SnapshotMut}, []*Package{p}, ann, loader.Packages())
 	if err != nil {
 		t.Fatal(err)
 	}

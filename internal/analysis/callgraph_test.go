@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// findDecl returns the node of the declared function with the given
+// (possibly method) name rendering.
+func findDecl(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Obj != nil && n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("call graph has no node %q", name)
+	return nil
+}
+
+// edgeTo reports whether n has an edge of the given kind to a callee with
+// the given name ("" matches any callee, including nil ones).
+func edgeTo(n *FuncNode, kind EdgeKind, callee string) bool {
+	for _, e := range n.Edges {
+		if e.Kind != kind {
+			continue
+		}
+		if callee == "" {
+			return true
+		}
+		if e.Callee != nil && e.Callee.Name() == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphModernSyntax pins the builder on the forms the analyzers
+// historically ignored: generic instantiations resolve to their origin
+// nodes, method values become ref edges, goroutine launches (method and
+// literal alike) become go edges, and launched literal bodies are nodes
+// of their own.
+func TestCallGraphModernSyntax(t *testing.T) {
+	loader, p, _ := loadFixture(t, "modern")
+	g := BuildCallGraph(loader.Packages())
+
+	// Generic function and generic method: registered by origin, called
+	// through instantiation.
+	use := findDecl(t, g, "useGenerics")
+	if !edgeTo(use, EdgeCall, "sum") {
+		t.Errorf("useGenerics has no call edge to generic sum; edges: %v", edgeNames(use))
+	}
+	if !edgeTo(use, EdgeCall, "(*ring).push") {
+		t.Errorf("useGenerics has no call edge to (*ring).push; edges: %v", edgeNames(use))
+	}
+
+	// The generic origins themselves are nodes.
+	scope := p.Types.Scope()
+	sumObj, _ := scope.Lookup("sum").(*types.Func)
+	if sumObj == nil || g.NodeOf(sumObj) == nil {
+		t.Error("generic sum has no call-graph node")
+	}
+
+	launches := findDecl(t, g, "launches")
+	// go n.tick() — a go edge to the method.
+	if !edgeTo(launches, EdgeGo, "(*node).tick") {
+		t.Errorf("launches has no go edge to (*node).tick; edges: %v", edgeNames(launches))
+	}
+	// go func(){...}() — a go edge to a literal node whose own body calls
+	// tick.
+	var litCallee *FuncNode
+	for _, e := range launches.Edges {
+		if e.Kind == EdgeGo && e.Callee != nil && e.Callee.Lit != nil {
+			litCallee = e.Callee
+		}
+	}
+	if litCallee == nil {
+		t.Fatalf("launches has no go edge to a function literal; edges: %v", edgeNames(launches))
+	}
+	if !strings.HasPrefix(litCallee.Name(), "func literal") {
+		t.Errorf("literal node renders as %q", litCallee.Name())
+	}
+	if !edgeTo(litCallee, EdgeCall, "(*node).tick") {
+		t.Errorf("launched literal has no call edge to (*node).tick; edges: %v", edgeNames(litCallee))
+	}
+	// worker(n.tick) — the call plus a ref edge for the method value.
+	if !edgeTo(launches, EdgeCall, "worker") {
+		t.Errorf("launches has no call edge to worker; edges: %v", edgeNames(launches))
+	}
+	if !edgeTo(launches, EdgeRef, "(*node).tick") {
+		t.Errorf("launches has no ref edge for the method value n.tick; edges: %v", edgeNames(launches))
+	}
+}
+
+// TestSummaryPropagation pins two-hop fact propagation: the lockorder
+// fixture's fetchRemote blocks only through waitForSignal, and the
+// lockAll/unlockAll helpers summarize as net acquirer/releaser.
+func TestSummaryPropagation(t *testing.T) {
+	loader, _, ann := loadFixture(t, "lockorder")
+	eng := BuildEngine(loader.Packages(), ann)
+
+	fetch := findDecl(t, eng.Graph, "fetchRemote")
+	s := eng.Summaries[fetch]
+	if !s.MayBlock {
+		t.Fatal("fetchRemote summary does not block")
+	}
+	if want := []string{"waitForSignal"}; len(s.BlockVia) != 1 || s.BlockVia[0] != want[0] {
+		t.Errorf("fetchRemote block chain = %v, want %v", s.BlockVia, want)
+	}
+	if s.BlockWhat != "channel receive" {
+		t.Errorf("fetchRemote blocks on %q, want channel receive", s.BlockWhat)
+	}
+
+	lockAll := eng.Summaries[findDecl(t, eng.Graph, "lockAll")]
+	if len(lockAll.HeldOnExit) != 1 || !strings.HasSuffix(lockAll.HeldOnExit[0], "shard.mu") {
+		t.Errorf("lockAll heldOnExit = %v, want the shard.mu class", lockAll.HeldOnExit)
+	}
+	unlockAll := eng.Summaries[findDecl(t, eng.Graph, "unlockAll")]
+	if len(unlockAll.HeldOnExit) != 0 || len(unlockAll.Releases) != 1 {
+		t.Errorf("unlockAll heldOnExit=%v releases=%v, want a pure releaser",
+			unlockAll.HeldOnExit, unlockAll.Releases)
+	}
+
+	// The nonblocking assertion holds the signal helper out of MayBlock.
+	signal := eng.Summaries[findDecl(t, eng.Graph, "signal")]
+	if signal.MayBlock {
+		t.Error("signal is //tiermerge:nonblocking but summarizes as blocking")
+	}
+	// The buffered-events directive keeps bufferedNotify out of Emits.
+	buffered := eng.Summaries[findDecl(t, eng.Graph, "bufferedNotify")]
+	if buffered.Emits {
+		t.Error("bufferedNotify is //tiermerge:buffered-events but summarizes as emitting")
+	}
+	note := eng.Summaries[findDecl(t, eng.Graph, "note")]
+	if !note.Emits {
+		t.Error("note summary does not emit")
+	}
+}
+
+func edgeNames(n *FuncNode) []string {
+	var out []string
+	for _, e := range n.Edges {
+		name := "<external>"
+		if e.Callee != nil {
+			name = e.Callee.Name()
+		}
+		out = append(out, e.Kind.String()+":"+name)
+	}
+	return out
+}

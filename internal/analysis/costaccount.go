@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CostAccount enforces the cost-model write discipline that PR 5's
+// double-billed retry uploads violated: shared cost.Counts tallies are
+// only ever mutated through a delta-accumulation path, so one protocol
+// event is billed exactly once, at one admission point.
+//
+// The approved paths are:
+//
+//   - the cost package itself (Counters.Add/Msg/Update own the mutex and
+//     the canonical counters);
+//   - an Update closure or helper that receives *cost.Counts as a
+//     parameter — the counters were handed to it precisely to be bumped;
+//   - a private delta accumulator: a field or variable whose name starts
+//     with "delta" (deltaPrepare, deltaCommit) is a per-operation scratch
+//     tally merged later with Counters.Add;
+//   - a locally-owned Counts value (aggregation temporaries like the
+//     sharded tier's Counters() sum);
+//   - a function annotated //tiermerge:costpath — an explicitly approved
+//     accumulation helper.
+//
+// Everything else — writing a Counts field, or calling a mutating
+// (pointer-receiver) Counts method, on a Counts value reached through a
+// non-delta struct field or a package-level variable — is reported:
+// that shape bills events ad hoc at scattered sites, which is exactly
+// how an event gets counted twice.
+var CostAccount = &Analyzer{
+	Name: "costaccount",
+	Doc: "requires shared cost.Counts tallies to be mutated only through " +
+		"delta-accumulation paths (Counters.Add/Update closures, delta-prefixed " +
+		"accumulators, //tiermerge:costpath helpers), catching double-billing " +
+		"of protocol events",
+	Run: runCostAccount,
+}
+
+func runCostAccount(pass *Pass) error {
+	if pass.Pkg.Path == costPath {
+		return nil // the implementation owns its fields
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Ann.Func(info.Defs[fd.Name]).CostPath {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						pass.checkCountsWrite(lhs)
+					}
+				case *ast.IncDecStmt:
+					pass.checkCountsWrite(n.X)
+				case *ast.CallExpr:
+					pass.checkCountsMethodCall(n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCountsWrite reports lhs when it writes a field of a shared
+// cost.Counts value.
+func (p *Pass) checkCountsWrite(lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || !isCountsField(p.Pkg.Info, sel) {
+		return
+	}
+	if root, shared := sharedCountsRoot(p.Pkg.Info, sel.X); shared {
+		p.Reportf(lhs.Pos(),
+			"cost.Counts field %s written directly on shared tally %s: bill through "+
+				"Counters.Add/Update or a delta-prefixed accumulator merged at one admission "+
+				"point (//tiermerge:costpath approves a helper)", sel.Sel.Name, root)
+	}
+}
+
+// checkCountsMethodCall reports mutating (pointer-receiver) cost.Counts
+// method calls on shared tallies.
+func (p *Pass) checkCountsMethodCall(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	f := calleeOf(p.Pkg.Info, call)
+	if f == nil || !isCountsPtrMethod(f) {
+		return
+	}
+	if root, shared := sharedCountsRoot(p.Pkg.Info, sel.X); shared {
+		p.Reportf(call.Pos(),
+			"mutating cost.Counts method %s called on shared tally %s: accumulate into a "+
+				"delta and merge once through Counters.Add", f.Name(), root)
+	}
+}
+
+// isCountsField reports whether sel selects a field of cost.Counts.
+func isCountsField(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	return typeIs(s.Recv(), costPath, "Counts")
+}
+
+// isCountsPtrMethod reports whether f is a pointer-receiver (mutating)
+// method of cost.Counts (Add, Msg).
+func isCountsPtrMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return false
+	}
+	return typeIs(t, costPath, "Counts")
+}
+
+// sharedCountsRoot classifies the expression a Counts value is reached
+// through. Shared roots — a struct field not named delta*, or a
+// package-level variable — make the mutation a finding; owned roots —
+// locals, parameters (the Update-closure shape hands counters in as a
+// *cost.Counts param), delta-prefixed fields — are the approved
+// accumulation targets. Address-taking escapes are out of scope: a local
+// pointer to a shared tally is treated as owned, which the race suite and
+// review must catch.
+func sharedCountsRoot(info *types.Info, e ast.Expr) (root string, shared bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		name := e.Sel.Name
+		if strings.HasPrefix(name, "delta") {
+			return name, false
+		}
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return name, true
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return name, true // qualified package-level variable
+		}
+		return name, false
+	case *ast.IndexExpr:
+		return sharedCountsRoot(info, e.X)
+	case *ast.StarExpr:
+		return sharedCountsRoot(info, e.X)
+	case *ast.Ident:
+		if strings.HasPrefix(e.Name, "delta") {
+			return e.Name, false
+		}
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return e.Name, true // package-level tally
+		}
+		return e.Name, false // local or parameter: owned / handed in
+	}
+	return "", false
+}

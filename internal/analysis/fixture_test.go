@@ -43,8 +43,8 @@ func loadFixture(t *testing.T, pkg string) (*Loader, *Package, *Annotations) {
 // diagnostics against its want comments.
 func runFixture(t *testing.T, analyzers []*Analyzer, pkg string) {
 	t.Helper()
-	_, p, ann := loadFixture(t, pkg)
-	diags, err := Run(analyzers, []*Package{p}, ann)
+	loader, p, ann := loadFixture(t, pkg)
+	diags, err := Run(analyzers, []*Package{p}, ann, loader.Packages())
 	if err != nil {
 		t.Fatal(err)
 	}

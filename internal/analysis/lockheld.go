@@ -34,10 +34,16 @@ import (
 //     critical section must stay short and must never wait on anything
 //     that can wait on it.
 //
-// The analysis is function-local: it tracks sync.Mutex/RWMutex
-// Lock/Unlock pairs (including defer Unlock) linearly through the
-// function body, treating nested branches as copies so a branch that
-// unlocks-and-returns does not leak its state.
+// The local pass tracks sync.Mutex/RWMutex Lock/Unlock pairs (including
+// defer Unlock) linearly through the function body, treating nested
+// branches as copies so a branch that unlocks-and-returns does not leak
+// its state. On top of it, the interprocedural engine (summary.go) makes
+// the annotations checked assertions rather than the only source of
+// truth: it reports a locks(cluster|shard) function whose inferred
+// summary blocks or emits observer events, and a call made under a held
+// mutex to an unannotated callee that transitively re-acquires the held
+// mutex's class (self-deadlock) — even when no annotation appears
+// anywhere on the chain.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
 	Doc: "enforces //tiermerge:locks(none|cluster|shard) call contracts, forbids " +
@@ -48,6 +54,9 @@ var LockHeld = &Analyzer{
 }
 
 func runLockHeld(pass *Pass) error {
+	// Interprocedural findings (summary-inferred self-deadlocks and
+	// annotation/summary contradictions) are pre-computed by the engine.
+	pass.Engine.emitFindings(pass)
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -353,7 +362,11 @@ func isKnownBlocking(f *types.Func) bool {
 			return false
 		}
 		sig, _ := f.Type().(*types.Signature)
-		return sig != nil && sig.Recv() != nil && typeIs(sig.Recv().Type(), "sync", "WaitGroup")
+		if sig == nil || sig.Recv() == nil {
+			return false
+		}
+		return typeIs(sig.Recv().Type(), "sync", "WaitGroup") ||
+			typeIs(sig.Recv().Type(), "sync", "Cond")
 	}
 	return false
 }

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRunDeterminismAndDedupe is the regression test for diagnostic
+// ordering: when several analyzers report at the same position, the output
+// order must not depend on analyzer or package iteration order, and exact
+// duplicates (the same finding anchored twice) collapse to one line.
+func TestRunDeterminismAndDedupe(t *testing.T) {
+	loader, p, ann := loadFixture(t, "clean")
+	pos := p.Files[0].Package // one shared position for every report
+
+	// Two analyzers reporting interleaved messages at one position, plus
+	// an exact duplicate within one analyzer.
+	zz := &Analyzer{Name: "zz", Doc: "test", Run: func(pass *Pass) error {
+		pass.Reportf(pos, "m-late")
+		pass.Reportf(pos, "m-early")
+		return nil
+	}}
+	aa := &Analyzer{Name: "aa", Doc: "test", Run: func(pass *Pass) error {
+		pass.Reportf(pos, "dup")
+		pass.Reportf(pos, "dup")
+		return nil
+	}}
+
+	var first []string
+	for i := 0; i < 10; i++ {
+		diags, err := Run([]*Analyzer{zz, aa}, []*Package{p}, ann, loader.Packages())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, d := range diags {
+			got = append(got, d.String())
+		}
+		if i == 0 {
+			first = got
+			want := []string{"[aa] dup", "[zz] m-early", "[zz] m-late"}
+			if len(got) != len(want) {
+				t.Fatalf("got %d diagnostics %v, want %d (dedupe + analyzer/message order)",
+					len(got), got, len(want))
+			}
+			for j, w := range want {
+				if !strings.Contains(got[j], w) {
+					t.Errorf("diagnostic %d = %q, want it to contain %q", j, got[j], w)
+				}
+			}
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("run %d produced different output:\n%v\nfirst run:\n%v", i, got, first)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package costaccount exercises the cost-accounting write discipline:
+// shared cost.Counts tallies may only be mutated through delta-accumulation
+// paths (Counters.Add/Update, delta-prefixed accumulators, costpath
+// helpers) — the double-billing guard.
+package costaccount
+
+import "tiermerge/internal/cost"
+
+type server struct {
+	counters   cost.Counters
+	tally      cost.Counts // shared tally: direct writes are findings
+	deltaRound cost.Counts // per-operation delta: writes are the approved shape
+}
+
+var globalTally cost.Counts
+
+// badDirectWrite bills an event straight into a shared field.
+func badDirectWrite(s *server) {
+	s.tally.MergesPerformed++ // want "written directly on shared tally tally"
+}
+
+// badOpAssign is the += form of the same bug.
+func badOpAssign(s *server, n int64) {
+	s.tally.Bytes += n // want "written directly on shared tally tally"
+}
+
+// badGlobalWrite bills into a package-level tally.
+func badGlobalWrite() {
+	globalTally.Messages++ // want "written directly on shared tally globalTally"
+}
+
+// badSharedMethod mutates a shared tally through a pointer-receiver
+// method — Add outside the one admission point double-bills.
+func badSharedMethod(s *server, d cost.Counts) {
+	s.tally.Add(d) // want "mutating cost.Counts method Add called on shared tally tally"
+}
+
+// badSharedMsg is the Msg form.
+func badSharedMsg(s *server) {
+	s.tally.Msg(64) // want "mutating cost.Counts method Msg called on shared tally tally"
+}
+
+// goodUpdate goes through the Counters closure — the canonical path.
+func goodUpdate(s *server) {
+	s.counters.Update(func(c *cost.Counts) { c.MergesPerformed++ })
+}
+
+// goodDelta accumulates into a delta field and merges once.
+func goodDelta(s *server, n int64) {
+	s.deltaRound.Bytes += n
+	s.deltaRound.Msg(n)
+	s.counters.Add(s.deltaRound)
+}
+
+// goodLocal owns its aggregation temporary (the sharded Counters() shape).
+func goodLocal(s *server) cost.Counts {
+	var total cost.Counts
+	total.MergesPerformed++
+	total.Add(s.counters.Snapshot())
+	return total
+}
+
+// goodRead uses value-receiver accessors freely.
+func goodRead(s *server) int64 {
+	return s.tally.Total()
+}
+
+// approvedHelper is an explicitly blessed accumulation path.
+//
+//tiermerge:costpath
+func approvedHelper(s *server) {
+	s.tally.MergesPerformed++
+}

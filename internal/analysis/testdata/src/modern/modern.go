@@ -1,0 +1,61 @@
+// Package modern covers the syntax the fixture corpus historically
+// skipped — generic functions and types, method values, and goroutine
+// launch sites — exactly what the call-graph builder must not drop.
+package modern
+
+// number constrains the generic helpers.
+type number interface {
+	~int | ~int64
+}
+
+// sum is a generic function the builder must register by origin.
+func sum[T number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// ring is a generic type with a method reached through instantiation.
+type ring[T any] struct {
+	xs []T
+}
+
+// push appends to the ring.
+func (r *ring[T]) push(x T) {
+	r.xs = append(r.xs, x)
+}
+
+// useGenerics calls both instantiated forms.
+func useGenerics() int {
+	r := &ring[int]{}
+	r.push(3)
+	return sum([]int{1, 2}) + sum[int](nil)
+}
+
+// node carries the method used as a value and a goroutine body.
+type node struct {
+	ticks int
+}
+
+// tick advances the node.
+func (n *node) tick() {
+	n.ticks++
+}
+
+// worker invokes a callback.
+func worker(f func()) {
+	f()
+}
+
+// launches exercises every launch/reference form: a go method call, a go
+// literal, and a method value passed as a callback.
+func launches() {
+	n := &node{}
+	go n.tick()
+	go func() {
+		n.tick()
+	}()
+	worker(n.tick)
+}

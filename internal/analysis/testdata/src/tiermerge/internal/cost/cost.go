@@ -1,0 +1,56 @@
+// Package cost is a fixture stub of tiermerge/internal/cost: the Counts
+// value type with mutating (pointer-receiver) methods and the mutex-backed
+// Counters wrapper, enough surface for the costaccount analyzer.
+package cost
+
+import "sync"
+
+// Counts tallies protocol events.
+type Counts struct {
+	Messages        int64
+	Bytes           int64
+	MergesPerformed int64
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.Messages += o.Messages
+	c.Bytes += o.Bytes
+	c.MergesPerformed += o.MergesPerformed
+}
+
+// Msg tallies one message of payloadBytes.
+func (c *Counts) Msg(payloadBytes int64) {
+	c.Messages++
+	c.Bytes += payloadBytes
+}
+
+// Total is a read-only (value receiver) accessor.
+func (c Counts) Total() int64 { return c.Messages + c.Bytes }
+
+// Counters is the mutex-protected shared tally.
+type Counters struct {
+	mu sync.Mutex
+	c  Counts
+}
+
+// Add merges a delta under the mutex.
+func (c *Counters) Add(delta Counts) {
+	c.mu.Lock()
+	c.c.Add(delta)
+	c.mu.Unlock()
+}
+
+// Update applies f to the counters under the mutex.
+func (c *Counters) Update(f func(*Counts)) {
+	c.mu.Lock()
+	f(&c.c)
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters.
+func (c *Counters) Snapshot() Counts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c
+}

@@ -1,0 +1,20 @@
+// Package obs is a fixture stub of tiermerge/internal/obs: just the
+// Observer interface the lockorder emission checks key on.
+package obs
+
+// Event is one protocol observation.
+type Event struct {
+	Phase string
+	N     int64
+}
+
+// Observer receives protocol events.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to an Observer.
+type ObserverFunc func(Event)
+
+// Observe calls f.
+func (f ObserverFunc) Observe(e Event) { f(e) }

@@ -647,9 +647,14 @@ func (b *BaseCluster) CheckoutReplica(mobileID string) Checkout {
 //
 //tiermerge:locks(none)
 func (b *BaseCluster) Preview(ck Checkout, hm *history.Augmented) (*merge.Report, error) {
+	// Validate and snapshot under the mutex, then merge outside it: the
+	// augmented view stays valid after release (see windowPrefix), and the
+	// merge is the heavy step — running it locked would stall admissions
+	// and invoke any configured MergeOptions.Observer under the cluster
+	// mutex (a lockorder violation).
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if ck.WindowID != b.windowID {
+		b.mu.Unlock()
 		return nil, fmt.Errorf("preview: %w (checkout window %d, current %d): everything would be reprocessed",
 			ErrWindowExpired, ck.WindowID, b.windowID)
 	}
@@ -657,8 +662,11 @@ func (b *BaseCluster) Preview(ck Checkout, hm *history.Augmented) (*merge.Report
 	if b.cfg.Origin == Strategy1 {
 		pos = ck.Pos
 		if pos > len(b.entries) || !ck.Origin.Equal(b.stateAt(pos)) {
+			b.mu.Unlock()
 			return nil, fmt.Errorf("preview: %w: everything would be reprocessed", ErrOriginInvalid)
 		}
 	}
-	return merge.Merge(hm, b.baseAugmented(pos), b.cfg.MergeOptions)
+	hb := b.baseAugmented(pos)
+	b.mu.Unlock()
+	return merge.Merge(hm, hb, b.cfg.MergeOptions)
 }

@@ -556,6 +556,7 @@ func (b *BaseCluster) admitOneLocked(ck Checkout, hm *history.Augmented, p *prep
 // eventBuffer (or nil) and flushes it after unlocking.
 //
 //tiermerge:locks(cluster)
+//tiermerge:buffered-events
 func (b *BaseCluster) mergeSerialLocked(ck Checkout, hm *history.Augmented, prev *preparedMerge, o obs.Observer) (*ConnectOutcome, error) {
 	snap, fb := b.snapshotLocked(ck)
 	if fb != FallbackNone {

@@ -960,9 +960,11 @@ func (s *ShardedBase) mergeCross(ck Checkout, hm *history.Augmented, involved []
 // mergeCrossSerialLocked is the serial cross-shard round. Caller holds
 // every involved shard's mutex. The carried prev still applies: the
 // prepare rebuilds (combined views are never grafted) without re-billing
-// the upload.
+// the upload. The observer passed down is nil — no user events can fire
+// under the held shard mutexes.
 //
 //tiermerge:locks(shard)
+//tiermerge:buffered-events
 func (s *ShardedBase) mergeCrossSerialLocked(ck Checkout, hm *history.Augmented, involved []int, prev *preparedMerge, synthVer int64) (*ConnectOutcome, error) {
 	home := s.shards[involved[0]]
 	parts := make([]*shardPart, 0, len(involved))
