@@ -690,3 +690,42 @@ func BenchmarkE16ShardedFleet(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE17WireTransport times the same fleet scenario over the
+// in-process channel transport and over real loopback TCP, reporting the
+// measured byte accounting alongside the time: payload bytes per run,
+// on-wire frame bytes per run (TCP only) and the framing overhead they
+// imply. BENCH_E17.json records these as the E17 headline — the cost of
+// deploying the mobile fleet as separate processes.
+func BenchmarkE17WireTransport(b *testing.B) {
+	base := sim.Scenario{
+		Seed: 321, Mobiles: 6, Rounds: 3, TxnsPerRound: 5, Items: 64, ServerWorkers: 4,
+	}
+	for _, mode := range []string{"chan", "tcp"} {
+		sc := base
+		if mode == "tcp" {
+			sc.WireTCP = true
+		} else {
+			sc.MessagePassing = true
+		}
+		b.Run("transport="+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var reqs, payload, frames int64
+			for n := 0; n < b.N; n++ {
+				res, err := sim.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs += res.WireRequests
+				payload += res.WireBytes
+				frames += res.WireFrameBytes
+			}
+			b.ReportMetric(float64(reqs)/float64(b.N), "requests/op")
+			b.ReportMetric(float64(payload)/float64(b.N), "payload_B/op")
+			if frames > 0 {
+				b.ReportMetric(float64(frames)/float64(b.N), "wire_B/op")
+				b.ReportMetric(100*float64(frames-payload)/float64(payload), "overhead_%")
+			}
+		})
+	}
+}

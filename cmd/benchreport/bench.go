@@ -110,6 +110,9 @@ func runBenchJSON(r io.Reader, dir string) int {
 		if id == "E16" {
 			f.Summary = e16Summary(f.Results)
 		}
+		if id == "E17" {
+			f.Summary = e17Summary(f.Results)
+		}
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
@@ -123,6 +126,33 @@ func runBenchJSON(r io.Reader, dir string) int {
 		fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d results)\n", path, len(f.Results))
 	}
 	return 0
+}
+
+// e17Summary derives the E17 headline: what running the fleet over real
+// loopback TCP costs relative to the in-process channel transport — the
+// measured on-wire bytes per run, the framing overhead and the wall-clock
+// slowdown.
+func e17Summary(results []benchResult) map[string]float64 {
+	byMode := map[string]benchResult{}
+	for _, r := range results {
+		if i := strings.Index(r.Name, "transport="); i >= 0 {
+			byMode[r.Name[i+len("transport="):]] = r
+		}
+	}
+	tcp, okT := byMode["tcp"]
+	ch, okC := byMode["chan"]
+	if !okT {
+		return nil
+	}
+	sum := map[string]float64{
+		"tcp_wire_bytes_per_run":    tcp.Metrics["wire_B/op"],
+		"tcp_payload_bytes_per_run": tcp.Metrics["payload_B/op"],
+		"tcp_framing_overhead_pct":  tcp.Metrics["overhead_%"],
+	}
+	if okC && ch.NsPerOp > 0 {
+		sum["tcp_vs_chan_slowdown"] = tcp.NsPerOp / ch.NsPerOp
+	}
+	return sum
 }
 
 // e16Summary derives the E16 headline: disjoint-fleet merge throughput

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiermerge"
+	"tiermerge/internal/wire"
+)
+
+// runClient drives a fleet of mobile clients against a tiermerge serve
+// process over TCP: each mobile runs deposits while "disconnected" and
+// reconciles every round. With -check it asserts master convergence — the
+// master must have gained exactly the deposited total, fetched through the
+// same wire protocol (MasterRemote).
+func runClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7600", "server wire address")
+		mobiles  = fs.Int("mobiles", 4, "number of concurrent mobile clients")
+		rounds   = fs.Int("rounds", 3, "disconnect/connect cycles per mobile")
+		txns     = fs.Int("txns", 5, "tentative deposits per round")
+		amount   = fs.Int64("amount", 5, "deposit amount")
+		items    = fs.Int("items", 16, "database universe size (must match the server's -items)")
+		protocol = fs.String("protocol", "merge", "reconciliation protocol: merge | reprocess")
+		check    = fs.Bool("check", false, "assert master convergence: final sum = initial sum + total deposited")
+		retries  = fs.Int("retries", 8, "lost-response retry budget per request")
+		timeout  = fs.Duration("timeout", time.Minute, "overall deadline for the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *protocol != "merge" && *protocol != "reprocess" {
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// The probe client reads the master before and after the fleet runs;
+	// checkouts and master reads are idempotent, so it rides the same
+	// retry discipline as the fleet.
+	probeTr := wire.Dial(*addr, wire.ClientConfig{})
+	defer probeTr.Close()
+	probe, err := tiermerge.DialTransport(ctx, "probe", probeTr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", *addr, err)
+	}
+	var sumBefore tiermerge.Value
+	if *check {
+		before, err := probe.MasterRemote(ctx)
+		if err != nil {
+			return err
+		}
+		sumBefore = sumState(before)
+	}
+
+	var (
+		wg            sync.WaitGroup
+		errs          = make(chan error, *mobiles)
+		saved, reproc atomic.Int64
+		dials, redial atomic.Int64
+	)
+	for i := 0; i < *mobiles; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := wire.Dial(*addr, wire.ClientConfig{})
+			defer func() {
+				d, r := tr.Stats()
+				dials.Add(d)
+				redial.Add(r)
+				tr.Close()
+			}()
+			c, err := tiermerge.DialTransport(ctx, fmt.Sprintf("m%d", i), tr)
+			if err != nil {
+				errs <- fmt.Errorf("mobile %d: %w", i, err)
+				return
+			}
+			c.MaxRetries = *retries
+			for r := 0; r < *rounds; r++ {
+				for t := 0; t < *txns; t++ {
+					it := itemName(((i**rounds+r)**txns + t) % *items)
+					id := fmt.Sprintf("m%d-r%d-t%d", i, r, t)
+					if err := c.Run(tiermerge.Deposit(id, tiermerge.Tentative, it, tiermerge.Value(*amount))); err != nil {
+						errs <- fmt.Errorf("mobile %d: %w", i, err)
+						return
+					}
+				}
+				var out *tiermerge.ConnectOutcome
+				if *protocol == "merge" {
+					out, err = c.ConnectMergeContext(ctx)
+				} else {
+					out, err = c.ConnectReprocessContext(ctx)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("mobile %d round %d: %w", i, r, err)
+					return
+				}
+				saved.Add(int64(out.Saved))
+				reproc.Add(int64(out.Reprocessed))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	total := int64(*mobiles) * int64(*rounds) * int64(*txns)
+	fmt.Printf("fleet             %d mobiles x %d rounds x %d txns over %s (%s)\n",
+		*mobiles, *rounds, *txns, *addr, *protocol)
+	fmt.Printf("saved             %d (%.1f%%)\n", saved.Load(), pct(saved.Load(), total))
+	fmt.Printf("reprocessed       %d\n", reproc.Load())
+	fmt.Printf("connections       %d dials, %d redials\n", dials.Load(), redial.Load())
+
+	if *check {
+		after, err := probe.MasterRemote(ctx)
+		if err != nil {
+			return err
+		}
+		got := sumState(after)
+		want := sumBefore + tiermerge.Value(total*(*amount))
+		if got != want {
+			return fmt.Errorf("convergence check failed: master sums to %d, want %d (started at %d, deposited %d)",
+				got, want, sumBefore, total*(*amount))
+		}
+		fmt.Printf("convergence ok    master sums to %d (+%d deposited)\n", got, got-sumBefore)
+	}
+	return nil
+}
+
+// sumState totals every item — deposits only add, so the sum is the
+// convergence invariant.
+func sumState(s tiermerge.State) tiermerge.Value {
+	var sum tiermerge.Value
+	for _, it := range s.Items() {
+		sum += s.Get(it)
+	}
+	return sum
+}

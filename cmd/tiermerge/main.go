@@ -9,6 +9,12 @@
 // what the merge decided. The -metrics flag (both modes) writes a
 // Prometheus-text metrics snapshot after the run.
 //
+// The serve and client subcommands run the same mobile/base split as
+// separate processes over the TCP wire protocol (docs/WIRE.md): serve
+// fronts a base tier on a TCP address (with an optional debug HTTP
+// sidecar), client drives a fleet of mobiles against it and can assert
+// master convergence.
+//
 // Examples:
 //
 //	tiermerge -mobiles 8 -rounds 3 -txns 6
@@ -17,6 +23,8 @@
 //	tiermerge -rewriter canfollow -items 16   # high-conflict, Algorithm 1
 //	tiermerge trace -mobiles 2 -rounds 2      # per-merge phase breakdowns
 //	tiermerge -metrics metrics.prom           # dump the metric registry
+//	tiermerge serve -addr 127.0.0.1:7600 -http 127.0.0.1:7601
+//	tiermerge client -addr 127.0.0.1:7600 -mobiles 8 -check
 package main
 
 import (
@@ -32,11 +40,18 @@ import (
 
 func main() {
 	args := os.Args[1:]
-	traceMode := len(args) > 0 && args[0] == "trace"
-	if traceMode {
-		args = args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "serve":
+		err = runServe(args[1:])
+	case len(args) > 0 && args[0] == "client":
+		err = runClient(args[1:])
+	case len(args) > 0 && args[0] == "trace":
+		err = run(args[1:], true)
+	default:
+		err = run(args, false)
 	}
-	if err := run(args, traceMode); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tiermerge:", err)
 		os.Exit(1)
 	}

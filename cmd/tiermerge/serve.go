@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tiermerge"
+	"tiermerge/internal/wire"
+)
+
+// runServe fronts a base tier on a TCP address: the wire protocol on
+// -addr, and optionally the /debug/tiermerge introspection endpoints on a
+// sidecar HTTP port. It runs until SIGINT/SIGTERM, then drains gracefully
+// (in-flight merges finish and write their responses before exit).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7600", "TCP listen address for the wire protocol (port 0 picks a free port)")
+		httpAddr = fs.String("http", "", "debug HTTP sidecar address serving /debug/tiermerge and /debug/tiermerge/prometheus (empty = off)")
+		shards   = fs.Int("shards", 1, "base-tier shard count (1 = plain cluster)")
+		workers  = fs.Int("workers", 4, "server worker goroutines")
+		dropNth  = fs.Int64("drop", 0, "lose every nth mobile-facing response (fault injection; clients retry)")
+		items    = fs.Int("items", 16, "database universe size (items item0..itemN-1)")
+		initial  = fs.Int64("initial", 100, "initial value of every item")
+		maxConns = fs.Int("maxconns", 0, "cap on concurrently served connections (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	origin := make(map[tiermerge.Item]tiermerge.Value, *items)
+	for i := 0; i < *items; i++ {
+		origin[itemName(i)] = tiermerge.Value(*initial)
+	}
+	metrics := tiermerge.NewMetrics()
+	cfg := tiermerge.ClusterConfig{Observer: metrics}
+
+	var tier tiermerge.BaseTier
+	if *shards > 1 {
+		tier = tiermerge.NewShardedBase(tiermerge.StateOf(origin), *shards, cfg)
+	} else {
+		tier = tiermerge.NewBaseCluster(tiermerge.StateOf(origin), cfg)
+	}
+	srv := tiermerge.Serve(tier,
+		tiermerge.WithWorkers(*workers),
+		tiermerge.WithDropEveryNth(*dropNth),
+		tiermerge.WithObserver(metrics),
+	)
+	defer srv.Close()
+
+	ws := wire.NewServer(srv, wire.ServerConfig{MaxConns: *maxConns})
+	bound, err := ws.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s\n", bound)
+
+	var debugLn net.Listener
+	if *httpAddr != "" {
+		debugLn, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			ws.Close()
+			return err
+		}
+		fmt.Printf("debug http on %s\n", debugLn.Addr())
+		go http.Serve(debugLn, srv.DebugHandler())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("received %s, draining\n", s)
+
+	if debugLn != nil {
+		debugLn.Close()
+	}
+	if err := ws.Close(); err != nil {
+		return err
+	}
+	frames, in, out, drops := ws.Stats()
+	fmt.Printf("served            %d frames, %d bytes in, %d bytes out", frames, in, out)
+	if drops > 0 {
+		fmt.Printf(", %d responses dropped", drops)
+	}
+	fmt.Println()
+	return nil
+}
+
+// itemName maps an index into the serve universe ("item0", "item1", ...);
+// the client subcommand targets the same names.
+func itemName(i int) tiermerge.Item {
+	return tiermerge.Item(fmt.Sprintf("item%d", i))
+}

@@ -58,9 +58,12 @@ func run() error {
 	fmt.Printf("recovered %d committed tentative transactions; local state %s\n",
 		recovered.Pending(), recovered.Local())
 
-	// A recovered node has no bound cluster yet; the one-argument form
-	// binds it on first connect (bound nodes call ConnectMerge()).
-	out, err := recovered.ConnectMerge(base)
+	// A recovered node has no bound cluster yet; Bind hands it the cluster
+	// (and charges the crash recovery) before it reconnects.
+	if err := recovered.Bind(base); err != nil {
+		return err
+	}
+	out, err := recovered.ConnectMerge()
 	if err != nil {
 		return err
 	}

@@ -367,6 +367,21 @@ func isKnownBlocking(f *types.Func) bool {
 		}
 		return typeIs(sig.Recv().Type(), "sync", "WaitGroup") ||
 			typeIs(sig.Recv().Type(), "sync", "Cond")
+	case "net":
+		// Socket and listener operations park the goroutine on kernel
+		// I/O — dials, accepts, reads, writes. Matching by name covers
+		// both the package functions and the methods on net.Conn /
+		// net.Listener implementations (and the interfaces themselves,
+		// whose method objects also live in package net). Deadline and
+		// option setters are nonblocking and deliberately absent.
+		switch f.Name() {
+		case "Dial", "DialContext", "DialTimeout", "DialTCP", "DialUDP",
+			"Listen", "ListenTCP", "ListenPacket",
+			"Accept", "AcceptTCP",
+			"Read", "Write", "ReadFrom", "WriteTo", "ReadMsgUDP", "WriteMsgUDP":
+			return true
+		}
+		return false
 	}
 	return false
 }

@@ -3,6 +3,7 @@
 package lockheld
 
 import (
+	"net"
 	"sync"
 	"time"
 )
@@ -210,4 +211,97 @@ func sequentialLocks(a, b *cluster) {
 	a.mu.Unlock()
 	b.mu.Lock()
 	b.mu.Unlock()
+}
+
+// connPool mirrors the TCP client transport's idle-connection pool: its
+// mutex guards only the pool slice and the closed flag, so every socket
+// operation — dial, frame write, frame read — must run outside it. Socket
+// calls park the goroutine on kernel I/O for up to a full deadline, which
+// under a held pool mutex stalls every other Call.
+
+type connPool struct {
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+func (p *connPool) dialUnderLock(addr string) {
+	p.mu.Lock()
+	c, err := net.Dial("tcp", addr) // want "blocking call net.Dial while a mutex is held"
+	if err == nil {
+		p.idle = append(p.idle, c)
+	}
+	p.mu.Unlock()
+}
+
+func (p *connPool) writeUnderLock(payload []byte) {
+	p.mu.Lock()
+	if len(p.idle) > 0 {
+		p.idle[0].Write(payload) // want "blocking call net.Write while a mutex is held"
+	}
+	p.mu.Unlock()
+}
+
+func (p *connPool) readUnderLock(buf []byte) {
+	p.mu.Lock()
+	if len(p.idle) > 0 {
+		p.idle[0].Read(buf) // want "blocking call net.Read while a mutex is held"
+	}
+	p.mu.Unlock()
+}
+
+// getThenDial is the correct shape: pop under the mutex, release, then do
+// socket I/O with no lock held.
+func (p *connPool) getThenDial(addr string) net.Conn {
+	p.mu.Lock()
+	var c net.Conn
+	if n := len(p.idle); n > 0 {
+		c = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if c == nil {
+		c, _ = net.Dial("tcp", addr)
+	}
+	return c
+}
+
+// drainThenClose pops the whole pool under the mutex and closes outside
+// it (Close is not in the blocking set, but the shape keeps the critical
+// section free of any socket call).
+func (p *connPool) drainThenClose() {
+	p.mu.Lock()
+	conns := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// acceptUnderLock covers the listener side: Accept parks until a peer
+// dials, potentially forever.
+type acceptor struct {
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+}
+
+func (a *acceptor) acceptUnderLock(ln net.Listener) {
+	a.mu.Lock()
+	c, err := ln.Accept() // want "blocking call net.Accept while a mutex is held"
+	if err == nil {
+		a.conns[c] = true
+	}
+	a.mu.Unlock()
+}
+
+func (a *acceptor) acceptThenTrack(ln net.Listener) {
+	c, err := ln.Accept()
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	a.conns[c] = true
+	a.mu.Unlock()
 }

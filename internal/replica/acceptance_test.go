@@ -24,7 +24,7 @@ func TestAcceptSameWritesRejectsDrift(t *testing.T) {
 		if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 7)); err != nil {
 			t.Fatal(err)
 		}
-		out, err := m.ConnectMerge(b)
+		out, err := m.ConnectMerge()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +52,7 @@ func TestAcceptWithinDrift(t *testing.T) {
 		if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", baseAmt)); err != nil {
 			t.Fatal(err)
 		}
-		out, err := m.ConnectMerge(b)
+		out, err := m.ConnectMerge()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +78,7 @@ func TestRejectedReexecutionNotCommitted(t *testing.T) {
 		t.Fatal(err)
 	}
 	histBefore := b.HistoryLen()
-	out, err := m.ConnectMerge(b)
+	out, err := m.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func TestBaseRecoveryRebuildsMasterAndWindow(t *testing.T) {
 	if err := m.Run(workload.SetPrice("Tm2", tx.Tentative, "x", 77)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.ConnectMerge(b); err != nil {
+	if _, err := m.ConnectMerge(); err != nil {
 		t.Fatal(err)
 	}
 	b.AdvanceWindow()
@@ -53,7 +53,7 @@ func TestBaseRecoveryRebuildsMasterAndWindow(t *testing.T) {
 	if err := m2.Run(workload.Deposit("Tm3", tx.Tentative, "w", 9)); err != nil {
 		t.Fatal(err)
 	}
-	out, err := m2.ConnectMerge(rec)
+	out, err := m2.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,10 +55,10 @@ func TestFollowersConvergeAfterMerges(t *testing.T) {
 	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "z", 7)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m1.ConnectMerge(b); err != nil {
+	if _, err := m1.ConnectMerge(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m2.ConnectMerge(b); err != nil {
+	if _, err := m2.ConnectMerge(); err != nil {
 		t.Fatal(err)
 	}
 	if !b.Converged() {

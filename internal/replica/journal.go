@@ -102,8 +102,8 @@ func (r *Recovery) event(who string) obs.Event {
 //
 // The recovered node holds the same checkout token it crashed with, so its
 // next connect merges (or falls back) exactly as the lost node would have.
-// It is not yet bound to a cluster (the deprecated one-argument connect
-// forms bind it, and binding emits the recovery to the cluster's observer)
+// It is not yet bound to a cluster (call Bind to hand it its cluster,
+// which also emits the recovery to the cluster's observer)
 // and has no journal attached — call AttachJournal to re-establish
 // durability for the remainder of the period.
 func RecoverMobileNode(id string, r io.Reader) (*MobileNode, *Recovery, error) {

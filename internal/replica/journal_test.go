@@ -37,8 +37,11 @@ func TestCrashRecoveryMergesIdentically(t *testing.T) {
 				t.Fatal(err)
 			}
 			node = rec
+			if err := node.Bind(b); err != nil {
+				t.Fatal(err)
+			}
 		}
-		out, err := node.ConnectMerge(b)
+		out, err := node.ConnectMerge()
 		if err != nil {
 			t.Fatal(err)
 		}

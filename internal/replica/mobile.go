@@ -19,12 +19,11 @@ var ErrNotTentative = errors.New("replica: transaction is not a tentative transa
 
 // ErrNoCluster is returned when a connect method is called on a mobile
 // node that is not bound to a base cluster (a journal-recovered node that
-// has not yet been handed its cluster).
+// has not yet been handed its cluster — call Bind).
 var ErrNoCluster = errors.New("replica: mobile node has no bound cluster")
 
-// ErrClusterMismatch is returned by the deprecated one-argument connect
-// forms when the argument names a different cluster than the one the node
-// checked out from.
+// ErrClusterMismatch is returned by Bind when the argument names a
+// different cluster than the one the node checked out from.
 var ErrClusterMismatch = errors.New("replica: mobile node is bound to a different cluster")
 
 // MobileNode is a disconnected-most-of-the-time node: it holds a tentative
@@ -36,9 +35,9 @@ type MobileNode struct {
 	ID string
 
 	// cluster is the base tier the node checked out from; connects go back
-	// to it. nil only for journal-recovered nodes before their first
-	// cluster-carrying call binds them, and for nodes bound to a sharded
-	// tier (then sharded is set instead).
+	// to it. nil only for journal-recovered nodes before Bind hands them
+	// their cluster, and for nodes bound to a sharded tier (then sharded is
+	// set instead).
 	cluster *BaseCluster
 
 	// sharded, when non-nil, is the sharded base tier the node is bound to
@@ -87,55 +86,51 @@ func (m *MobileNode) Cluster() *BaseCluster { return m.cluster }
 // Sharded returns the sharded base tier the node is bound to, or nil.
 func (m *MobileNode) Sharded() *ShardedBase { return m.sharded }
 
-// resolveCluster implements the one-name two-forms connect API: with no
-// argument the node's bound cluster is used; the deprecated one-argument
-// form must name the bound cluster (it binds a recovered node on first
-// use, and errors with ErrClusterMismatch otherwise).
-func (m *MobileNode) resolveCluster(cluster []*BaseCluster) (*BaseCluster, error) {
+// Bind hands a journal-recovered node its base cluster: the node's pending
+// crash-recovery report is charged to the cluster's counters and observer,
+// and subsequent Checkout/Connect calls go to b. Binding a node to the
+// cluster it is already bound to is a no-op; binding it to a different
+// cluster (or a nil one) fails with ErrClusterMismatch / ErrNoCluster —
+// the checkout token the node crashed with names exactly one base tier.
+func (m *MobileNode) Bind(b *BaseCluster) error {
 	if m.sharded != nil {
-		return nil, fmt.Errorf("%w: %s is bound to a sharded tier", ErrClusterMismatch, m.ID)
+		return fmt.Errorf("%w: %s is bound to a sharded tier", ErrClusterMismatch, m.ID)
 	}
-	switch len(cluster) {
-	case 0:
-		if m.cluster == nil {
-			return nil, fmt.Errorf("%w: %s", ErrNoCluster, m.ID)
-		}
-		return m.cluster, nil
-	case 1:
-		b := cluster[0]
-		if b == nil {
-			return nil, fmt.Errorf("%w: %s (nil argument)", ErrNoCluster, m.ID)
-		}
-		if m.cluster == nil {
-			m.cluster = b
-			m.noteRecovery(b)
-		}
-		if m.cluster != b {
-			return nil, fmt.Errorf("%w: %s", ErrClusterMismatch, m.ID)
-		}
-		return b, nil
-	default:
-		return nil, fmt.Errorf("%w: %s (pass at most one cluster)", ErrClusterMismatch, m.ID)
+	if b == nil {
+		return fmt.Errorf("%w: %s (nil argument)", ErrNoCluster, m.ID)
 	}
+	if m.cluster == nil {
+		m.cluster = b
+		m.noteRecovery(b)
+		return nil
+	}
+	if m.cluster != b {
+		return fmt.Errorf("%w: %s", ErrClusterMismatch, m.ID)
+	}
+	return nil
+}
+
+// tier returns the node's bound reconcile surface.
+func (m *MobileNode) tier() (BaseTier, error) {
+	if m.sharded != nil {
+		return m.sharded, nil
+	}
+	if m.cluster == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoCluster, m.ID)
+	}
+	return m.cluster, nil
 }
 
 // Checkout (re)synchronizes the node's replica with the base tier and
 // starts a fresh, empty tentative history from the origin the cluster's
-// strategy dictates.
-//
-// The node already knows its cluster; call it with no argument. The
-// one-argument form is deprecated and panics when the argument is a
-// different cluster.
-func (m *MobileNode) Checkout(cluster ...*BaseCluster) {
-	if m.sharded != nil && len(cluster) == 0 {
-		m.resetFrom(m.sharded.CheckoutReplica(m.ID))
-		return
-	}
-	b, err := m.resolveCluster(cluster)
+// strategy dictates. The node knows its tier since NewMobileNode /
+// NewShardedMobileNode; a journal-recovered node must Bind first.
+func (m *MobileNode) Checkout() {
+	t, err := m.tier()
 	if err != nil {
 		panic(fmt.Sprintf("replica: Checkout: %v", err))
 	}
-	m.resetFrom(b.CheckoutReplica(m.ID))
+	m.resetFrom(t.CheckoutReplica(m.ID))
 }
 
 // resetFrom installs a fresh checkout token and restarts the tentative
@@ -199,26 +194,13 @@ func (m *MobileNode) Augmented() *history.Augmented {
 
 // ConnectMerge connects to the base tier and reconciles via the merging
 // protocol, then checks out a fresh replica for the next disconnection
-// period.
-//
-// The node knows its cluster since NewMobileNode; call it with no
-// argument. The one-argument form is deprecated: it binds a
-// journal-recovered node on first use and otherwise must name the bound
-// cluster (ErrClusterMismatch).
-func (m *MobileNode) ConnectMerge(cluster ...*BaseCluster) (*ConnectOutcome, error) {
-	if m.sharded != nil && len(cluster) == 0 {
-		out, err := m.sharded.Merge(m.ck, m.Augmented())
-		if err != nil {
-			return nil, err
-		}
-		m.Checkout()
-		return out, nil
-	}
-	b, err := m.resolveCluster(cluster)
+// period. A journal-recovered node must Bind first (ErrNoCluster).
+func (m *MobileNode) ConnectMerge() (*ConnectOutcome, error) {
+	t, err := m.tier()
 	if err != nil {
 		return nil, err
 	}
-	out, err := b.Merge(m.ck, m.Augmented())
+	out, err := t.Merge(m.ck, m.Augmented())
 	if err != nil {
 		return nil, err
 	}
@@ -228,33 +210,25 @@ func (m *MobileNode) ConnectMerge(cluster ...*BaseCluster) (*ConnectOutcome, err
 
 // ConnectReprocess connects to the base tier and reconciles via the
 // original two-tier protocol (re-execute everything), then checks out a
-// fresh replica. Like Checkout it takes no argument; the deprecated
-// one-argument form panics on a different cluster.
-func (m *MobileNode) ConnectReprocess(cluster ...*BaseCluster) *ConnectOutcome {
-	if m.sharded != nil && len(cluster) == 0 {
-		out := m.sharded.Reprocess(m.Augmented())
-		m.Checkout()
-		return out
-	}
-	b, err := m.resolveCluster(cluster)
+// fresh replica. Like Checkout it panics on an unbound node.
+func (m *MobileNode) ConnectReprocess() *ConnectOutcome {
+	t, err := m.tier()
 	if err != nil {
 		panic(fmt.Sprintf("replica: ConnectReprocess: %v", err))
 	}
-	out := b.Reprocess(m.Augmented())
+	out := t.Reprocess(m.Augmented())
 	m.Checkout()
 	return out
 }
 
 // PreviewMerge reports what ConnectMerge would do right now without
-// performing it. Call it with no argument; the one-argument form is
-// deprecated.
-func (m *MobileNode) PreviewMerge(cluster ...*BaseCluster) (*merge.Report, error) {
-	if m.sharded != nil && len(cluster) == 0 {
+// performing it.
+func (m *MobileNode) PreviewMerge() (*merge.Report, error) {
+	if m.sharded != nil {
 		return m.sharded.Preview(m.ck, m.Augmented())
 	}
-	b, err := m.resolveCluster(cluster)
-	if err != nil {
-		return nil, err
+	if m.cluster == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoCluster, m.ID)
 	}
-	return b.Preview(m.ck, m.Augmented())
+	return m.cluster.Preview(m.ck, m.Augmented())
 }

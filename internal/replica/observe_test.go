@@ -259,27 +259,27 @@ func TestNilObserverMerge(t *testing.T) {
 	}
 }
 
-// TestVariadicConnectAPI: the zero-argument forms use the bound cluster, the
-// deprecated one-argument forms reject foreign clusters with
-// ErrClusterMismatch, and an unbound (recovered) node binds on first use.
-func TestVariadicConnectAPI(t *testing.T) {
+// TestBindAPI: the zero-argument connect forms use the bound cluster, Bind
+// rejects foreign clusters with ErrClusterMismatch, and an unbound
+// (recovered) node must Bind before connecting (ErrNoCluster otherwise).
+func TestBindAPI(t *testing.T) {
 	b1 := NewBaseCluster(fleetOrigin(), Config{})
 	b2 := NewBaseCluster(fleetOrigin(), Config{})
 	m := NewMobileNode("m1", b1)
 	if err := m.Run(workload.Deposit("T1", tx.Tentative, "a1", 5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.ConnectMerge(b2); !errors.Is(err, ErrClusterMismatch) {
-		t.Errorf("ConnectMerge(other) = %v, want ErrClusterMismatch", err)
+	if err := m.Bind(b2); !errors.Is(err, ErrClusterMismatch) {
+		t.Errorf("Bind(other) = %v, want ErrClusterMismatch", err)
 	}
-	if _, err := m.PreviewMerge(b2); !errors.Is(err, ErrClusterMismatch) {
-		t.Errorf("PreviewMerge(other) = %v, want ErrClusterMismatch", err)
+	if err := m.Bind(nil); !errors.Is(err, ErrNoCluster) {
+		t.Errorf("Bind(nil) = %v, want ErrNoCluster", err)
 	}
-	if _, err := m.ConnectMerge(b1, b2); !errors.Is(err, ErrClusterMismatch) {
-		t.Errorf("ConnectMerge(two args) = %v, want ErrClusterMismatch", err)
+	if err := m.Bind(b1); err != nil {
+		t.Errorf("Bind(same) = %v, want nil (no-op)", err)
 	}
 	if m.Pending() != 1 {
-		t.Fatalf("rejected connects consumed the history: pending = %d", m.Pending())
+		t.Fatalf("rejected binds consumed the history: pending = %d", m.Pending())
 	}
 	if out, err := m.ConnectMerge(); err != nil || out.Saved != 1 {
 		t.Fatalf("zero-argument ConnectMerge = %+v, %v", out, err)
@@ -289,18 +289,27 @@ func TestVariadicConnectAPI(t *testing.T) {
 	if _, err := r.ConnectMerge(); !errors.Is(err, ErrNoCluster) {
 		t.Errorf("unbound ConnectMerge() = %v, want ErrNoCluster", err)
 	}
-	r.Checkout(b1)
-	if r.Cluster() != b1 {
-		t.Fatal("one-argument Checkout did not bind the cluster")
+	if err := r.Bind(b1); err != nil {
+		t.Fatal(err)
 	}
+	if r.Cluster() != b1 {
+		t.Fatal("Bind did not install the cluster")
+	}
+	r.Checkout()
 	if err := r.Run(workload.Deposit("T2", tx.Tentative, "a2", 7)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.ConnectMerge(b2); !errors.Is(err, ErrClusterMismatch) {
-		t.Errorf("bound node ConnectMerge(other) = %v, want ErrClusterMismatch", err)
+	if err := r.Bind(b2); !errors.Is(err, ErrClusterMismatch) {
+		t.Errorf("bound node Bind(other) = %v, want ErrClusterMismatch", err)
 	}
 	if out, err := r.ConnectMerge(); err != nil || out.Saved != 1 {
 		t.Fatalf("recovered-node merge = %+v, %v", out, err)
+	}
+
+	s := NewShardedBase(fleetOrigin(), 2, Config{})
+	sm := NewShardedMobileNode("s1", s)
+	if err := sm.Bind(b1); !errors.Is(err, ErrClusterMismatch) {
+		t.Errorf("sharded-node Bind = %v, want ErrClusterMismatch", err)
 	}
 }
 

@@ -73,7 +73,7 @@ func TestMergeNoConflictForwardsUpdates(t *testing.T) {
 	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "z", 7)); err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.ConnectMerge(b)
+	out, err := m.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestMergeConflictBacksOutAndReexecutes(t *testing.T) {
 	if err := b.ExecBase(workload.SetPrice("Tb1", tx.Base, "x", 222)); err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.ConnectMerge(b)
+	out, err := m.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +147,11 @@ func TestMergeEquivalentToReprocessOnAdditive(t *testing.T) {
 		}
 		for _, m := range []*MobileNode{m1, m2} {
 			if useMerge {
-				if _, err := m.ConnectMerge(b); err != nil {
+				if _, err := m.ConnectMerge(); err != nil {
 					t.Fatal(err)
 				}
 			} else {
-				m.ConnectReprocess(b)
+				m.ConnectReprocess()
 			}
 		}
 		return b.Master(), b.Counters().Snapshot().TxnsReprocessed
@@ -187,10 +187,10 @@ func TestSecondMergeSeesFirstMergesUpdates(t *testing.T) {
 	if err := m2.Run(workload.SetPrice("Tm2", tx.Tentative, "x", 333)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m1.ConnectMerge(b); err != nil {
+	if _, err := m1.ConnectMerge(); err != nil {
 		t.Fatal(err)
 	}
-	out2, err := m2.ConnectMerge(b)
+	out2, err := m2.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,11 +219,11 @@ func TestAdditiveMultiMobileNoLostUpdate(t *testing.T) {
 	if err := m2.Run(workload.Deposit("Tm2", tx.Tentative, "x", 7)); err != nil {
 		t.Fatal(err)
 	}
-	o1, err := m1.ConnectMerge(b)
+	o1, err := m1.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
-	o2, err := m2.ConnectMerge(b)
+	o2, err := m2.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestWindowExpiryForcesReprocess(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.AdvanceWindow()
-	out, err := m.ConnectMerge(b)
+	out, err := m.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestWindowExpiryForcesReprocess(t *testing.T) {
 	if err := m.Run(workload.Deposit("Tm2", tx.Tentative, "x", 5)); err != nil {
 		t.Fatal(err)
 	}
-	out, err = m.ConnectMerge(b)
+	out, err = m.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,10 +294,10 @@ func TestStrategy1Anomaly(t *testing.T) {
 		}
 		// A merges first (t3): under Strategy 1 its updates serialize at
 		// its checkout position, before B's.
-		if _, err := mA.ConnectMerge(b); err != nil {
+		if _, err := mA.ConnectMerge(); err != nil {
 			t.Fatal(err)
 		}
-		o2, err := mB.ConnectMerge(b)
+		o2, err := mB.ConnectMerge()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -330,7 +330,7 @@ func TestStrategy1InsertConflict(t *testing.T) {
 	if err := b.ExecBase(workload.Audit("Tb1", tx.Base, "x")); err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.ConnectMerge(b)
+	out, err := m.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestReprocessFailureReported(t *testing.T) {
 	if err := b.ExecBase(workload.SetPrice("Tb2", tx.Base, "x", 1)); err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.ConnectMerge(b)
+	out, err := m.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +385,7 @@ func TestPreviewMergeIsDryRun(t *testing.T) {
 	if err := b.ExecBase(workload.SetPrice("Tb1", tx.Base, "x", 2)); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := m.PreviewMerge(b)
+	rep, err := m.PreviewMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,7 +400,7 @@ func TestPreviewMergeIsDryRun(t *testing.T) {
 	if m.Pending() != 1 {
 		t.Errorf("preview consumed the pending history")
 	}
-	rep2, err := m.PreviewMerge(b)
+	rep2, err := m.PreviewMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +418,7 @@ func TestPreviewReportsExpiredWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.AdvanceWindow()
-	if _, err := m.PreviewMerge(b); err == nil {
+	if _, err := m.PreviewMerge(); err == nil {
 		t.Error("preview after window expiry succeeded")
 	}
 }

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,29 +12,41 @@ import (
 	"tiermerge/internal/fault"
 	"tiermerge/internal/history"
 	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
 	"tiermerge/internal/tx"
 	"tiermerge/internal/wal"
 )
 
 // Message-passing realization of the mobile/base split. The BaseCluster's
 // method API models the protocol's logic; BaseServer/Client realize it as
-// actual request/response messages between goroutines, with every payload
-// serialized through the wire codec — the mobile ships its journal (read
-// sets, write images and, for re-execution, transaction code), exactly the
-// artifacts Section 7.1's communication analysis prices. The server counts
-// real payload bytes so the modeled byte weights can be sanity-checked
-// against measured encodings.
+// actual request/response messages, with every payload serialized through
+// the wire codec — the mobile ships its journal (read sets, write images
+// and, for re-execution, transaction code), exactly the artifacts Section
+// 7.1's communication analysis prices. The server counts real payload
+// bytes so the modeled byte weights can be sanity-checked against measured
+// encodings.
+//
+// The request/response envelope handling lives behind the Transport seam
+// (transport.go): ServeFrame processes one serialized request regardless of
+// how it arrived, the in-process channel transport carries frames between
+// goroutines, and internal/wire carries the same frames over real TCP so
+// mobile nodes deploy as separate processes.
 
 // ErrServerClosed is returned for requests after Close.
 var ErrServerClosed = errors.New("replica: base server closed")
 
-// errResponseLost models a response dropped in transit (fault injection);
-// clients retry on it.
-var errResponseLost = errors.New("replica: response lost in transit")
+// ErrResponseLost reports a response lost in transit — fault injection on
+// the channel transport, a severed connection on TCP. Reconnect requests
+// carry a sequence number and the server caches the last applied response
+// per mobile, so clients retry calls that fail with ErrResponseLost
+// (errors.Is) and retries stay exactly-once.
+var ErrResponseLost = errors.New("replica: response lost in transit")
 
-// DropEveryNth makes the server discard every nth response — transport
-// fault injection for tests; 0 disables. The plan is a fault.Schedule, the
-// same counter-driven predicate the crash harnesses use.
+// DropEveryNth makes the server lose every nth mobile-facing response —
+// transport fault injection for tests; 0 disables. The plan is a
+// fault.Schedule, the same counter-driven predicate the crash harnesses
+// use. On the channel transport the response is silently dropped; the TCP
+// server severs the connection instead (the client redials and retries).
 func (s *BaseServer) DropEveryNth(n int64) { s.drops.SetEveryNth(n) }
 
 // reqKind tags server requests.
@@ -44,6 +57,7 @@ const (
 	reqMerge     reqKind = "merge"
 	reqReprocess reqKind = "reprocess"
 	reqExecBase  reqKind = "execbase"
+	reqMaster    reqKind = "master"
 )
 
 // wireReq is the serialized request envelope.
@@ -74,6 +88,7 @@ type wireResp struct {
 	Reproc   int                        `json:"reproc,omitempty"`
 	Failed   int                        `json:"failed,omitempty"`
 	BadIDs   []string                   `json:"bad,omitempty"`
+	Master   map[model.Item]model.Value `json:"master,omitempty"`
 }
 
 type rpc struct {
@@ -81,24 +96,26 @@ type rpc struct {
 	reply   chan []byte
 }
 
-// baseTier is the reconcile surface a BaseServer serves; BaseCluster and
+// BaseTier is the reconcile surface a BaseServer serves; BaseCluster and
 // ShardedBase both implement it, so one server fronts either tier shape.
-type baseTier interface {
+type BaseTier interface {
 	CheckoutReplica(mobileID string) Checkout
 	ExecBase(t *tx.Transaction) error
 	Merge(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error)
 	Reprocess(hm *history.Augmented) *ConnectOutcome
+	Master() model.State
 }
 
-// BaseServer serves a BaseCluster over an in-process message channel. A
-// pool of worker goroutines drains the request channel, so concurrent
+// BaseServer serves a base tier as request/response frames. A pool of
+// worker goroutines drains the in-process channel transport, so concurrent
 // reconnects exercise the cluster's optimistic merge pipeline instead of
 // queueing end-to-end behind one goroutine (the always-connected base
-// site's request processors).
+// site's request processors). A TCP front end (internal/wire) feeds the
+// same ServeFrame entry point from per-connection goroutines.
 type BaseServer struct {
 	// tier is the served reconcile surface; b and sharded retain the
 	// concrete tier (exactly one is non-nil) for debug endpoints.
-	tier    baseTier
+	tier    BaseTier
 	b       *BaseCluster
 	sharded *ShardedBase
 	req     chan rpc
@@ -107,6 +124,10 @@ type BaseServer struct {
 
 	bytesIn, bytesOut atomic.Int64
 	requests          atomic.Int64
+
+	// reg, when set (WithObserver), is the metrics registry wire transports
+	// bill their tiermerge_wire_* series into.
+	reg *obs.Registry
 
 	// applied caches, per mobile, the last reconnect seq handled and its
 	// response — the exactly-once guard for retried merges. Guarded by
@@ -125,35 +146,87 @@ type appliedReq struct {
 	resp []byte
 }
 
+// ServeOption configures a Serve call.
+type ServeOption func(*serveOptions)
+
+type serveOptions struct {
+	workers  int
+	dropNth  int64
+	observer obs.Observer
+}
+
+// WithWorkers sizes the request-worker pool draining the in-process
+// transport (n < 1 is treated as 1; default 1). With several workers,
+// simultaneous reconnects run their merge prepare phases concurrently and
+// serialize only at admission.
+func WithWorkers(n int) ServeOption {
+	return func(o *serveOptions) { o.workers = n }
+}
+
+// WithDropEveryNth arms transport fault injection from the start: every
+// nth mobile-facing response is lost (see DropEveryNth).
+func WithDropEveryNth(n int64) ServeOption {
+	return func(o *serveOptions) { o.dropNth = n }
+}
+
+// WithObserver attaches an observer to the server's transport layer: when
+// the observer exposes a metrics registry (obs.Metrics, or an obs.Multi
+// containing one), wire transports serving this server bill their
+// tiermerge_wire_* series into it.
+func WithObserver(o obs.Observer) ServeOption {
+	return func(so *serveOptions) { so.observer = o }
+}
+
+// Serve starts a server over a base tier — a *BaseCluster or a
+// *ShardedBase — configured by functional options (workers, observer,
+// fault schedule). A one-shard ShardedBase is served as its underlying
+// plain cluster. Callers must Close the server when done.
+func Serve(tier BaseTier, opts ...ServeOption) *BaseServer {
+	var o serveOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	s := &BaseServer{tier: tier}
+	switch t := tier.(type) {
+	case *BaseCluster:
+		s.b = t
+	case *ShardedBase:
+		if t.Shards() == 1 {
+			s.b = t.Shard(0)
+			s.tier = s.b
+		} else {
+			s.sharded = t
+		}
+	}
+	if o.dropNth > 0 {
+		s.drops.SetEveryNth(o.dropNth)
+	}
+	s.reg = obs.RegistryOf(o.observer)
+	s.start(o.workers)
+	return s
+}
+
 // ServeBase starts a single-worker server over the cluster — requests are
 // processed strictly in arrival order. Callers must Close it when done.
-func ServeBase(b *BaseCluster) *BaseServer { return ServeBaseWorkers(b, 1) }
+//
+// Deprecated: use Serve(b).
+func ServeBase(b *BaseCluster) *BaseServer { return Serve(b) }
 
-// ServeBaseWorkers starts a server with a pool of n request workers
-// (n < 1 is treated as 1). With several workers, simultaneous reconnects
-// run their merge prepare phases concurrently and serialize only at
-// admission. Callers must Close it when done.
-func ServeBaseWorkers(b *BaseCluster, n int) *BaseServer {
-	s := &BaseServer{tier: b, b: b}
-	s.start(n)
-	return s
-}
+// ServeBaseWorkers starts a server with a pool of n request workers.
+//
+// Deprecated: use Serve(b, WithWorkers(n)).
+func ServeBaseWorkers(b *BaseCluster, n int) *BaseServer { return Serve(b, WithWorkers(n)) }
 
 // ServeShardedBase starts a single-worker server over a sharded base tier.
-// Callers must Close it when done.
-func ServeShardedBase(sh *ShardedBase) *BaseServer { return ServeShardedBaseWorkers(sh, 1) }
+//
+// Deprecated: use Serve(sh).
+func ServeShardedBase(sh *ShardedBase) *BaseServer { return Serve(sh) }
 
 // ServeShardedBaseWorkers starts a server with n request workers over a
-// sharded base tier. A one-shard tier is served as its underlying plain
-// cluster. Callers must Close it when done.
-func ServeShardedBaseWorkers(sh *ShardedBase, n int) *BaseServer {
-	if sh.Shards() == 1 {
-		return ServeBaseWorkers(sh.Shard(0), n)
-	}
-	s := &BaseServer{tier: sh, sharded: sh}
-	s.start(n)
-	return s
-}
+// sharded base tier.
+//
+// Deprecated: use Serve(sh, WithWorkers(n)).
+func ServeShardedBaseWorkers(sh *ShardedBase, n int) *BaseServer { return Serve(sh, WithWorkers(n)) }
 
 func (s *BaseServer) start(n int) {
 	if n < 1 {
@@ -174,10 +247,15 @@ func (s *BaseServer) Close() {
 	s.workers.Wait()
 }
 
-// Stats returns the requests served and real payload bytes moved each way.
+// Stats returns the requests served and real payload bytes moved each way,
+// summed over every transport feeding this server.
 func (s *BaseServer) Stats() (requests, bytesIn, bytesOut int64) {
 	return s.requests.Load(), s.bytesIn.Load(), s.bytesOut.Load()
 }
+
+// WireRegistry returns the metrics registry wire transports bill into
+// (WithObserver), or nil.
+func (s *BaseServer) WireRegistry() *obs.Registry { return s.reg }
 
 func (s *BaseServer) loop() {
 	defer s.workers.Done()
@@ -186,14 +264,10 @@ func (s *BaseServer) loop() {
 		case <-s.stop:
 			return
 		case r := <-s.req:
-			s.requests.Add(1)
-			s.bytesIn.Add(int64(len(r.payload)))
-			resp, mobileFacing := s.handle(r.payload)
-			s.bytesOut.Add(int64(len(resp)))
-			if mobileFacing && s.drops.Hit() {
+			resp, _, lost := s.ServeFrame(r.payload)
+			if lost {
 				// Fault injection: the response is lost on the wireless
-				// link; the client times out and retries. Only
-				// mobile-facing responses traverse that link.
+				// link; the client times out and retries.
 				r.reply <- nil
 				continue
 			}
@@ -202,52 +276,47 @@ func (s *BaseServer) loop() {
 	}
 }
 
-// call performs one round trip; it serializes on the server goroutine.
-func (s *BaseServer) call(req wireReq) (*wireResp, error) {
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("replica: encode request: %w", err)
+// ServeFrame processes one serialized request envelope and returns the
+// serialized response. It is the transport-agnostic entry point: the
+// in-process channel workers and the TCP connection handlers both feed it,
+// and it bills the server's request/byte counters once per frame. kind
+// names the request endpoint for per-endpoint transport metrics. lost
+// reports that fault injection consumed the response — the transport must
+// realize the loss (the channel transport replies nil; the TCP server
+// severs the connection). Safe for concurrent use.
+func (s *BaseServer) ServeFrame(payload []byte) (resp []byte, kind string, lost bool) {
+	s.requests.Add(1)
+	s.bytesIn.Add(int64(len(payload)))
+	resp, k, mobileFacing := s.handle(payload)
+	s.bytesOut.Add(int64(len(resp)))
+	if mobileFacing && s.drops.Hit() {
+		return nil, string(k), true
 	}
-	r := rpc{payload: payload, reply: make(chan []byte, 1)}
-	select {
-	case s.req <- r:
-	case <-s.stop:
-		return nil, ErrServerClosed
-	}
-	raw := <-r.reply
-	if raw == nil {
-		return nil, errResponseLost
-	}
-	var resp wireResp
-	if err := json.Unmarshal(raw, &resp); err != nil {
-		return nil, fmt.Errorf("replica: decode response: %w", err)
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("replica: server: %s", resp.Err)
-	}
-	return &resp, nil
+	return resp, string(k), false
 }
 
 // handle processes one request payload and reports whether the response
 // traverses the mobile-facing link (fault injection only applies there).
-func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
+func (s *BaseServer) handle(payload []byte) ([]byte, reqKind, bool) {
 	var req wireReq
 	if err := json.Unmarshal(payload, &req); err != nil {
-		return mustResp(wireResp{Err: fmt.Sprintf("bad request: %v", err)}), false
+		return mustResp(wireResp{Err: fmt.Sprintf("bad request: %v", err)}), "", false
 	}
 	switch req.Kind {
 	case reqCheckout:
 		ck := s.tier.CheckoutReplica(req.MobileID)
-		return mustResp(wireResp{Window: ck.WindowID, Pos: ck.Pos, Origin: ck.Origin}), true
+		return mustResp(wireResp{Window: ck.WindowID, Pos: ck.Pos, Origin: ck.Origin}), req.Kind, true
+	case reqMaster:
+		return mustResp(wireResp{Master: s.tier.Master()}), req.Kind, false
 	case reqExecBase:
 		t, err := tx.UnmarshalTransaction(req.Txn)
 		if err != nil {
-			return mustResp(wireResp{Err: err.Error()}), false
+			return mustResp(wireResp{Err: err.Error()}), req.Kind, false
 		}
 		if err := s.tier.ExecBase(t); err != nil {
-			return mustResp(wireResp{Err: err.Error()}), false
+			return mustResp(wireResp{Err: err.Error()}), req.Kind, false
 		}
-		return mustResp(wireResp{}), false
+		return mustResp(wireResp{}), req.Kind, false
 	case reqMerge, reqReprocess:
 		// Exactly-once: a retry of an applied reconnect replays the cached
 		// response instead of merging the same journal twice.
@@ -255,15 +324,15 @@ func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
 		prev, ok := s.applied[req.MobileID]
 		s.appliedMu.Unlock()
 		if ok && prev.seq == req.Seq {
-			return prev.resp, true
+			return prev.resp, req.Kind, true
 		}
 		recs, err := wal.ReadAll(bytes.NewReader(req.Journal))
 		if err != nil {
-			return mustResp(wireResp{Err: err.Error()}), true
+			return mustResp(wireResp{Err: err.Error()}), req.Kind, true
 		}
 		rep, err := wal.Replay(recs)
 		if err != nil {
-			return mustResp(wireResp{Err: err.Error()}), true
+			return mustResp(wireResp{Err: err.Error()}), req.Kind, true
 		}
 		var out *ConnectOutcome
 		if req.Kind == reqReprocess {
@@ -277,7 +346,7 @@ func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
 			}
 			out, err = s.tier.Merge(ck, rep.Augmented)
 			if err != nil {
-				return mustResp(wireResp{Err: err.Error()}), true
+				return mustResp(wireResp{Err: err.Error()}), req.Kind, true
 			}
 		}
 		resp := wireResp{
@@ -294,11 +363,16 @@ func (s *BaseServer) handle(payload []byte) ([]byte, bool) {
 		s.appliedMu.Lock()
 		s.applied[req.MobileID] = appliedReq{seq: req.Seq, resp: encoded}
 		s.appliedMu.Unlock()
-		return encoded, true
+		return encoded, req.Kind, true
 	default:
-		return mustResp(wireResp{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}), false
+		return mustResp(wireResp{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}), req.Kind, false
 	}
 }
+
+// ErrorFrame encodes a transport-level failure as a response envelope, so
+// transports that detect protocol violations (oversized frames, version
+// mismatches) can report them in-band before severing the connection.
+func ErrorFrame(msg string) []byte { return mustResp(wireResp{Err: msg}) }
 
 func mustResp(r wireResp) []byte {
 	b, err := json.Marshal(r)
@@ -308,132 +382,6 @@ func mustResp(r wireResp) []byte {
 	return b
 }
 
-// Client is a mobile node that talks to the base tier only through the
-// message channel: checkout, merge and reprocess all travel as serialized
-// payloads. Reconnects carry a sequence number and retry on lost
-// responses; the server's dedup cache makes them exactly-once.
-type Client struct {
-	node *MobileNode
-	srv  *BaseServer
-	seq  int64
-	// MaxRetries bounds reconnect retries on lost responses (default 3).
-	MaxRetries int
-}
-
-// Dial checks out a replica from the server and returns the connected
-// client.
-func Dial(id string, srv *BaseServer) (*Client, error) {
-	c := &Client{srv: srv, node: &MobileNode{ID: id}}
-	if err := c.checkout(); err != nil {
-		return nil, err
-	}
-	return c, nil
-}
-
-// checkout refreshes the client's replica over the wire, retrying lost
-// responses (checkouts are read-only, hence idempotent).
-func (c *Client) checkout() error {
-	retries := c.MaxRetries
-	if retries == 0 {
-		retries = 3
-	}
-	var (
-		resp *wireResp
-		err  error
-	)
-	for attempt := 0; ; attempt++ {
-		resp, err = c.srv.call(wireReq{Kind: reqCheckout, MobileID: c.node.ID})
-		if err == nil {
-			break
-		}
-		if !errors.Is(err, errResponseLost) || attempt >= retries {
-			return err
-		}
-	}
-	c.node.ck = Checkout{
-		MobileID: c.node.ID,
-		WindowID: resp.Window,
-		Pos:      resp.Pos,
-		Origin:   model.StateOf(resp.Origin),
-	}
-	c.node.local = c.node.ck.Origin.Clone()
-	c.node.hist = &history.History{}
-	c.node.states = []model.State{c.node.ck.Origin.Clone()}
-	c.node.effects = nil
-	c.node.journal = nil
-	return nil
-}
-
-// Run executes a tentative transaction locally (no communication).
-func (c *Client) Run(t *tx.Transaction) error { return c.node.Run(t) }
-
-// Local returns the client's tentative state.
-func (c *Client) Local() model.State { return c.node.Local() }
-
-// Pending returns the number of unreconciled tentative transactions.
-func (c *Client) Pending() int { return c.node.Pending() }
-
-// marshalJournal serializes the node's whole period as wal records — the
-// payload a reconnect ships.
-func (c *Client) marshalJournal() ([]byte, error) {
-	var buf bytes.Buffer
-	w := wal.NewWriter(&buf)
-	if err := w.Checkout(c.node.ck.WindowID, c.node.ck.Pos, c.node.ck.Origin); err != nil {
-		return nil, err
-	}
-	for i := 0; i < c.node.hist.Len(); i++ {
-		if err := w.LogTxn(c.node.hist.Txn(i), c.node.effects[i]); err != nil {
-			return nil, err
-		}
-	}
-	return buf.Bytes(), nil
-}
-
-// connect performs a reconcile round trip of the given kind, retrying on
-// lost responses (the sequence number makes retries exactly-once), then
-// re-checks out.
-func (c *Client) connect(kind reqKind) (*ConnectOutcome, error) {
-	journal, err := c.marshalJournal()
-	if err != nil {
-		return nil, err
-	}
-	c.seq++
-	retries := c.MaxRetries
-	if retries == 0 {
-		retries = 3
-	}
-	var resp *wireResp
-	for attempt := 0; ; attempt++ {
-		resp, err = c.srv.call(wireReq{
-			Kind: kind, MobileID: c.node.ID, Seq: c.seq, Journal: journal,
-		})
-		if err == nil {
-			break
-		}
-		if !errors.Is(err, errResponseLost) || attempt >= retries {
-			return nil, err
-		}
-	}
-	out := &ConnectOutcome{
-		Merged:      resp.Merged,
-		Fallback:    FallbackReason(resp.Fallback),
-		BadIDs:      resp.BadIDs,
-		Saved:       resp.Saved,
-		Reprocessed: resp.Reproc,
-		Failed:      resp.Failed,
-	}
-	if err := c.checkout(); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// ConnectMerge reconciles via the merging protocol over the wire.
-func (c *Client) ConnectMerge() (*ConnectOutcome, error) { return c.connect(reqMerge) }
-
-// ConnectReprocess reconciles via the reprocessing protocol over the wire.
-func (c *Client) ConnectReprocess() (*ConnectOutcome, error) { return c.connect(reqReprocess) }
-
 // ExecBaseRemote submits a base transaction over the wire (for tests and
 // tools that drive everything through the server).
 func (s *BaseServer) ExecBaseRemote(t *tx.Transaction) error {
@@ -441,6 +389,6 @@ func (s *BaseServer) ExecBaseRemote(t *tx.Transaction) error {
 	if err != nil {
 		return err
 	}
-	_, err = s.call(wireReq{Kind: reqExecBase, Txn: code})
+	_, err = call(context.Background(), s.Transport(), wireReq{Kind: reqExecBase, Txn: code})
 	return err
 }

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -248,10 +249,10 @@ func TestRetriedMergeNotDoubleApplied(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := wireReq{Kind: reqMerge, MobileID: "m1", Seq: 42, Journal: journal}
-	if _, err := srv.call(req); err != nil {
+	if _, err := call(context.Background(), srv.Transport(), req); err != nil {
 		t.Fatal(err)
 	}
-	resp2, err := srv.call(req) // retry of the same seq
+	resp2, err := call(context.Background(), srv.Transport(), req) // retry of the same seq
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -483,14 +483,17 @@ func sweepBaseDay(cluster *replica.BaseCluster, baseTxns []*tx.Transaction, adva
 	return nil
 }
 
-// sweepConnect reconciles via the sweep's protocol. The one-argument form
-// binds journal-recovered nodes; already-bound nodes take it too (it must
-// then match), so one call shape serves both.
+// sweepConnect reconciles via the sweep's protocol. Bind hands
+// journal-recovered nodes their cluster; already-bound nodes take it too
+// (it must then match), so one call shape serves both.
 func sweepConnect(cs CrashSweep, m *replica.MobileNode, cluster *replica.BaseCluster) (*replica.ConnectOutcome, error) {
-	if cs.Protocol == Reprocessing {
-		return m.ConnectReprocess(cluster), nil
+	if err := m.Bind(cluster); err != nil {
+		return nil, err
 	}
-	return m.ConnectMerge(cluster)
+	if cs.Protocol == Reprocessing {
+		return m.ConnectReprocess(), nil
+	}
+	return m.ConnectMerge()
 }
 
 // commitsIn counts acknowledged commits in a journal prefix and reports

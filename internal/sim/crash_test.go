@@ -144,7 +144,10 @@ func TestRecoveryTraceOutcome(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rec.ConnectMerge(cluster); err != nil {
+	if err := rec.Bind(cluster); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.ConnectMerge(); err != nil {
 		t.Fatal(err)
 	}
 	var outcomes []string

@@ -8,9 +8,11 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"tiermerge/internal/cost"
 	"tiermerge/internal/merge"
@@ -18,6 +20,7 @@ import (
 	"tiermerge/internal/obs"
 	"tiermerge/internal/replica"
 	"tiermerge/internal/tx"
+	"tiermerge/internal/wire"
 	"tiermerge/internal/workload"
 )
 
@@ -100,6 +103,11 @@ type Scenario struct {
 	// checkout, merge and reprocess travels as a serialized payload
 	// (implies Concurrent-style scheduling but deterministic per client).
 	MessagePassing bool
+	// WireTCP upgrades MessagePassing to real loopback TCP: the BaseServer
+	// is fronted by a wire.Server on 127.0.0.1 and every client dials its
+	// own pooled TCP transport, so the measured traffic includes framing
+	// and the transport's redial behavior (implies MessagePassing).
+	WireTCP bool
 	// DropEveryNth makes the message transport lose every nth response
 	// (MessagePassing mode only); clients retry and the server's dedup
 	// cache keeps reconnects exactly-once.
@@ -181,9 +189,16 @@ type Result struct {
 	TentativeRun int64
 	// Crashes counts mobile crashes injected (and recovered from journals).
 	Crashes int64
-	// WireRequests and WireBytes report the message-passing transport's
-	// real traffic (MessagePassing mode only).
+	// WireRequests and WireBytes report the transport's real traffic
+	// (MessagePassing/WireTCP modes only). WireBytes counts payload bytes.
+	// In MessagePassing mode they cover every server request (base-tier
+	// traffic included); in WireTCP mode they cover the requests that
+	// crossed the loopback socket — the mobile fleet's — and
+	// WireFrameBytes additionally reports the socket bytes (payloads plus
+	// frame headers) with WireRedials the clients' transparent redials.
 	WireRequests, WireBytes int64
+	WireFrameBytes          int64
+	WireRedials             int64
 }
 
 // Run executes the scenario and returns its result.
@@ -203,7 +218,7 @@ func Run(sc Scenario) (*Result, error) {
 		if err := cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
-		if sc.MessagePassing {
+		if sc.MessagePassing || sc.WireTCP {
 			return nil, fmt.Errorf("sim: %w: MessagePassing is not supported with Shards set", replica.ErrBadConfig)
 		}
 		return runSharded(sc, cfg)
@@ -233,7 +248,7 @@ func Run(sc Scenario) (*Result, error) {
 
 	res := &Result{Scenario: sc}
 	switch {
-	case sc.MessagePassing:
+	case sc.MessagePassing || sc.WireTCP:
 		if err := runMessagePassing(sc, cluster, res); err != nil {
 			return nil, err
 		}
@@ -393,13 +408,10 @@ func runConcurrent(sc Scenario, cluster *replica.BaseCluster, res *Result) error
 }
 
 func connect(sc Scenario, m *replica.MobileNode, cluster *replica.BaseCluster) (*replica.ConnectOutcome, error) {
-	if m.Cluster() == nil {
-		// A journal-recovered node has no cluster yet; the deprecated
-		// one-argument form binds it.
-		if sc.Protocol == Reprocessing {
-			return m.ConnectReprocess(cluster), nil
-		}
-		return m.ConnectMerge(cluster)
+	// A journal-recovered node has no cluster yet; Bind hands it its
+	// cluster (and charges the recovery) before reconnecting.
+	if err := m.Bind(cluster); err != nil {
+		return nil, err
 	}
 	if sc.Protocol == Reprocessing {
 		return m.ConnectReprocess(), nil
@@ -422,12 +434,42 @@ func baseTxn(sc Scenario, round, k int) *tx.Transaction {
 
 // runMessagePassing drives the fleet through the BaseServer message
 // channel: a pool of ServerWorkers request workers, one goroutine per
-// mobile client, every reconnect a serialized round trip.
+// mobile client, every reconnect a serialized round trip. With WireTCP the
+// same fleet runs over real loopback TCP — a wire.Server fronts the base
+// server and each client dials its own pooled transport.
 func runMessagePassing(sc Scenario, cluster *replica.BaseCluster, res *Result) error {
-	srv := replica.ServeBaseWorkers(cluster, sc.ServerWorkers)
+	srv := replica.Serve(cluster, replica.WithWorkers(sc.ServerWorkers))
 	defer srv.Close()
 	if sc.DropEveryNth > 0 {
 		srv.DropEveryNth(sc.DropEveryNth)
+	}
+	// dialClient yields each mobile's transport; over TCP every client
+	// owns a pooled connection to the loopback listener.
+	dialClient := func(ctx context.Context, id string) (*replica.Client, func(), error) {
+		c, err := replica.DialContext(ctx, id, srv)
+		return c, func() {}, err
+	}
+	var ws *wire.Server
+	if sc.WireTCP {
+		ws = wire.NewServer(srv, wire.ServerConfig{})
+		addr, err := ws.Listen("127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("sim: wire listen: %w", err)
+		}
+		defer ws.Close()
+		dialClient = func(ctx context.Context, id string) (*replica.Client, func(), error) {
+			tr := wire.Dial(addr.String(), wire.ClientConfig{})
+			c, err := replica.DialTransport(ctx, id, tr)
+			if err != nil {
+				tr.Close()
+				return nil, nil, err
+			}
+			return c, func() {
+				_, redials := tr.Stats()
+				atomic.AddInt64(&res.WireRedials, redials)
+				tr.Close()
+			}, nil
+		}
 	}
 	var (
 		wg       sync.WaitGroup
@@ -459,11 +501,12 @@ func runMessagePassing(sc Scenario, cluster *replica.BaseCluster, res *Result) e
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := replica.Dial(fmt.Sprintf("m%d", i+1), srv)
+			c, release, err := dialClient(context.Background(), fmt.Sprintf("m%d", i+1))
 			if err != nil {
 				record(err)
 				return
 			}
+			defer release()
 			gen := workload.NewGenerator(workload.Config{
 				Seed: sc.Seed + int64(i) + 1, Items: sc.Items, PCommutative: sc.PCommutative,
 				HotItems: sc.HotItems, PHot: sc.PHot,
@@ -500,5 +543,17 @@ func runMessagePassing(sc Scenario, cluster *replica.BaseCluster, res *Result) e
 	reqs, in, out := srv.Stats()
 	res.WireRequests = reqs
 	res.WireBytes = in + out
+	if ws != nil {
+		ws.Close()
+		// Over TCP the wire counters cover the traffic that actually
+		// crossed the socket — the mobile fleet's — while base-tier
+		// transactions stay in-process with the server, so payload and
+		// frame totals describe the same requests.
+		frames, fin, fout, _ := ws.Stats()
+		pin, pout := ws.PayloadBytes()
+		res.WireRequests = frames
+		res.WireBytes = pin + pout
+		res.WireFrameBytes = fin + fout
+	}
 	return firstErr
 }

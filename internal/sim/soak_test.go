@@ -239,7 +239,10 @@ func TestTortureEverythingAtOnce(t *testing.T) {
 				m = rec
 				crashes++
 			}
-			if _, err := m.ConnectMerge(b); err != nil {
+			if err := m.Bind(b); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.ConnectMerge(); err != nil {
 				t.Fatal(err)
 			}
 			if got := sum(); got != total {

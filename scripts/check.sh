@@ -87,6 +87,14 @@ go test ./...
 echo "== race (concurrent merge pipeline + observers + crash-recovery soak) =="
 go test -race ./internal/replica/... ./internal/rewrite/... ./internal/obs/... ./internal/sim/...
 
+echo "== race (wire transport: chan-vs-TCP conformance, exactly-once, drains) =="
+# Explicit gate for the transport seam: the conformance suite must produce
+# identical outcomes over the in-process channel transport and real
+# loopback TCP — round trips, drop-retry parity, exactly-once under
+# duplicated frames, mid-flight server close, and oversized-frame
+# rejection — all under the race detector.
+go test -race -count=1 ./internal/wire/
+
 echo "== race (incremental re-prepare parity + batched admission) =="
 # Explicit gate for the retry-amortization invariants: incremental
 # re-prepare must match a from-scratch prepare (reports and counters),
@@ -102,7 +110,7 @@ echo "== race (sharded base tier: two-phase cross-shard merges + window barrier)
 # all-shards-contended deadlock smoke — all under the race detector.
 go test -race -count=1 -run 'TestShard|TestCrossShard|TestWindowBarrier' ./internal/replica/
 
-echo "== experiments (E0..E16) =="
+echo "== experiments (E0..E17) =="
 run_logged benchreport go run ./cmd/benchreport
 
 echo "== examples =="
@@ -119,6 +127,9 @@ done
 
 echo "== merge trace smoke =="
 run_logged trace-smoke go run ./cmd/tiermerge trace -mobiles 2 -rounds 2 -txns 3
+
+echo "== multi-process wire smoke (tiermerge serve + client over loopback TCP) =="
+run_logged wire-smoke bash scripts/e2e_wire.sh
 
 echo "== benchmark smoke =="
 run_logged bench-smoke go test -run XXX -bench . -benchtime 1x ./...

@@ -39,11 +39,19 @@
 //	fmt.Println(out.Saved, base.Master().Get("acct")) // 1 125
 //
 // The node remembers the cluster it checked out from, so ConnectMerge,
-// ConnectReprocess, PreviewMerge and Checkout take no argument; the old
-// one-argument forms remain as deprecated wrappers.
+// ConnectReprocess, PreviewMerge and Checkout take no argument; a node
+// recovered from a journal is handed its cluster with Bind.
+//
+// The mobile/base split also runs over a real wire: Serve starts a server
+// over any base tier, and MobileClient reconciles through a Transport —
+// the in-process channel transport (BaseServer.Transport) or the
+// length-prefixed TCP transport (internal/wire, driven by the tiermerge
+// serve and client subcommands) — so the same client code runs against a
+// goroutine or a separate process. See docs/WIRE.md.
 package tiermerge
 
 import (
+	"context"
 	"io"
 
 	"tiermerge/internal/cost"
@@ -386,6 +394,10 @@ var (
 	ErrClusterMismatch = replica.ErrClusterMismatch
 	// ErrServerClosed: a request reached a closed BaseServer.
 	ErrServerClosed = replica.ErrServerClosed
+	// ErrResponseLost: a transport lost the response after the request may
+	// have been applied; sequence-numbered and idempotent requests retry
+	// on it (errors.Is).
+	ErrResponseLost = replica.ErrResponseLost
 )
 
 // Observability (the merge-pipeline instrumentation layer; see
@@ -648,24 +660,69 @@ func RecoverBaseCluster(r io.Reader, cfg ClusterConfig) (*BaseCluster, *WALRecov
 	return replica.RecoverBaseCluster(r, cfg)
 }
 
-// Message-passing realization of the mobile/base split: a server goroutine
-// over the cluster, and clients whose checkout/merge/reprocess travel as
-// serialized payloads (journals, code) — real wire sizes included.
+// Message-passing realization of the mobile/base split: a server over the
+// base tier, and clients whose checkout/merge/reprocess travel as
+// serialized payloads (journals, code) — real wire sizes included. The
+// transport seam separates the protocol from its medium: the in-process
+// channel transport ships here, the TCP realization in internal/wire.
 type (
-	// BaseServer serves a BaseCluster over an in-process message channel.
+	// BaseServer serves a base tier behind the wire protocol's
+	// request/response envelopes, with a worker pool and a per-mobile
+	// dedup cache that makes sequence-numbered retries exactly-once.
 	BaseServer = replica.BaseServer
-	// MobileClient reconciles with the base tier through messages only.
+	// BaseTier is the server-side seam: the reconciliation surface a
+	// BaseServer fronts (BaseCluster and ShardedBase both satisfy it).
+	BaseTier = replica.BaseTier
+	// MobileClient reconciles with the base tier through a Transport only.
 	MobileClient = replica.Client
+	// Transport carries one serialized request envelope to a base server
+	// and returns the serialized response — implemented by the in-process
+	// channel transport (BaseServer.Transport) and the TCP client pool in
+	// internal/wire.
+	Transport = replica.Transport
+	// ServeOption configures Serve.
+	ServeOption = replica.ServeOption
 )
 
-// ServeBase starts the server goroutine; Close it when done.
+// Serve starts a server over any base tier; Close it when done.
+func Serve(tier BaseTier, opts ...ServeOption) *BaseServer {
+	return replica.Serve(tier, opts...)
+}
+
+// Serve options.
+var (
+	// WithWorkers sets the server's worker-goroutine count (default 1).
+	WithWorkers = replica.WithWorkers
+	// WithDropEveryNth arms fault injection: every nth mobile-facing
+	// response is lost (retries + dedup keep reconciles exactly-once).
+	WithDropEveryNth = replica.WithDropEveryNth
+	// WithObserver attaches an observer to the server's transport metrics.
+	WithObserver = replica.WithObserver
+)
+
+// ServeBase starts a server over a plain cluster.
+//
+// Deprecated: use Serve(b).
 func ServeBase(b *BaseCluster) *BaseServer { return replica.ServeBase(b) }
 
-// ServeShardedBase starts the server goroutine over a sharded base tier;
-// Close it when done.
+// ServeShardedBase starts a server over a sharded base tier.
+//
+// Deprecated: use Serve(s).
 func ServeShardedBase(s *ShardedBase) *BaseServer { return replica.ServeShardedBase(s) }
 
-// DialBase checks a mobile client out from the server.
+// DialBase checks a mobile client out from the server over its in-process
+// transport.
 func DialBase(id string, srv *BaseServer) (*MobileClient, error) {
 	return replica.Dial(id, srv)
+}
+
+// DialBaseContext is DialBase honoring ctx for the initial checkout.
+func DialBaseContext(ctx context.Context, id string, srv *BaseServer) (*MobileClient, error) {
+	return replica.DialContext(ctx, id, srv)
+}
+
+// DialTransport checks a mobile client out over any Transport. The client
+// does not own the transport; close it separately when done.
+func DialTransport(ctx context.Context, id string, tr Transport) (*MobileClient, error) {
+	return replica.DialTransport(ctx, id, tr)
 }

@@ -99,7 +99,10 @@ func TestPublicWALRecovery(t *testing.T) {
 	if report.Committed != 1 || report.Dropped != 0 || report.TornTail {
 		t.Errorf("recovery report: %s", report)
 	}
-	out, err := rec.ConnectMerge(base)
+	if err := rec.Bind(base); err != nil {
+		t.Fatal(err)
+	}
+	out, err := rec.ConnectMerge()
 	if err != nil {
 		t.Fatal(err)
 	}
