@@ -729,3 +729,40 @@ func BenchmarkE17WireTransport(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE18DeltaMerge times the E18 counter fleet (all-commutative,
+// hot-item contended) in both arms: increments merged as first-class
+// deltas vs the DisableDeltas value-write baseline. Beyond wall clock,
+// each arm reports its back-out, elision and folding tallies per run —
+// benchreport's e18 summary turns the pair into the headline reduction.
+func BenchmarkE18DeltaMerge(b *testing.B) {
+	base := sim.Scenario{
+		Seed: 18, Mobiles: 6, Rounds: 3, TxnsPerRound: 5,
+		BaseTxnsPerRound: 2, Items: 24, HotItems: 4, PHot: 0.6,
+		PCommutative: 1, WindowEveryRounds: 2,
+	}
+	for _, arm := range []string{"delta", "value"} {
+		sc := base
+		if arm == "value" {
+			sc.MergeOptions = merge.Options{DisableDeltas: true}
+		}
+		b.Run("arm="+arm, func(b *testing.B) {
+			b.ReportAllocs()
+			var backouts, elided, folded, graphOps int64
+			for n := 0; n < b.N; n++ {
+				res, err := sim.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				backouts += res.Counts.TxnsBackedOut
+				elided += res.Counts.EdgesElided
+				folded += res.Counts.DeltaFolded
+				graphOps += res.Counts.BaseGraphOps
+			}
+			b.ReportMetric(float64(backouts)/float64(b.N), "backouts/op")
+			b.ReportMetric(float64(elided)/float64(b.N), "elided/op")
+			b.ReportMetric(float64(folded)/float64(b.N), "folded/op")
+			b.ReportMetric(float64(graphOps)/float64(b.N), "graph_ops/op")
+		})
+	}
+}

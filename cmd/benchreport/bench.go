@@ -113,6 +113,9 @@ func runBenchJSON(r io.Reader, dir string) int {
 		if id == "E17" {
 			f.Summary = e17Summary(f.Results)
 		}
+		if id == "E18" {
+			f.Summary = e18Summary(f.Results)
+		}
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
@@ -151,6 +154,37 @@ func e17Summary(results []benchResult) map[string]float64 {
 	}
 	if okC && ch.NsPerOp > 0 {
 		sum["tcp_vs_chan_slowdown"] = tcp.NsPerOp / ch.NsPerOp
+	}
+	return sum
+}
+
+// e18Summary derives the E18 headline: what merging commutative
+// increments as first-class deltas saves over the value-write baseline on
+// the contended counter fleet — back-outs avoided, graph edges elided,
+// increments folded, and the wall-clock speedup.
+func e18Summary(results []benchResult) map[string]float64 {
+	byArm := map[string]benchResult{}
+	for _, r := range results {
+		if i := strings.Index(r.Name, "arm="); i >= 0 {
+			byArm[r.Name[i+len("arm="):]] = r
+		}
+	}
+	delta, okD := byArm["delta"]
+	value, okV := byArm["value"]
+	if !okD || !okV {
+		return nil
+	}
+	sum := map[string]float64{
+		"delta_backouts_per_run": delta.Metrics["backouts/op"],
+		"value_backouts_per_run": value.Metrics["backouts/op"],
+		"edges_elided_per_run":   delta.Metrics["elided/op"],
+		"deltas_folded_per_run":  delta.Metrics["folded/op"],
+	}
+	if v := value.Metrics["graph_ops/op"]; v > 0 {
+		sum["graph_ops_reduction"] = 1 - delta.Metrics["graph_ops/op"]/v
+	}
+	if delta.NsPerOp > 0 {
+		sum["delta_vs_value_speedup"] = value.NsPerOp / delta.NsPerOp
 	}
 	return sum
 }

@@ -71,3 +71,37 @@ func goodRead(s *server) int64 {
 func approvedHelper(s *server) {
 	s.tally.MergesPerformed++
 }
+
+// prepared mirrors the merge pipeline's per-attempt accumulator pair:
+// deltaPrepare survives retries (attempt-independent charges billed once),
+// deltaCommit is rebuilt per attempt; both merge through one Counters.Add.
+type prepared struct {
+	deltaPrepare cost.Counts
+	deltaCommit  cost.Counts
+}
+
+// goodDeltaMergeAccumulators is the delta-merge billing shape: edge
+// elisions accumulate into the prepare delta across retry attempts, fold
+// tallies land in the commit delta, and the pair reaches the shared
+// counters at exactly one admission point.
+func goodDeltaMergeAccumulators(s *server, p *prepared, attempts int) {
+	for a := 0; a < attempts; a++ {
+		p.deltaPrepare.EdgesElided++
+		p.deltaCommit = cost.Counts{}
+		p.deltaCommit.DeltaFolded++
+	}
+	s.counters.Add(p.deltaPrepare)
+	s.counters.Add(p.deltaCommit)
+}
+
+// badElisionOnSharedTally bills a delta-merge win straight into the shared
+// tally — the retried-prepare double-billing shape the accumulators exist
+// to prevent.
+func badElisionOnSharedTally(s *server) {
+	s.tally.EdgesElided++ // want "written directly on shared tally tally"
+}
+
+// badFoldOnGlobal is the same bug against a package-level tally.
+func badFoldOnGlobal() {
+	globalTally.DeltaFolded++ // want "written directly on shared tally globalTally"
+}

@@ -10,6 +10,8 @@ type Counts struct {
 	Messages        int64
 	Bytes           int64
 	MergesPerformed int64
+	EdgesElided     int64
+	DeltaFolded     int64
 }
 
 // Add accumulates o into c.

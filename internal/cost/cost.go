@@ -126,6 +126,15 @@ type Counts struct {
 	// cross-shard admit instead of a single shard's pipeline. Always zero
 	// on an unsharded cluster.
 	CrossShardMerges int64
+	// DeltaFolded counts tentative pure-delta writes that associative
+	// folding collapsed into net forwarded increments: for each forwarded
+	// delta item, every saved write of it beyond the first. Zero when
+	// delta-merge semantics are disabled.
+	DeltaFolded int64
+	// EdgesElided counts precedence-graph conflict pairs that needed no
+	// edge because both endpoints touch the shared item only as pure
+	// commutative deltas (graph work and back-out exposure avoided).
+	EdgesElided int64
 
 	// Crash-recovery events (mobile journal replays and base-log replays
 	// alike; see DESIGN.md §10).
@@ -163,6 +172,8 @@ func (c *Counts) Add(o Counts) {
 	c.MergeRetries += o.MergeRetries
 	c.AdmitBatches += o.AdmitBatches
 	c.CrossShardMerges += o.CrossShardMerges
+	c.DeltaFolded += o.DeltaFolded
+	c.EdgesElided += o.EdgesElided
 	c.Recoveries += o.Recoveries
 	c.WalRecordsReplayed += o.WalRecordsReplayed
 	c.WalTailDropped += o.WalTailDropped

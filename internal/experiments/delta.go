@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tiermerge/internal/merge"
+	"tiermerge/internal/sim"
+)
+
+// E18DeltaMerge validates delta-merge semantics: commutative increments
+// classified as first-class deltas must cut precedence-graph work and
+// back-out exposure without changing any merged outcome.
+//
+// The same deterministic fleet runs at three commutative fractions, each
+// in two arms: deltas enabled (the default) and
+// merge.Options.DisableDeltas (the seed's value-write behavior). The arms
+// must land on byte-identical masters at every fraction — delta folding is
+// an optimization, never a semantic change — while the delta arm's
+// counters show the wins: conflict pairs elided from the graph, saved
+// increments folded into net forwarded deltas, and strictly fewer
+// back-outs on the increment-heavy workload. At commutative fraction 0
+// there is nothing to classify and the arms must charge identical costs.
+func E18DeltaMerge() *Table {
+	t := &Table{
+		ID:    "E18",
+		Title: "Delta-merge semantics: commutative increments as first-class deltas",
+		Header: []string{
+			"p(comm)", "arm", "merges", "saved", "backed out",
+			"graph ops", "elided", "folded", "total cost",
+		},
+	}
+	base := sim.Scenario{
+		Seed: 18, Mobiles: 6, Rounds: 3, TxnsPerRound: 5,
+		BaseTxnsPerRound: 2, Items: 24, HotItems: 4, PHot: 0.6,
+		WindowEveryRounds: 2,
+	}
+	fractions := []float64{0.01, 0.6, 1.0}
+
+	type key struct {
+		pc      float64
+		disable bool
+	}
+	results := make(map[key]*sim.Result)
+	for _, pc := range fractions {
+		for _, disable := range []bool{false, true} {
+			sc := base
+			sc.PCommutative = pc
+			sc.MergeOptions = merge.Options{DisableDeltas: disable}
+			res, err := sim.Run(sc)
+			if err != nil {
+				panic(err)
+			}
+			results[key{pc, disable}] = res
+			arm := "delta"
+			if disable {
+				arm = "value"
+			}
+			c := res.Counts
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.2f", pc), arm,
+				fmt.Sprint(c.MergesPerformed),
+				fmt.Sprint(c.TxnsSaved),
+				fmt.Sprint(c.TxnsBackedOut),
+				fmt.Sprint(c.BaseGraphOps),
+				fmt.Sprint(c.EdgesElided),
+				fmt.Sprint(c.DeltaFolded),
+				fmt.Sprint(res.Cost.Total()),
+			})
+		}
+	}
+
+	// Serial-order equivalence: identical masters at every fraction.
+	mastersEqual := true
+	for _, pc := range fractions {
+		if !results[key{pc, false}].FinalMaster.Equal(results[key{pc, true}].FinalMaster) {
+			mastersEqual = false
+		}
+	}
+	// The DisableDeltas arm must be a faithful value-write baseline.
+	valueInert := true
+	for _, pc := range fractions {
+		c := results[key{pc, true}].Counts
+		if c.EdgesElided != 0 || c.DeltaFolded != 0 {
+			valueInert = false
+		}
+	}
+	// On the all-commutative workload the delta path must fire and win.
+	deltaHi := results[key{1.0, false}].Counts
+	valueHi := results[key{1.0, true}].Counts
+	elides := deltaHi.EdgesElided > 0
+	folds := deltaHi.DeltaFolded > 0
+	fewerBackouts := deltaHi.TxnsBackedOut < valueHi.TxnsBackedOut
+	fewerGraphOps := deltaHi.BaseGraphOps < valueHi.BaseGraphOps
+	cheaper := results[key{1.0, false}].Cost.Total() < results[key{1.0, true}].Cost.Total()
+
+	t.Checks = append(t.Checks,
+		Check{Name: "delta and value-write arms land on identical masters at every fraction",
+			OK: mastersEqual},
+		Check{Name: "DisableDeltas arm neither elides edges nor folds deltas",
+			OK: valueInert},
+		Check{Name: "delta-delta conflict pairs are elided on the commutative workload",
+			OK: elides, Note: fmt.Sprintf("edges elided: %d", deltaHi.EdgesElided)},
+		Check{Name: "same-item increments fold into net forwarded deltas",
+			OK: folds, Note: fmt.Sprintf("deltas folded: %d", deltaHi.DeltaFolded)},
+		Check{Name: "delta merging backs out fewer transactions than value writes",
+			OK: fewerBackouts,
+			Note: fmt.Sprintf("backed out: delta=%d value=%d",
+				deltaHi.TxnsBackedOut, valueHi.TxnsBackedOut)},
+		Check{Name: "edge elision cuts base-side graph work",
+			OK: fewerGraphOps,
+			Note: fmt.Sprintf("graph ops: delta=%d value=%d",
+				deltaHi.BaseGraphOps, valueHi.BaseGraphOps)},
+		Check{Name: "delta arm's weighted Section 7.1 total is cheaper on the commutative workload",
+			OK: cheaper},
+	)
+	return t
+}

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction suite indexed in
-// DESIGN.md: one function per experiment E0..E17, each regenerating the
+// DESIGN.md: one function per experiment E0..E18, each regenerating the
 // table or series that EXPERIMENTS.md records. cmd/benchreport prints them;
 // the top-level benchmarks time their kernels.
 package experiments
@@ -110,6 +110,7 @@ func All() []*Table {
 		E15IncrementalRetry(),
 		E16ShardedFleet(),
 		E17WireTransport(),
+		E18DeltaMerge(),
 	}
 }
 

@@ -39,9 +39,20 @@ type Access struct {
 	Kind     tx.Kind
 	ReadSet  model.ItemSet
 	WriteSet model.ItemSet
+	// Delta is the subset of WriteSet the transaction touched only as pure
+	// commutative increments (tx.Effect.DeltaPure): delta-written, and read
+	// only through the update's own implicit pre-read. A conflict pair in
+	// which both sides access the item through Delta commutes and
+	// contributes no precedence edge (the edge is elided; Graph.Elided
+	// counts them). A nil Delta (hand-declared accesses, the value-write
+	// baseline) disables elision for the access.
+	Delta model.ItemSet
 }
 
-// AccessesOf extracts the access footprints from an executed history.
+// AccessesOf extracts the access footprints from an executed history,
+// without delta classification: every conflict gets its precedence edge,
+// the paper's literal Section 2.1 construction. DeltaAccessesOf is the
+// delta-aware variant the merging protocol uses by default.
 func AccessesOf(a *history.Augmented) []Access {
 	out := make([]Access, a.H.Len())
 	for i, eff := range a.Effects {
@@ -55,12 +66,32 @@ func AccessesOf(a *history.Augmented) []Access {
 	return out
 }
 
+// DeltaAccessesOf extracts access footprints with delta classification:
+// each access's Delta set carries the items it touched only as pure
+// commutative increments, so the builder elides the edges of delta-delta
+// conflict pairs. The merged outcome is unchanged for acyclic graphs and
+// strictly better where delta-delta 2-cycles would otherwise force
+// back-outs; the value-write baseline (merge.Options.DisableDeltas)
+// falls back to AccessesOf.
+func DeltaAccessesOf(a *history.Augmented) []Access {
+	out := AccessesOf(a)
+	for i, eff := range a.Effects {
+		out[i].Delta = eff.DeltaPure()
+	}
+	return out
+}
+
 // Graph is the precedence graph. Vertices 0..MobileLen-1 are the tentative
 // transactions of Hm in order; vertices MobileLen..MobileLen+BaseLen-1 are
 // the base transactions of Hb in order.
 type Graph struct {
 	MobileLen int
 	BaseLen   int
+	// Elided counts the conflict pairs that needed no precedence edge
+	// because both sides touched the shared item only as pure commutative
+	// deltas (Access.Delta). It is the graph-size saving delta-merge
+	// semantics buys over the value-write reading of the same histories.
+	Elided int
 
 	ids  []string
 	kind []tx.Kind

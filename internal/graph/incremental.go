@@ -21,6 +21,10 @@ type Incremental struct {
 	mobile []Access
 	g      *Graph
 	edges  map[[2]int]struct{}
+	// elided records conflict pairs skipped because both endpoints touch
+	// the shared item only as pure commutative deltas; kept for
+	// deduplicated accounting (Graph.Elided).
+	elided map[[2]int]struct{}
 	// perItem groups accesses per item, split by tier; itemRef.writes is
 	// WriteSet membership for that item (true for blind writes too).
 	perItem map[model.Item]*itemIndex
@@ -29,6 +33,11 @@ type Incremental struct {
 type itemRef struct {
 	vertex int
 	writes bool
+	// delta marks the access as delta-pure on this item: the only read is
+	// the update's own pre-read and the write is a state-independent
+	// increment, so it commutes with any other delta-pure access of the
+	// item and the conflict pair needs no precedence edge.
+	delta bool
 }
 
 type itemIndex struct {
@@ -64,6 +73,7 @@ func NewIncremental(mobile, base []Access) *Incremental {
 			cost:      make([]int, n),
 		},
 		edges:   make(map[[2]int]struct{}),
+		elided:  make(map[[2]int]struct{}),
 		perItem: make(map[model.Item]*itemIndex),
 	}
 	for i, a := range mobile {
@@ -71,12 +81,18 @@ func NewIncremental(mobile, base []Access) *Incremental {
 		inc.g.kind[i] = tx.Tentative
 		inc.collectMobile(a, i)
 	}
-	// Rule 1: same-tier conflicting tentative pairs, ordered as in Hm.
+	// Rule 1: same-tier conflicting tentative pairs, ordered as in Hm —
+	// unless both sides touch the item only as pure deltas, in which case
+	// the pair commutes and the edge is elided.
 	for _, e := range inc.perItem {
 		for x := 0; x < len(e.mobile); x++ {
 			for y := x + 1; y < len(e.mobile); y++ {
-				if e.mobile[x].writes || e.mobile[y].writes {
-					inc.addEdge(e.mobile[x].vertex, e.mobile[y].vertex, nil)
+				mx, my := e.mobile[x], e.mobile[y]
+				switch {
+				case mx.delta && my.delta:
+					inc.elide(mx.vertex, my.vertex)
+				case mx.writes || my.writes:
+					inc.addEdge(mx.vertex, my.vertex, nil)
 				}
 			}
 		}
@@ -117,31 +133,47 @@ func (inc *Incremental) Extend(newBase []Access) ExtendStats {
 				e = &itemIndex{}
 				inc.perItem[it] = e
 			}
-			// Rule 2: conflicting base pairs ordered as in Hb.
+			delta := a.Delta.Has(it)
+			// Rule 2: conflicting base pairs ordered as in Hb; two pure
+			// deltas commute and need no ordering.
 			for _, b := range e.base {
-				if b.writes || writes {
+				switch {
+				case b.delta && delta:
+					inc.elide(b.vertex, v)
+				case b.writes || writes:
 					if inc.addEdge(b.vertex, v, touched) {
 						st.NewEdges++
 					}
 				}
 			}
-			// Rule 3: cross edges, reader precedes writer.
+			// Rule 3: cross edges, reader precedes writer. A delta-pure
+			// pair produces no edge in either direction: each side's only
+			// read of the item is its own pre-read, whose observed value
+			// its written increment does not depend on, so neither needs
+			// to be serialized before the other.
 			reads := a.ReadSet.Has(it)
 			for _, m := range e.mobile {
+				bothDelta := delta && m.delta
 				if inc.mobile[m.vertex].ReadSet.Has(it) && writes {
-					if inc.addEdge(m.vertex, v, touched) {
+					switch {
+					case bothDelta:
+						inc.elide(m.vertex, v)
+					case inc.addEdge(m.vertex, v, touched):
 						st.NewEdges++
 						st.MobileEdges++
 					}
 				}
 				if reads && m.writes {
-					if inc.addEdge(v, m.vertex, touched) {
+					switch {
+					case bothDelta:
+						inc.elide(v, m.vertex)
+					case inc.addEdge(v, m.vertex, touched):
 						st.NewEdges++
 						st.MobileEdges++
 					}
 				}
 			}
-			e.base = append(e.base, itemRef{vertex: v, writes: writes})
+			e.base = append(e.base, itemRef{vertex: v, writes: writes, delta: delta})
 		}
 		for it := range a.ReadSet {
 			pair(it, a.WriteSet.Has(it))
@@ -181,6 +213,26 @@ func (inc *Incremental) addEdge(u, v int, touched map[int]struct{}) bool {
 	return true
 }
 
+// elide records a precedence edge skipped because both endpoints access
+// the shared item only as pure commutative deltas. Pairs are deduplicated
+// the same way edges are, and a pair that already carries a real edge
+// (a conflict through some non-delta item) is not counted — the edge is
+// there regardless, so nothing was saved for it.
+func (inc *Incremental) elide(u, v int) {
+	if u == v {
+		return
+	}
+	key := [2]int{u, v}
+	if _, dup := inc.elided[key]; dup {
+		return
+	}
+	if _, present := inc.edges[key]; present {
+		return
+	}
+	inc.elided[key] = struct{}{}
+	inc.g.Elided++
+}
+
 // collectMobile records a tentative access in the per-item index.
 func (inc *Incremental) collectMobile(a Access, vertex int) {
 	rec := func(it model.Item, writes bool) {
@@ -189,7 +241,7 @@ func (inc *Incremental) collectMobile(a Access, vertex int) {
 			e = &itemIndex{}
 			inc.perItem[it] = e
 		}
-		e.mobile = append(e.mobile, itemRef{vertex: vertex, writes: writes})
+		e.mobile = append(e.mobile, itemRef{vertex: vertex, writes: writes, delta: a.Delta.Has(it)})
 	}
 	for it := range a.ReadSet {
 		rec(it, a.WriteSet.Has(it))

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"time"
 
-	"tiermerge/internal/graph"
 	"tiermerge/internal/history"
 	"tiermerge/internal/obs"
 )
@@ -57,7 +56,7 @@ func Extend(prev *Report, hm, newBase *history.Augmented, opts Options) (*Report
 	o := opts.Observer
 
 	start := spanStart(o)
-	st := rep.inc.Extend(graph.AccessesOf(newBase))
+	st := rep.inc.Extend(accessesFor(newBase, opts))
 	info := ExtendInfo{NewVertices: st.NewVertices, NewEdges: st.NewEdges, MobileEdges: st.MobileEdges}
 	if o != nil {
 		o.Observe(obs.Event{Phase: obs.PhaseExtend, Dur: time.Since(start),

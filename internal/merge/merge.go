@@ -110,6 +110,14 @@ type Options struct {
 	// compares it against the pruned state, failing the merge on mismatch.
 	// Intended for tests and debugging; defaults off.
 	Verify bool
+	// DisableDeltas turns off delta-merge semantics: updates classified as
+	// pure commutative increments (tx.Effect.Deltas) are treated as plain
+	// value writes, every conflict pair gets its precedence edge, and all
+	// forwarded updates ship as repaired values. The default (false) elides
+	// delta-delta edges and forwards net increments (Report.ForwardDeltas);
+	// this switch is the value-write baseline the E18 experiment and the
+	// equivalence tests compare against.
+	DisableDeltas bool
 	// Observer receives per-phase span events (graph build, back-out,
 	// rewrite, prune) while the merge runs. nil (the default) pays only a
 	// nil check. The replication substrate binds its ClusterConfig.Observer
@@ -165,11 +173,24 @@ type Report struct {
 	// re-execute (B plus the affected transactions that were not saved),
 	// in original history order.
 	Reexecute []*tx.Transaction
-	// ForwardUpdates holds, for each item modified by the repaired history,
-	// its value in the repaired history's final state — the only data the
-	// mobile node ships to the base tier for the saved transactions
-	// (Section 2.1 step 5).
+	// ForwardUpdates holds, for each item modified by the repaired history
+	// through at least one non-delta write, its value in the repaired
+	// history's final state — the only data the mobile node ships to the
+	// base tier for the saved transactions (Section 2.1 step 5).
 	ForwardUpdates map[model.Item]model.Value
+	// ForwardDeltas holds, for each item every saved transaction wrote only
+	// as a pure commutative increment, the net increment (the associative
+	// fold of all saved deltas of the item). Delta items ship as x := x + δ
+	// instead of a repaired value, so they compose with base-tier
+	// increments committed concurrently instead of clobbering them.
+	// Always empty under Options.DisableDeltas.
+	ForwardDeltas map[model.Item]model.Value
+	// DeltaFolded counts the individual saved delta writes that associative
+	// folding collapsed into the net ForwardDeltas entries: the number of
+	// per-item delta writes beyond the first. N tentative increments of one
+	// item admit as one merged delta; DeltaFolded tallies the N-1 writes
+	// that never crossed the wire individually.
+	DeltaFolded int
 	// RepairedState is the full final state of the repaired history on the
 	// mobile replica.
 	RepairedState model.State
@@ -189,6 +210,20 @@ type Report struct {
 	inc *graph.Incremental
 }
 
+// ApplyForwards installs the merge's forwarded write-back into st in place:
+// ForwardUpdates as repaired values, ForwardDeltas as increments on top of
+// whatever st holds. The two key sets are disjoint by construction. The
+// caller hands over st precisely to have it mutated (the master copy, a
+// follower state), hence the sink annotation.
+//
+//tiermerge:sink
+func (rep *Report) ApplyForwards(st model.State) {
+	st.Apply(rep.ForwardUpdates)
+	for it, d := range rep.ForwardDeltas {
+		st.Set(it, st.Get(it)+d)
+	}
+}
+
 // Merge runs the merging protocol for one tentative history against the
 // base history it raced with. Both augmented histories must have been run
 // from the same origin state (Strategy 2 of Section 2.2 guarantees this in
@@ -204,7 +239,7 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 	// Step 1: precedence graph, via the retained-index builder so a retry
 	// can later extend it instead of rebuilding (see Extend).
 	start := spanStart(o)
-	rep.inc = graph.NewIncremental(graph.AccessesOf(hm), graph.AccessesOf(hb))
+	rep.inc = graph.NewIncremental(accessesFor(hm, opts), accessesFor(hb, opts))
 	rep.Graph = rep.inc.Graph()
 	if o != nil {
 		o.Observe(obs.Event{Phase: obs.PhaseGraph, Dur: time.Since(start)})
@@ -214,6 +249,16 @@ func Merge(hm, hb *history.Augmented, opts Options) (*Report, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// accessesFor extracts the access footprints for graph construction,
+// honoring the delta-merge switch: delta-classified by default, the plain
+// value-write footprints under DisableDeltas.
+func accessesFor(a *history.Augmented, opts Options) []graph.Access {
+	if opts.DisableDeltas {
+		return graph.AccessesOf(a)
+	}
+	return graph.DeltaAccessesOf(a)
 }
 
 // effectiveOptions resolves the option defaults the way Merge documents:
@@ -244,6 +289,7 @@ func runFromGraph(rep *Report, hm *history.Augmented, opts Options) error {
 	rep.Conflict = false
 	rep.BadIDs, rep.AffectedIDs, rep.SavedIDs = nil, nil, nil
 	rep.Reexecute, rep.ForwardUpdates = nil, nil
+	rep.ForwardDeltas, rep.DeltaFolded = nil, 0
 	rep.RewriteResult, rep.Repaired, rep.RepairedState, rep.PruneMethod = nil, nil, nil, ""
 
 	// Step 2: back-out set.
@@ -277,8 +323,9 @@ func runFromGraph(rep *Report, hm *history.Augmented, opts Options) error {
 	}
 
 	// Step 5: forward only final values of items the repaired history
-	// modified.
-	rep.ForwardUpdates = forwardUpdates(hm, rep)
+	// modified — as net increments for the items every saved transaction
+	// touched purely as deltas, as repaired values for the rest.
+	forwardUpdates(hm, rep, opts)
 
 	if opts.Verify {
 		if err := verifyRepair(hm, rep); err != nil {
@@ -407,25 +454,59 @@ func pruneResult(res *rewrite.Result, final model.State, p Pruner) (model.State,
 	}
 }
 
-// forwardUpdates extracts, from the repaired state, the value of every item
-// some saved transaction wrote. Write sets are taken from the original
+// forwardUpdates populates rep.ForwardUpdates and rep.ForwardDeltas from
+// the saved transactions' writes. Write sets are taken from the original
 // effects: rewriting never changes which items a transaction writes (branch
 // decisions are order-invariant for every saved transaction).
-func forwardUpdates(hm *history.Augmented, rep *Report) map[model.Item]model.Value {
+//
+// An item every saved writer touched as a pure delta forwards as the
+// associative fold of those increments (one net delta, however many
+// tentative writes produced it — the folded count lands in DeltaFolded);
+// an item with any non-delta saved write forwards as its repaired value.
+// The split is safe because a delta-pure mobile write never survives a
+// merge alongside a base value-write of the same item (the conflict pair
+// keeps its edges, forming a 2-cycle through the implicit pre-reads), so
+// a value forward can still never clobber a concurrent base increment.
+func forwardUpdates(hm *history.Augmented, rep *Report, opts Options) {
 	saved := make(map[string]bool, len(rep.SavedIDs))
 	for _, id := range rep.SavedIDs {
 		saved[id] = true
 	}
 	out := make(map[model.Item]model.Value)
+	deltas := make(map[model.Item]model.Value)
+	writers := make(map[model.Item]int)
+	valueOnly := make(model.ItemSet)
 	for i := 0; i < hm.H.Len(); i++ {
 		if !saved[hm.H.Txn(i).ID] {
 			continue
 		}
-		for it := range hm.Effects[i].WriteSet {
+		eff := hm.Effects[i]
+		var pure model.ItemSet
+		if !opts.DisableDeltas {
+			pure = eff.DeltaPure()
+		}
+		for it := range eff.WriteSet {
 			out[it] = rep.RepairedState.Get(it)
+			if pure.Has(it) {
+				deltas[it] += eff.Deltas[it]
+				writers[it]++
+			} else {
+				valueOnly.Add(it)
+			}
 		}
 	}
-	return out
+	for it, d := range deltas {
+		if valueOnly.Has(it) {
+			continue // a non-delta saved write pins the item to value semantics
+		}
+		delete(out, it)
+		rep.DeltaFolded += writers[it] - 1
+		if rep.ForwardDeltas == nil {
+			rep.ForwardDeltas = make(map[model.Item]model.Value)
+		}
+		rep.ForwardDeltas[it] = d
+	}
+	rep.ForwardUpdates = out
 }
 
 // repairedStateByLog computes the repaired history's final state for the

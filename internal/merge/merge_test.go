@@ -66,8 +66,10 @@ func TestExample1Merge(t *testing.T) {
 	}
 }
 
-// TestExample1ForwardedValues pins the concrete forwarded values: only
-// items written by Tm1 and Tm2, at their repaired-history values.
+// TestExample1ForwardedValues pins the concrete forwarded updates: only
+// items written by Tm1 and Tm2, split into net increments for the items
+// every saved writer touched as a pure delta and repaired values for the
+// rest.
 func TestExample1ForwardedValues(t *testing.T) {
 	e := papertest.NewExample1()
 	am, ab := runPair(t, e)
@@ -76,17 +78,36 @@ func TestExample1ForwardedValues(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Repaired history Tm1 Tm2 from origin {d1..d6 = 10..60}:
-	// Tm1: d1=11, d2=21; Tm2: d3 = 30+21 = 51, d4=7, d5=9, d6=11.
-	want := map[model.Item]model.Value{
+	// Tm1: d1 += 1, d2 += 1 (pure deltas); Tm2: d3 = 30+21 = 51 (reads d2),
+	// d4=7, d5=9, d6=11 (assignments).
+	wantVals := map[model.Item]model.Value{
+		"d3": 51, "d4": 7, "d5": 9, "d6": 11,
+	}
+	if !reflect.DeepEqual(rep.ForwardUpdates, wantVals) {
+		t.Errorf("forwarded values %v, want %v", rep.ForwardUpdates, wantVals)
+	}
+	wantDeltas := map[model.Item]model.Value{"d1": 1, "d2": 1}
+	if !reflect.DeepEqual(rep.ForwardDeltas, wantDeltas) {
+		t.Errorf("forwarded deltas %v, want %v", rep.ForwardDeltas, wantDeltas)
+	}
+	if rep.DeltaFolded != 0 {
+		t.Errorf("DeltaFolded = %d, want 0 (one writer per delta item)", rep.DeltaFolded)
+	}
+
+	// Under DisableDeltas everything forwards as repaired values — the
+	// pre-delta behavior.
+	rep, err = Merge(am, ab, Options{Rewriter: RewriteClosure, DisableDeltas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals = map[model.Item]model.Value{
 		"d1": 11, "d2": 21, "d3": 51, "d4": 7, "d5": 9, "d6": 11,
 	}
-	if len(rep.ForwardUpdates) != len(want) {
-		t.Errorf("forwarded %v, want %v", rep.ForwardUpdates, want)
+	if !reflect.DeepEqual(rep.ForwardUpdates, wantVals) {
+		t.Errorf("DisableDeltas: forwarded values %v, want %v", rep.ForwardUpdates, wantVals)
 	}
-	for it, v := range want {
-		if rep.ForwardUpdates[it] != v {
-			t.Errorf("forwarded %s = %d, want %d", it, rep.ForwardUpdates[it], v)
-		}
+	if len(rep.ForwardDeltas) != 0 {
+		t.Errorf("DisableDeltas: forwarded deltas %v, want none", rep.ForwardDeltas)
 	}
 }
 
@@ -118,8 +139,11 @@ func TestMergeNoConflict(t *testing.T) {
 		if len(rep.Reexecute) != 0 {
 			t.Errorf("%s: reexecute %v", rw, rep.Reexecute)
 		}
-		if rep.ForwardUpdates["a"] != 6 {
-			t.Errorf("%s: forwarded a = %d, want 6", rw, rep.ForwardUpdates["a"])
+		if rep.ForwardDeltas["a"] != 5 {
+			t.Errorf("%s: forwarded delta a = %d, want +5", rw, rep.ForwardDeltas["a"])
+		}
+		if _, ok := rep.ForwardUpdates["a"]; ok {
+			t.Errorf("%s: a forwarded as value %d, want delta", rw, rep.ForwardUpdates["a"])
 		}
 		if _, err := VerifyMerge(rep, am, ab, origin); err != nil {
 			t.Errorf("%s: %v", rw, err)

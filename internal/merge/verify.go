@@ -101,7 +101,8 @@ func VerifyMerge(rep *Report, hm, hb *history.Augmented, origin model.State) (*h
 	if err != nil {
 		return nil, fmt.Errorf("merge: verify: run merged history: %w", err)
 	}
-	got := hb.Final().Clone().Apply(rep.ForwardUpdates)
+	got := hb.Final().Clone()
+	rep.ApplyForwards(got)
 	if !aug.Final().Equal(got) {
 		return nil, fmt.Errorf(
 			"merge: verify: forwarded state %s != merged-history state %s (merged order %s)",

@@ -19,9 +19,10 @@ func TestAcceptSameWritesRejectsDrift(t *testing.T) {
 		if err := m.Run(workload.Deposit("Tm1", tx.Tentative, "x", 5)); err != nil {
 			t.Fatal(err)
 		}
-		// Base deposit forces a conflict AND shifts the re-execution base:
-		// re-executed Tm1 writes 112, tentative wrote 105.
-		if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 7)); err != nil {
+		// A base assignment (non-commutative, so the delta-merge path cannot
+		// save the deposit) forces a conflict AND shifts the re-execution
+		// base: re-executed Tm1 writes 112, tentative wrote 105.
+		if err := b.ExecBase(workload.SetPrice("Tb1", tx.Base, "x", 107)); err != nil {
 			t.Fatal(err)
 		}
 		out, err := m.ConnectMerge()
@@ -49,7 +50,7 @@ func TestAcceptWithinDrift(t *testing.T) {
 		if err := m.Run(workload.Deposit("Tm1", tx.Tentative, "x", 5)); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", baseAmt)); err != nil {
+		if err := b.ExecBase(workload.SetPrice("Tb1", tx.Base, "x", 100+baseAmt)); err != nil {
 			t.Fatal(err)
 		}
 		out, err := m.ConnectMerge()
@@ -74,7 +75,7 @@ func TestRejectedReexecutionNotCommitted(t *testing.T) {
 	if err := m.Run(workload.Deposit("Tm1", tx.Tentative, "x", 5)); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.ExecBase(workload.Deposit("Tb1", tx.Base, "x", 7)); err != nil {
+	if err := b.ExecBase(workload.SetPrice("Tb1", tx.Base, "x", 107)); err != nil {
 		t.Fatal(err)
 	}
 	histBefore := b.HistoryLen()
@@ -85,7 +86,7 @@ func TestRejectedReexecutionNotCommitted(t *testing.T) {
 	if out.Failed != 1 {
 		t.Fatalf("outcome = %+v", out)
 	}
-	// Master carries only the base deposit.
+	// Master carries only the base assignment.
 	if got := b.Master().Get("x"); got != 107 {
 		t.Errorf("master x = %d, want 107 (tentative deposit rejected)", got)
 	}

@@ -377,28 +377,45 @@ func (b *BaseCluster) crossRefsLocked(pos int) []*crossTxn {
 }
 
 // forwardTxn builds the synthetic base transaction that installs a merge's
-// forwarded updates. Its read set equals its write set — the saved
+// forwarded write-back. Its read set equals its write set — the saved
 // tentative transactions read every item they wrote (no blind writes
 // against the shared origin) — so later merges detect conflicts with it
 // exactly as with any other base transaction.
-func (b *BaseCluster) forwardTxn(mobileID string, updates map[model.Item]model.Value) *tx.Transaction {
+func (b *BaseCluster) forwardTxn(mobileID string, values, deltas map[model.Item]model.Value) *tx.Transaction {
 	b.seq++
-	items := make([]model.Item, 0, len(updates))
-	for it := range updates {
+	t := &tx.Transaction{
+		ID:   fmt.Sprintf("U%s.%d", mobileID, b.seq),
+		Type: "forwarded-updates",
+		Kind: tx.Base,
+		Body: forwardBody(values, deltas),
+	}
+	return t
+}
+
+// forwardBody builds the statement list of a forwarded-updates transaction
+// in sorted item order: constant updates installing repaired values,
+// additive updates (x := x + δ) installing net increments. The additive
+// statements are pure deltas by construction, so the installed base entry
+// is delta-pure on those items and later delta merges elide their conflict
+// edges against it instead of retrying.
+func forwardBody(values, deltas map[model.Item]model.Value) []tx.Stmt {
+	items := make([]model.Item, 0, len(values)+len(deltas))
+	for it := range values {
+		items = append(items, it)
+	}
+	for it := range deltas {
 		items = append(items, it)
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 	body := make([]tx.Stmt, len(items))
 	for i, it := range items {
-		body[i] = tx.Update(it, expr.Const(updates[it]))
+		if v, ok := values[it]; ok {
+			body[i] = tx.Update(it, expr.Const(v))
+		} else {
+			body[i] = tx.Update(it, expr.Add(expr.Var(it), expr.Const(deltas[it])))
+		}
 	}
-	t := &tx.Transaction{
-		ID:   fmt.Sprintf("U%s.%d", mobileID, b.seq),
-		Type: "forwarded-updates",
-		Kind: tx.Base,
-		Body: body,
-	}
-	return t
+	return body
 }
 
 // reprocessOne re-executes one tentative transaction as a base transaction:
@@ -452,35 +469,36 @@ func (b *BaseCluster) reprocessOne(t *tx.Transaction, tentEff *tx.Effect) (ok bo
 	return true
 }
 
-// applyForwarded installs a merge's forwarded updates as one base
-// transaction with a single forced log write (Section 7.1: "all the updates
-// need be forced to durable logs only once"). Caller holds b.mu. Returns
-// the entry index of the installed transaction, or -1 when there was
-// nothing to forward.
+// applyForwarded installs a merge's forwarded write-back (repaired values
+// plus net deltas) as one base transaction with a single forced log write
+// (Section 7.1: "all the updates need be forced to durable logs only
+// once"). Caller holds b.mu. Returns the entry index of the installed
+// transaction, or -1 when there was nothing to forward.
 //
 //tiermerge:locks(cluster)
-func (b *BaseCluster) applyForwarded(mobileID string, updates map[model.Item]model.Value) int {
-	if len(updates) == 0 {
+func (b *BaseCluster) applyForwarded(mobileID string, values, deltas map[model.Item]model.Value) int {
+	if len(values)+len(deltas) == 0 {
 		return -1
 	}
-	return b.applyForwardTxn(b.forwardTxn(mobileID, updates), updates, nil)
+	return b.applyForwardTxn(b.forwardTxn(mobileID, values, deltas), len(values)+len(deltas), nil)
 }
 
-// applyForwardTxn appends one forwarded-updates transaction at the history
-// tail, stamping g (may be nil) as its cross-shard identity. Caller holds
-// b.mu.
+// applyForwardTxn appends one forwarded-updates transaction of nUpd update
+// statements at the history tail, stamping g (may be nil) as its
+// cross-shard identity. Caller holds b.mu.
 //
 //tiermerge:locks(cluster)
-func (b *BaseCluster) applyForwardTxn(ft *tx.Transaction, updates map[model.Item]model.Value, g *crossTxn) int {
+func (b *BaseCluster) applyForwardTxn(ft *tx.Transaction, nUpd int, g *crossTxn) int {
 	eff, err := ft.ExecInPlace(b.master, nil)
 	if err != nil {
-		// Const-assignments cannot fail; a failure is a programming error.
+		// Constant and additive updates cannot fail; a failure is a
+		// programming error.
 		panic(fmt.Sprintf("replica: forwarded updates failed: %v", err))
 	}
 	b.entries = append(b.entries, baseEntry{t: ft, eff: eff, after: b.master.Clone(), global: g})
 	b.counters.Update(func(c *cost.Counts) {
-		c.BaseApplies += int64(len(updates))
-		c.BaseLocks += int64(len(updates))
+		c.BaseApplies += int64(nUpd)
+		c.BaseLocks += int64(nUpd)
 		c.BaseForcedWrites++
 	})
 	b.propagate(ft.ID, eff.Writes)
@@ -507,7 +525,7 @@ func (b *BaseCluster) Merge(ck Checkout, hm *history.Augmented) (*ConnectOutcome
 	return b.mergePipelined(ck, hm)
 }
 
-// installForwarded installs the forwarded updates at the given history
+// installForwarded installs the forwarded write-back at the given history
 // position (always the tail under Strategy 2; possibly earlier under
 // Strategy 1, after the conflict check). For an interior insert the stored
 // after-states of later entries are patched — legal because the conflict
@@ -515,22 +533,23 @@ func (b *BaseCluster) Merge(ck Checkout, hm *history.Augmented) (*ConnectOutcome
 // b.mu.
 //
 //tiermerge:locks(cluster)
-func (b *BaseCluster) installForwarded(mobileID string, updates map[model.Item]model.Value, at int) {
-	if len(updates) == 0 {
+func (b *BaseCluster) installForwarded(mobileID string, values, deltas map[model.Item]model.Value, at int) {
+	if len(values)+len(deltas) == 0 {
 		return
 	}
-	b.installForwardTxn(b.forwardTxn(mobileID, updates), updates, at, nil)
+	b.installForwardTxn(b.forwardTxn(mobileID, values, deltas), len(values)+len(deltas), at, nil)
 }
 
 // installForwardTxn is installForwarded over an already-built forwarded
-// transaction, stamping g (may be nil) as its cross-shard identity — the
-// sharded coordinator builds per-shard slice transactions itself so their
-// IDs share the global transaction's namespace. Caller holds b.mu.
+// transaction of nUpd update statements, stamping g (may be nil) as its
+// cross-shard identity — the sharded coordinator builds per-shard slice
+// transactions itself so their IDs share the global transaction's
+// namespace. Caller holds b.mu.
 //
 //tiermerge:locks(cluster)
-func (b *BaseCluster) installForwardTxn(ft *tx.Transaction, updates map[model.Item]model.Value, at int, g *crossTxn) {
+func (b *BaseCluster) installForwardTxn(ft *tx.Transaction, nUpd int, at int, g *crossTxn) {
 	if at >= len(b.entries) {
-		b.applyForwardTxn(ft, updates, g)
+		b.applyForwardTxn(ft, nUpd, g)
 		return
 	}
 	st := b.stateAt(at).Clone()
@@ -545,13 +564,17 @@ func (b *BaseCluster) installForwardTxn(ft *tx.Transaction, updates map[model.It
 	// The prefix changed shape in the middle: invalidate every outstanding
 	// snapshot and the cache built over the old arrangement.
 	b.structVer++
+	// Patch with the executed write images: exact for additive (delta)
+	// statements too, because the conflict check guaranteed no later entry
+	// touches the forwarded items, so the value at the insert position
+	// equals the live one.
 	for i := at + 1; i < len(b.entries); i++ {
-		b.entries[i].after = b.entries[i].after.Clone().Apply(updates)
+		b.entries[i].after = b.entries[i].after.Clone().Apply(eff.Writes)
 	}
-	b.master.Apply(updates)
+	b.master.Apply(eff.Writes)
 	b.counters.Update(func(c *cost.Counts) {
-		c.BaseApplies += int64(len(updates))
-		c.BaseLocks += int64(len(updates))
+		c.BaseApplies += int64(nUpd)
+		c.BaseLocks += int64(nUpd)
 		c.BaseForcedWrites++
 	})
 	b.propagate(ft.ID, eff.Writes)

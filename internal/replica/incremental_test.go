@@ -57,10 +57,11 @@ func TestRetryBillsUploadOnce(t *testing.T) {
 	run := func(retry bool) cost.Counts {
 		var baseTxn func() *tx.Transaction
 		if retry {
-			// A base write to a0 lands inside the merge footprint: attempt 1
+			// A base assignment to a0 lands inside the merge footprint (an
+			// increment would be invisible under delta semantics): attempt 1
 			// fails admission and the rebuilt report must rerun back-out and
 			// rewrite.
-			baseTxn = func() *tx.Transaction { return workload.Deposit("Bb", tx.Base, "a0", 7) }
+			baseTxn = func() *tx.Transaction { return workload.SetPrice("Bb", tx.Base, "a0", 107) }
 		}
 		b, m := retryingMobile(nil, baseTxn, t)
 		out, err := m.ConnectMerge()

@@ -80,6 +80,17 @@ type preparedMerge struct {
 	// items whose base-side history must not have changed for the prepared
 	// report to stay valid.
 	footprint model.ItemSet
+	// deltaFoot is the footprint's delta-pure subset: items every Hm
+	// transaction touching them accessed only as a pure commutative
+	// increment. A base extension entry that is itself delta-pure on such
+	// an item is invisible to the prepared merge — the graph extension
+	// would only elide edges, never add one incident to Hm, and the net
+	// forwarded delta composes with the extension's increments — so
+	// admission validation tolerates the overlap instead of retrying.
+	// Empty under DisableDeltas and under Strategy 1 (whose interior
+	// insert patches later after-states, which an overlapping extension
+	// entry would corrupt).
+	deltaFoot model.ItemSet
 	effByTxn  map[*tx.Transaction]*tx.Effect
 	// insertConflict records a Strategy 1 insert-position conflict found
 	// against the snapshot prefix; admission falls back to reprocessing.
@@ -288,6 +299,7 @@ func prepareMerge(cfg Config, snap prefixSnapshot, hm *history.Augmented, prev *
 		p.deltaPrepare = prev.deltaPrepare
 		p.deltaPrepare.MergeRetries++
 		p.footprint = prev.footprint
+		p.deltaFoot = prev.deltaFoot
 		p.effByTxn = prev.effByTxn
 		if canExtend(prev.snap, snap) {
 			if done, err := p.extendFrom(cfg, snap, hm, prev, opts); err != nil {
@@ -320,6 +332,7 @@ func prepareMerge(cfg Config, snap prefixSnapshot, hm *history.Augmented, prev *
 		p.deltaPrepare.SetEntriesSent += setEntries
 		p.deltaPrepare.GraphEdgesSent += localEdges
 		p.deltaPrepare.MobileGraphOps += int64(gm.Len()) + localEdges
+		p.deltaFoot = deltaFootprint(cfg, hm, p.footprint)
 
 		p.effByTxn = make(map[*tx.Transaction]*tx.Effect, hm.H.Len())
 		for i := 0; i < hm.H.Len(); i++ {
@@ -358,6 +371,7 @@ func canExtend(prev, next prefixSnapshot) bool {
 func (p *preparedMerge) extendFrom(cfg Config, snap prefixSnapshot, hm *history.Augmented, prev *preparedMerge, opts merge.Options) (done bool, err error) {
 	w := cfg.Weights
 	prevBase := prev.rep.Graph.BaseLen
+	prevElided := prev.rep.Graph.Elided
 	suffix := &history.Augmented{
 		H:       &history.History{Entries: snap.hb.H.Entries[prevBase:]},
 		States:  snap.hb.States[prevBase:],
@@ -371,8 +385,10 @@ func (p *preparedMerge) extendFrom(cfg Config, snap prefixSnapshot, hm *history.
 		return false, fmt.Errorf("replica: merge extend: %w", err)
 	}
 	p.rep = rep
-	// Incremental graph work: vertices and edges actually added.
+	// Incremental graph work: vertices and edges actually added, plus the
+	// delta-delta conflict pairs the extension elided instead of adding.
 	p.deltaPrepare.BaseGraphOps += int64(info.NewVertices + info.NewEdges)
+	p.deltaPrepare.EdgesElided += int64(rep.Graph.Elided - prevElided)
 	if info.Reran {
 		// Back-out, rewrite and prune reran on the extended graph; charge
 		// them like a fresh prepare, and the refreshed set B travels
@@ -389,12 +405,12 @@ func (p *preparedMerge) extendFrom(cfg Config, snap prefixSnapshot, hm *history.
 		p.deltaPrepare.MobileRewriteOps += rewriteOps
 		p.deltaPrepare.MobilePruneOps += int64(len(rep.Reexecute) + len(rep.AffectedIDs))
 		p.deltaPrepare.Msg(w, int64(len(rep.BadIDs))*w.SetEntryBytes)
-		p.insertConflict = scanInsertConflict(cfg, snap.hb.Effects, rep.ForwardUpdates)
+		p.insertConflict = scanInsertConflict(cfg, snap.hb.Effects, rep.ForwardUpdates, rep.ForwardDeltas)
 	} else {
 		// The report is unchanged; only the new suffix needs the Strategy 1
 		// insert-conflict scan.
 		p.insertConflict = prev.insertConflict ||
-			scanInsertConflict(cfg, suffix.Effects, rep.ForwardUpdates)
+			scanInsertConflict(cfg, suffix.Effects, rep.ForwardUpdates, rep.ForwardDeltas)
 	}
 	p.chargeCommit(w)
 	return true, nil
@@ -416,6 +432,7 @@ func (p *preparedMerge) chargePrepared(cfg Config, hm *history.Augmented, prefix
 		rewriteOps += int64(rep.RewriteResult.PairChecks)
 	}
 	p.deltaPrepare.BaseGraphOps += int64(rep.Graph.Len()) + fullEdges
+	p.deltaPrepare.EdgesElided += int64(rep.Graph.Elided)
 	p.deltaPrepare.BaseBackoutOps += fullEdges + int64(len(rep.BadIDs))*int64(rep.Graph.Len())
 	// Base -> mobile: the set B.
 	p.deltaPrepare.MobileRewriteOps += rewriteOps // actual pair checks, O(n^2) worst case
@@ -427,18 +444,83 @@ func (p *preparedMerge) chargePrepared(cfg Config, hm *history.Augmented, prefix
 	// conflicts with the forwarded updates (otherwise durable history
 	// would change). The snapshot prefix covers entries[pos:histLen];
 	// admission's extension check covers everything committed since.
-	p.insertConflict = scanInsertConflict(cfg, prefixEffects, rep.ForwardUpdates)
+	p.insertConflict = scanInsertConflict(cfg, prefixEffects, rep.ForwardUpdates, rep.ForwardDeltas)
+}
+
+// deltaFootprint derives the delta-pure subset of the merge footprint: the
+// items every tentative transaction touching them accessed only as pure
+// commutative increments. Disabled (nil) when delta semantics are off or
+// under Strategy 1 — the interior insert patches later after-states with
+// write images, which is only exact when nothing after the insert position
+// touches the forwarded items, delta-pure or not.
+func deltaFootprint(cfg Config, hm *history.Augmented, footprint model.ItemSet) model.ItemSet {
+	if cfg.MergeOptions.DisableDeltas || cfg.Origin == Strategy1 {
+		return nil
+	}
+	unsafe := make(model.ItemSet)
+	mark := func(set model.ItemSet, pure model.ItemSet) {
+		for it := range set {
+			if !pure.Has(it) {
+				unsafe.Add(it)
+			}
+		}
+	}
+	for _, eff := range hm.Effects {
+		pure := eff.DeltaPure()
+		mark(eff.ReadSet, pure)
+		mark(eff.WriteSet, pure)
+	}
+	out := make(model.ItemSet)
+	for it := range footprint {
+		if !unsafe.Has(it) {
+			out.Add(it)
+		}
+	}
+	return out
+}
+
+// extensionInvisible reports whether one base entry committed since the
+// snapshot is invisible to the prepared merge: it touches nothing in the
+// merge footprint, or every footprint item it touches is delta-pure on both
+// sides — the mobile side accessed it only as pure increments (deltaFoot)
+// and the entry did too. Such an entry adds no precedence edge incident to
+// Hm (the delta-delta pairs are elided), so the prepared report is exactly
+// what a re-prepare over the longer prefix would compute, and the net
+// forwarded deltas compose with the entry's increments at install time.
+func (p *preparedMerge) extensionInvisible(eff *tx.Effect) bool {
+	if eff.ReadSet.Disjoint(p.footprint) && eff.WriteSet.Disjoint(p.footprint) {
+		return true
+	}
+	if len(p.deltaFoot) == 0 {
+		return false
+	}
+	pure := eff.DeltaPure()
+	check := func(set model.ItemSet) bool {
+		for it := range set {
+			if !p.footprint.Has(it) {
+				continue
+			}
+			if !p.deltaFoot.Has(it) || !pure.Has(it) {
+				return false
+			}
+		}
+		return true
+	}
+	return check(eff.ReadSet) && check(eff.WriteSet)
 }
 
 // scanInsertConflict applies the Strategy 1 insert-position test: some
 // committed base transaction in effects touches an item the forwarded
-// updates would rewrite at the checkout position.
-func scanInsertConflict(cfg Config, effects []*tx.Effect, updates map[model.Item]model.Value) bool {
-	if cfg.Origin != Strategy1 || len(updates) == 0 {
+// write-back (values or deltas) would rewrite at the checkout position.
+func scanInsertConflict(cfg Config, effects []*tx.Effect, values, deltas map[model.Item]model.Value) bool {
+	if cfg.Origin != Strategy1 || len(values)+len(deltas) == 0 {
 		return false
 	}
-	updItems := make(model.ItemSet, len(updates))
-	for it := range updates {
+	updItems := make(model.ItemSet, len(values)+len(deltas))
+	for it := range values {
+		updItems.Add(it)
+	}
+	for it := range deltas {
 		updItems.Add(it)
 	}
 	for _, eff := range effects {
@@ -455,9 +537,11 @@ func scanInsertConflict(cfg Config, effects []*tx.Effect, updates map[model.Item
 // outcome, not work performed.
 func (p *preparedMerge) chargeCommit(w cost.Weights) {
 	rep := p.rep
+	nUpd := int64(len(rep.ForwardUpdates) + len(rep.ForwardDeltas))
 	p.deltaCommit = cost.Counts{}
-	p.deltaCommit.Msg(w, int64(len(rep.ForwardUpdates))*w.UpdateEntryBytes)
-	p.deltaCommit.UpdatesSent += int64(len(rep.ForwardUpdates))
+	p.deltaCommit.Msg(w, nUpd*w.UpdateEntryBytes)
+	p.deltaCommit.UpdatesSent += nUpd
+	p.deltaCommit.DeltaFolded += int64(rep.DeltaFolded)
 	p.deltaCommit.TxnsSaved += int64(len(rep.SavedIDs))
 	p.deltaCommit.TxnsBackedOut += int64(len(rep.Reexecute))
 	p.deltaCommit.MergesPerformed++
@@ -471,6 +555,10 @@ func (p *preparedMerge) lockPlan(mobileID string) (owner string, items []model.I
 	all := make(model.ItemSet)
 	writes = make(model.ItemSet)
 	for it := range p.rep.ForwardUpdates {
+		all.Add(it)
+		writes.Add(it)
+	}
+	for it := range p.rep.ForwardDeltas {
 		all.Add(it)
 		writes.Add(it)
 	}
@@ -533,13 +621,13 @@ func (b *BaseCluster) admitOneLocked(ck Checkout, hm *history.Augmented, p *prep
 		return nil, false, obs.CauseStructChanged, nil
 	}
 	// The base extension must be invisible to the merge: every entry
-	// committed since the snapshot must touch nothing Hm read or wrote.
-	// Then G(Hm, Hb) gains no edge incident to Hm, B and the rewrite are
-	// unchanged, and appending the forwarded updates after the extension
-	// commutes with it.
+	// committed since the snapshot must touch nothing Hm read or wrote —
+	// or overlap only on items both sides access purely as commutative
+	// deltas (extensionInvisible). Then G(Hm, Hb) gains no edge incident
+	// to Hm, B and the rewrite are unchanged, and appending the forwarded
+	// write-back after the extension commutes with it.
 	for i := p.snap.histLen; i < len(b.entries); i++ {
-		eff := b.entries[i].eff
-		if !eff.ReadSet.Disjoint(p.footprint) || !eff.WriteSet.Disjoint(p.footprint) {
+		if !p.extensionInvisible(b.entries[i].eff) {
 			return nil, false, obs.CauseExtensionConflict, nil
 		}
 	}
@@ -580,11 +668,11 @@ func (b *BaseCluster) installPrepared(ck Checkout, hm *history.Augmented, p *pre
 		return b.fallbackReprocess(hm, FallbackInsertConflict), nil
 	}
 	insertAt := len(b.entries)
-	if b.cfg.Origin == Strategy1 && len(p.rep.ForwardUpdates) > 0 {
+	if b.cfg.Origin == Strategy1 && len(p.rep.ForwardUpdates)+len(p.rep.ForwardDeltas) > 0 {
 		insertAt = p.snap.pos
 	}
 	b.counters.Add(p.deltaCommit)
-	b.installForwarded(ck.MobileID, p.rep.ForwardUpdates, insertAt)
+	b.installForwarded(ck.MobileID, p.rep.ForwardUpdates, p.rep.ForwardDeltas, insertAt)
 
 	// Step 6: re-execute each backed-out tentative transaction, comparing
 	// against its tentative effect for acceptance.

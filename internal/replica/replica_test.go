@@ -203,10 +203,12 @@ func TestSecondMergeSeesFirstMergesUpdates(t *testing.T) {
 }
 
 // TestAdditiveMultiMobileNoLostUpdate: two mobiles deposit into the same
-// account. The first merge saves its deposit; the second mobile's deposit
-// forms a two-cycle with the first's forwarded updates, lands in B, and is
-// re-executed at the base — cross-history conflicts are resolved by
-// back-out, never by silent overwrite, so no deposit is lost.
+// account. Under delta-merge semantics both deposits are pure commutative
+// increments: the second mobile's deposit commutes with the first's
+// forwarded increment, so neither merge backs anything out and the master
+// still ends with both deposits applied — no lost update and no
+// reprocessing. (With deltas disabled the second deposit would form a
+// two-cycle with the first's forwarded write and be re-executed instead.)
 func TestAdditiveMultiMobileNoLostUpdate(t *testing.T) {
 	b := NewBaseCluster(origin(), Config{
 		MergeOptions: merge.Options{Rewriter: merge.RewriteCanPrecede},
@@ -230,11 +232,14 @@ func TestAdditiveMultiMobileNoLostUpdate(t *testing.T) {
 	if o1.Saved != 1 || o1.Reprocessed != 0 {
 		t.Errorf("o1 = %+v, want first deposit saved", o1)
 	}
-	if o2.Saved != 0 || o2.Reprocessed != 1 {
-		t.Errorf("o2 = %+v, want second deposit backed out and re-executed", o2)
+	if o2.Saved != 1 || o2.Reprocessed != 0 {
+		t.Errorf("o2 = %+v, want second deposit saved as a commuting delta", o2)
 	}
 	if got := b.Master().Get("x"); got != 112 {
 		t.Errorf("master x = %d, want 112 (both deposits applied)", got)
+	}
+	if c := b.Counters().Snapshot(); c.TxnsBackedOut != 0 || c.EdgesElided == 0 {
+		t.Errorf("counters = %+v, want zero back-outs and elided delta-delta edges", c)
 	}
 }
 

@@ -42,6 +42,14 @@ var ErrServerClosed = errors.New("replica: base server closed")
 // (errors.Is) and retries stay exactly-once.
 var ErrResponseLost = errors.New("replica: response lost in transit")
 
+// ErrStaleSeq reports a reconnect frame whose sequence number is older
+// than one the server already applied for the same mobile — an
+// out-of-order duplicate of a previous reconnect, delayed in transit. The
+// exact-match dedup alone would fall through and re-merge the old journal,
+// applying its transactions twice; the server instead rejects the frame
+// in-band and clients surface it via errors.Is.
+var ErrStaleSeq = errors.New("replica: stale reconnect seq")
+
 // DropEveryNth makes the server lose every nth mobile-facing response —
 // transport fault injection for tests; 0 disables. The plan is a
 // fault.Schedule, the same counter-driven predicate the crash harnesses
@@ -68,7 +76,13 @@ type wireReq struct {
 	// at most once per (mobile, seq); retries of an already-applied request
 	// get the cached response. Checkouts and base submissions are
 	// idempotent enough not to need it.
-	Seq     int64                      `json:"seq,omitempty"`
+	Seq int64 `json:"seq,omitempty"`
+	// Epoch scopes Seq to one client session: a fresh client process
+	// reusing a mobile ID starts a new epoch (and its seqs over from 1)
+	// without tripping the stale-seq guard, while a delayed duplicate —
+	// necessarily a byte-identical frame from the SAME session — still
+	// carries the epoch it was stamped with and is caught.
+	Epoch   string                     `json:"epoch,omitempty"`
 	Window  int                        `json:"window,omitempty"`
 	Pos     int                        `json:"pos,omitempty"`
 	Origin  map[model.Item]model.Value `json:"origin,omitempty"`
@@ -78,7 +92,10 @@ type wireReq struct {
 
 // wireResp is the serialized response envelope.
 type wireResp struct {
-	Err      string                     `json:"err,omitempty"`
+	Err string `json:"err,omitempty"`
+	// Stale marks an Err caused by a stale reconnect seq (ErrStaleSeq), so
+	// clients can rediscover the typed error across the wire.
+	Stale    bool                       `json:"stale,omitempty"`
 	Window   int                        `json:"window,omitempty"`
 	Pos      int                        `json:"pos,omitempty"`
 	Origin   map[model.Item]model.Value `json:"origin,omitempty"`
@@ -131,20 +148,34 @@ type BaseServer struct {
 
 	// applied caches, per mobile, the last reconnect seq handled and its
 	// response — the exactly-once guard for retried merges. Guarded by
-	// appliedMu; workers handle requests concurrently.
-	appliedMu sync.Mutex
-	applied   map[string]appliedReq
+	// appliedMu; workers handle requests concurrently. The cache holds at
+	// most appliedCap mobiles (WithDedupCapacity), evicting the
+	// least-recently-used entry past that; dedupEntries gauges its size.
+	appliedMu    sync.Mutex
+	applied      map[string]appliedReq
+	appliedCap   int
+	appliedTick  int64
+	dedupEntries *obs.Gauge
 
 	// drops, when armed (DropEveryNth), silently discards every nth
 	// mobile-facing response (fault injection for transport tests).
 	drops fault.Schedule
 }
 
-// appliedReq caches one handled reconnect.
+// appliedReq caches one handled reconnect. tick is the entry's last-use
+// stamp for LRU eviction.
 type appliedReq struct {
-	seq  int64
-	resp []byte
+	epoch string
+	seq   int64
+	resp  []byte
+	tick  int64
 }
+
+// defaultDedupCapacity bounds the reconnect dedup cache when
+// WithDedupCapacity is not given: enough for any realistic mobile fleet in
+// one deployment, small enough that a server fronting a churning population
+// (each mobile ID seen once) cannot grow without bound.
+const defaultDedupCapacity = 1024
 
 // ServeOption configures a Serve call.
 type ServeOption func(*serveOptions)
@@ -152,6 +183,7 @@ type ServeOption func(*serveOptions)
 type serveOptions struct {
 	workers  int
 	dropNth  int64
+	dedupCap int
 	observer obs.Observer
 }
 
@@ -167,6 +199,16 @@ func WithWorkers(n int) ServeOption {
 // nth mobile-facing response is lost (see DropEveryNth).
 func WithDropEveryNth(n int64) ServeOption {
 	return func(o *serveOptions) { o.dropNth = n }
+}
+
+// WithDedupCapacity bounds the per-mobile reconnect dedup cache to n
+// entries, evicting the least-recently-used mobile beyond that (n < 1
+// keeps the default). An evicted mobile loses retry protection only for
+// its LAST reconnect — a retry of it merges again — so size the cache to
+// the active fleet, not the lifetime population. The current size is
+// exported as the tiermerge_wire_dedup_entries gauge (WithObserver).
+func WithDedupCapacity(n int) ServeOption {
+	return func(o *serveOptions) { o.dedupCap = n }
 }
 
 // WithObserver attaches an observer to the server's transport layer: when
@@ -201,7 +243,14 @@ func Serve(tier BaseTier, opts ...ServeOption) *BaseServer {
 	if o.dropNth > 0 {
 		s.drops.SetEveryNth(o.dropNth)
 	}
+	s.appliedCap = o.dedupCap
+	if s.appliedCap < 1 {
+		s.appliedCap = defaultDedupCapacity
+	}
 	s.reg = obs.RegistryOf(o.observer)
+	if s.reg != nil {
+		s.dedupEntries = s.reg.Gauge("tiermerge_wire_dedup_entries")
+	}
 	s.start(o.workers)
 	return s
 }
@@ -319,12 +368,23 @@ func (s *BaseServer) handle(payload []byte) ([]byte, reqKind, bool) {
 		return mustResp(wireResp{}), req.Kind, false
 	case reqMerge, reqReprocess:
 		// Exactly-once: a retry of an applied reconnect replays the cached
-		// response instead of merging the same journal twice.
-		s.appliedMu.Lock()
-		prev, ok := s.applied[req.MobileID]
-		s.appliedMu.Unlock()
-		if ok && prev.seq == req.Seq {
-			return prev.resp, req.Kind, true
+		// response instead of merging the same journal twice, and a frame
+		// OLDER than the last applied seq — an out-of-order duplicate of an
+		// earlier reconnect, delayed in transit — is rejected outright
+		// rather than re-merged. Both judgments are scoped to the frame's
+		// session epoch: a new client instance reusing the mobile ID opens
+		// a new epoch and falls through to a fresh merge.
+		if prev, ok := s.lookupApplied(req.MobileID); ok && prev.epoch == req.Epoch {
+			switch {
+			case req.Seq == prev.seq:
+				return prev.resp, req.Kind, true
+			case req.Seq < prev.seq:
+				return mustResp(wireResp{
+					Err: fmt.Sprintf("reconnect seq %d from %s already superseded by %d",
+						req.Seq, req.MobileID, prev.seq),
+					Stale: true,
+				}), req.Kind, true
+			}
 		}
 		recs, err := wal.ReadAll(bytes.NewReader(req.Journal))
 		if err != nil {
@@ -360,13 +420,64 @@ func (s *BaseServer) handle(payload []byte) ([]byte, reqKind, bool) {
 			resp.BadIDs = out.Report.BadIDs
 		}
 		encoded := mustResp(resp)
-		s.appliedMu.Lock()
-		s.applied[req.MobileID] = appliedReq{seq: req.Seq, resp: encoded}
-		s.appliedMu.Unlock()
+		s.storeApplied(req.MobileID, req.Epoch, req.Seq, encoded)
 		return encoded, req.Kind, true
 	default:
 		return mustResp(wireResp{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}), req.Kind, false
 	}
+}
+
+// lookupApplied returns the cached reconnect state for a mobile,
+// refreshing its LRU stamp on a hit.
+func (s *BaseServer) lookupApplied(mobileID string) (appliedReq, bool) {
+	s.appliedMu.Lock()
+	defer s.appliedMu.Unlock()
+	prev, ok := s.applied[mobileID]
+	if ok {
+		s.appliedTick++
+		prev.tick = s.appliedTick
+		s.applied[mobileID] = prev
+	}
+	return prev, ok
+}
+
+// storeApplied caches the response for (mobileID, epoch, seq), keeping
+// only the newest seq per mobile within an epoch (concurrent workers may
+// finish out of order), replacing the entry outright when a new epoch
+// takes over the ID, and evicting the least-recently-used mobile once the
+// cache exceeds its capacity.
+func (s *BaseServer) storeApplied(mobileID, epoch string, seq int64, resp []byte) {
+	s.appliedMu.Lock()
+	defer s.appliedMu.Unlock()
+	if prev, ok := s.applied[mobileID]; ok && prev.epoch == epoch && prev.seq > seq {
+		return
+	}
+	s.appliedTick++
+	s.applied[mobileID] = appliedReq{epoch: epoch, seq: seq, resp: resp, tick: s.appliedTick}
+	limit := s.appliedCap
+	if limit < 1 {
+		limit = defaultDedupCapacity
+	}
+	for len(s.applied) > limit {
+		victim, oldest := "", int64(0)
+		for id, a := range s.applied {
+			if victim == "" || a.tick < oldest {
+				victim, oldest = id, a.tick
+			}
+		}
+		delete(s.applied, victim)
+	}
+	if s.dedupEntries != nil {
+		s.dedupEntries.Set(int64(len(s.applied)))
+	}
+}
+
+// DedupEntries reports the current size of the reconnect dedup cache (the
+// value behind the tiermerge_wire_dedup_entries gauge).
+func (s *BaseServer) DedupEntries() int {
+	s.appliedMu.Lock()
+	defer s.appliedMu.Unlock()
+	return len(s.applied)
 }
 
 // ErrorFrame encodes a transport-level failure as a response envelope, so

@@ -2,11 +2,13 @@ package replica
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 
 	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
 	"tiermerge/internal/tx"
 	"tiermerge/internal/workload"
 )
@@ -261,5 +263,195 @@ func TestRetriedMergeNotDoubleApplied(t *testing.T) {
 	}
 	if got := b.Master().Get("acct"); got != 5 {
 		t.Errorf("acct = %d, want 5 (double-applied!)", got)
+	}
+}
+
+// TestStaleSeqRejected is the wire-dedup regression test: the server's
+// exactly-once guard matched only the EXACT last seq, so a delayed
+// duplicate of an OLDER reconnect frame fell through the cache and was
+// merged again — double-applying its journal. The stale frame must now be
+// rejected with ErrStaleSeq and leave no trace on the master. Runs under
+// -race in scripts/check.sh with concurrent duplicate deliveries.
+func TestStaleSeqRejected(t *testing.T) {
+	b := NewBaseCluster(model.StateOf(map[model.Item]model.Value{"acct": 0}), Config{})
+	srv := ServeBase(b)
+	defer srv.Close()
+	ctx := context.Background()
+	c, err := Dial("m1", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconnect seq 1: deposit 5.
+	if err := c.Run(workload.Deposit("T1", tx.Tentative, "acct", 5)); err != nil {
+		t.Fatal(err)
+	}
+	journal1, err := c.marshalJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req1 := wireReq{Kind: reqMerge, MobileID: "m1", Seq: 1, Journal: journal1}
+	if _, err := call(ctx, srv.Transport(), req1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconnect seq 2: a fresh period depositing 7.
+	if err := c.checkout(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(workload.Deposit("T2", tx.Tentative, "acct", 7)); err != nil {
+		t.Fatal(err)
+	}
+	journal2, err := c.marshalJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call(ctx, srv.Transport(),
+		wireReq{Kind: reqMerge, MobileID: "m1", Seq: 2, Journal: journal2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Master().Get("acct"); got != 12 {
+		t.Fatalf("acct = %d, want 12 before the duplicate", got)
+	}
+
+	// The seq-1 frame arrives again — delayed in transit, out of order.
+	// Deliver it from several goroutines at once: every copy must be
+	// rejected as stale and none may re-merge journal1.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = call(ctx, srv.Transport(), req1)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrStaleSeq) {
+			t.Errorf("duplicate %d: err = %v, want ErrStaleSeq", i, err)
+		}
+	}
+	if got := b.Master().Get("acct"); got != 12 {
+		t.Errorf("acct = %d, want 12 (stale frame re-applied deposit!)", got)
+	}
+	// The exact-match retry path still replays the cached response.
+	resp, err := call(ctx, srv.Transport(),
+		wireReq{Kind: reqMerge, MobileID: "m1", Seq: 2, Journal: journal2})
+	if err != nil || resp.Saved != 1 {
+		t.Errorf("retry of current seq: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestDedupCacheBounded: the per-mobile response cache must not grow with
+// the lifetime mobile population. With capacity 4, eight distinct mobiles
+// leave at most 4 entries, the survivors are the most recently used, and
+// the tiermerge_wire_dedup_entries gauge tracks the size.
+func TestDedupCacheBounded(t *testing.T) {
+	b := NewBaseCluster(model.StateOf(map[model.Item]model.Value{"acct": 0}), Config{})
+	metrics := obs.NewMetrics()
+	srv := Serve(b, WithDedupCapacity(4), WithObserver(metrics))
+	defer srv.Close()
+	ctx := context.Background()
+
+	connect := func(id string, seq int64) {
+		t.Helper()
+		c, err := Dial(id, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(workload.Deposit("T-"+id, tx.Tentative, "acct", 1)); err != nil {
+			t.Fatal(err)
+		}
+		journal, err := c.marshalJournal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := call(ctx, srv.Transport(),
+			wireReq{Kind: reqMerge, MobileID: id, Seq: seq, Journal: journal}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		connect(fmt.Sprintf("m%d", i), 1)
+	}
+	if got := srv.DedupEntries(); got != 4 {
+		t.Errorf("dedup entries = %d, want 4 (cache unbounded?)", got)
+	}
+	if got := metrics.Registry().Gauge("tiermerge_wire_dedup_entries").Value(); got != 4 {
+		t.Errorf("tiermerge_wire_dedup_entries = %d, want 4", got)
+	}
+	// m7 (most recent) must have survived: its retry replays the cache
+	// without re-merging. m0 (evicted) re-merges and double-applies — the
+	// documented cost of eviction, proven here so the trade-off stays
+	// visible.
+	before := b.Master().Get("acct")
+	if _, err := call(ctx, srv.Transport(),
+		wireReq{Kind: reqMerge, MobileID: "m7", Seq: 1, Journal: nil}); err != nil {
+		t.Fatalf("retry of cached m7: %v", err)
+	}
+	if got := b.Master().Get("acct"); got != before {
+		t.Errorf("cached retry changed master: %d -> %d", before, got)
+	}
+}
+
+// TestClientRestartNewEpochNotStale pins the flip side of the stale-seq
+// guard: a brand-new client process reusing a mobile ID (a fleet restart
+// against a live server) starts its seqs over at 1 in a fresh session
+// epoch, and must be served — not rejected as a stale duplicate of the
+// previous instance's higher seq.
+func TestClientRestartNewEpochNotStale(t *testing.T) {
+	b := NewBaseCluster(model.StateOf(map[model.Item]model.Value{"acct": 0}), Config{})
+	srv := ServeBase(b)
+	defer srv.Close()
+
+	first, err := Dial("m1", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if err := first.Run(workload.Deposit(fmt.Sprintf("Ta%d", k), tx.Tentative, "acct", 5)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := first.ConnectMerge(); err != nil {
+			t.Fatalf("first instance reconnect %d: %v", k+1, err)
+		}
+	}
+
+	// The process restarts: same mobile ID, fresh client, seq back at 1.
+	second, err := Dial("m1", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.epoch == first.epoch {
+		t.Fatalf("restarted client reused epoch %q", second.epoch)
+	}
+	if err := second.Run(workload.Deposit("Tb", tx.Tentative, "acct", 7)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := second.ConnectMerge()
+	if err != nil {
+		t.Fatalf("restarted client rejected: %v", err)
+	}
+	if !out.Merged || out.Saved != 1 {
+		t.Fatalf("restarted client outcome = %+v, want merged with 1 saved", out)
+	}
+	if got := b.Master().Get("acct"); got != 22 {
+		t.Fatalf("acct = %d, want 22 (three 5s + one 7)", got)
+	}
+
+	// Within the new session the stale guard still bites: after the second
+	// instance advances to seq 2, a replay of its seq-1 frame is stale.
+	if err := second.Run(workload.Deposit("Tc", tx.Tentative, "acct", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.ConnectMerge(); err != nil {
+		t.Fatal(err)
+	}
+	journal := []byte{}
+	_, err = call(context.Background(), srv.Transport(),
+		wireReq{Kind: reqMerge, MobileID: "m1", Seq: 1, Epoch: second.epoch, Journal: journal})
+	if !errors.Is(err, ErrStaleSeq) {
+		t.Fatalf("replayed seq-1 frame in the live epoch: err = %v, want ErrStaleSeq", err)
 	}
 }

@@ -490,7 +490,7 @@ func (s *ShardedBase) installSlicesLocked(base *tx.Transaction, eff *tx.Effect) 
 	g := &crossTxn{t: base, eff: eff}
 	for _, k := range s.router.shardsOf(eff.ReadSet.Union(eff.WriteSet)) {
 		b := s.shards[k]
-		slice := s.sliceTxn(base, eff, k)
+		slice := s.sliceTxn(base, eff, k, nil)
 		seff, err := slice.ExecInPlace(b.master, nil)
 		if err != nil {
 			// Slices are reads plus constant writes; failure is a
@@ -508,10 +508,12 @@ func (s *ShardedBase) installSlicesLocked(base *tx.Transaction, eff *tx.Effect) 
 
 // sliceTxn builds shard k's restricted slice of an executed cross-shard
 // transaction: Read statements for the shard's read-only items and
-// constant Updates writing the values the full execution produced. The
-// slice's effect equals the full effect restricted to the shard, and the
-// constant body replays deterministically from the shard's journal.
-func (s *ShardedBase) sliceTxn(base *tx.Transaction, eff *tx.Effect, k int) *tx.Transaction {
+// constant Updates writing the values the full execution produced — except
+// for items of deltas (may be nil), which become additive updates
+// (x := x + δ) so the installed slice stays delta-pure on them and later
+// delta merges elide their conflict edges against it. The slice's effect
+// equals the full effect restricted to the shard.
+func (s *ShardedBase) sliceTxn(base *tx.Transaction, eff *tx.Effect, k int, deltas map[model.Item]model.Value) *tx.Transaction {
 	var body []tx.Stmt
 	for _, it := range eff.ReadSet.Minus(eff.WriteSet).Items() {
 		if s.router.Shard(it) == k {
@@ -520,7 +522,11 @@ func (s *ShardedBase) sliceTxn(base *tx.Transaction, eff *tx.Effect, k int) *tx.
 	}
 	for _, it := range eff.WriteSet.Items() {
 		if s.router.Shard(it) == k {
-			body = append(body, tx.Update(it, expr.Const(eff.Writes[it])))
+			if d, ok := deltas[it]; ok {
+				body = append(body, tx.Update(it, expr.Add(expr.Var(it), expr.Const(d))))
+			} else {
+				body = append(body, tx.Update(it, expr.Const(eff.Writes[it])))
+			}
 		}
 	}
 	return &tx.Transaction{
@@ -1034,8 +1040,7 @@ func (s *ShardedBase) crossAdmitLocked(ck Checkout, hm *history.Augmented, p *pr
 			return nil, false, obs.CauseStructChanged, nil
 		}
 		for i := part.snap.histLen; i < len(part.b.entries); i++ {
-			eff := part.b.entries[i].eff
-			if !eff.ReadSet.Disjoint(p.footprint) || !eff.WriteSet.Disjoint(p.footprint) {
+			if !p.extensionInvisible(part.b.entries[i].eff) {
 				return nil, false, obs.CauseExtensionConflict, nil
 			}
 		}
@@ -1059,7 +1064,7 @@ func (s *ShardedBase) crossInstallLocked(ck Checkout, hm *history.Augmented, p *
 	}
 	home.counters.Add(p.deltaCommit)
 	home.counters.Update(func(c *cost.Counts) { c.CrossShardMerges++ })
-	s.installForwardedCrossLocked(ck.MobileID, p.rep.ForwardUpdates, parts)
+	s.installForwardedCrossLocked(ck.MobileID, p.rep.ForwardUpdates, p.rep.ForwardDeltas, parts)
 	out := &ConnectOutcome{Merged: true, Report: p.rep, BadIDs: p.rep.BadIDs, Saved: len(p.rep.SavedIDs)}
 	for _, t := range p.rep.Reexecute {
 		if s.reprocessOneLocked(t, p.effByTxn[t], home) {
@@ -1072,53 +1077,61 @@ func (s *ShardedBase) crossInstallLocked(ck Checkout, hm *history.Augmented, p *
 }
 
 // installForwardedCrossLocked installs a cross-shard merge's forwarded
-// updates. Updates confined to one shard go through that shard's ordinary
-// installForwarded; updates spanning shards become one global forwarded
-// transaction (the "XU" namespace) installed as per-shard slices sharing
-// its identity, each at its shard's strategy position. Caller holds every
-// involved shard's mutex.
+// write-back (repaired values plus net deltas). Updates confined to one
+// shard go through that shard's ordinary installForwarded; updates
+// spanning shards become one global forwarded transaction (the "XU"
+// namespace) installed as per-shard slices sharing its identity, each at
+// its shard's strategy position. Caller holds every involved shard's
+// mutex.
 //
 //tiermerge:locks(shard)
-func (s *ShardedBase) installForwardedCrossLocked(mobileID string, updates map[model.Item]model.Value, parts []*shardPart) {
-	if len(updates) == 0 {
+func (s *ShardedBase) installForwardedCrossLocked(mobileID string, values, deltas map[model.Item]model.Value, parts []*shardPart) {
+	if len(values)+len(deltas) == 0 {
 		return
 	}
-	byShard := make(map[int]map[model.Item]model.Value)
-	for it, v := range updates {
-		k := s.router.Shard(it)
-		if byShard[k] == nil {
-			byShard[k] = make(map[model.Item]model.Value)
+	valsBy := make(map[int]map[model.Item]model.Value)
+	delsBy := make(map[int]map[model.Item]model.Value)
+	hit := make(map[int]int)
+	split := func(by map[int]map[model.Item]model.Value, src map[model.Item]model.Value) {
+		for it, v := range src {
+			k := s.router.Shard(it)
+			if by[k] == nil {
+				by[k] = make(map[model.Item]model.Value)
+			}
+			by[k][it] = v
+			hit[k]++
 		}
-		byShard[k][it] = v
 	}
+	split(valsBy, values)
+	split(delsBy, deltas)
 	insertAt := func(part *shardPart, n int) int {
 		if s.cfg.Origin == Strategy1 && n > 0 {
 			return part.snap.pos
 		}
 		return len(part.b.entries)
 	}
-	if len(byShard) == 1 {
+	if len(hit) == 1 {
 		for _, part := range parts {
-			if upd := byShard[part.idx]; upd != nil {
-				part.b.installForwarded(mobileID, upd, insertAt(part, len(upd)))
+			if n := hit[part.idx]; n > 0 {
+				part.b.installForwarded(mobileID, valsBy[part.idx], delsBy[part.idx], insertAt(part, n))
 			}
 		}
 		return
 	}
-	gt := s.crossForwardTxn(mobileID, updates)
+	gt := s.crossForwardTxn(mobileID, values, deltas)
 	geff, err := gt.ExecInPlace(s.gatherLocked(gt.StaticReadSet().Union(gt.StaticWriteSet())), nil)
 	if err != nil {
 		panic(fmt.Sprintf("replica: forwarded updates failed: %v", err))
 	}
 	g := &crossTxn{t: gt, eff: geff}
 	for _, part := range parts {
-		upd := byShard[part.idx]
-		if upd == nil {
+		n := hit[part.idx]
+		if n == 0 {
 			continue
 		}
-		slice := s.sliceTxn(gt, geff, part.idx)
+		slice := s.sliceTxn(gt, geff, part.idx, deltas)
 		slice.Type = "forwarded-updates"
-		part.b.installForwardTxn(slice, upd, insertAt(part, len(upd)), g)
+		part.b.installForwardTxn(slice, n, insertAt(part, n), g)
 	}
 }
 
@@ -1126,20 +1139,12 @@ func (s *ShardedBase) installForwardedCrossLocked(mobileID string, updates map[m
 // cross-shard merge. Like forwardTxn its read set equals its write set;
 // the "XU" prefix and the tier-wide sequence keep its ID (and its slices'
 // IDs) disjoint from every shard's own forward transactions.
-func (s *ShardedBase) crossForwardTxn(mobileID string, updates map[model.Item]model.Value) *tx.Transaction {
-	items := make(model.ItemSet, len(updates))
-	for it := range updates {
-		items.Add(it)
-	}
-	body := make([]tx.Stmt, 0, len(updates))
-	for _, it := range items.Items() {
-		body = append(body, tx.Update(it, expr.Const(updates[it])))
-	}
+func (s *ShardedBase) crossForwardTxn(mobileID string, values, deltas map[model.Item]model.Value) *tx.Transaction {
 	return &tx.Transaction{
 		ID:   fmt.Sprintf("XU%s.%d", mobileID, s.crossSeq.Add(1)),
 		Type: "forwarded-updates",
 		Kind: tx.Base,
-		Body: body,
+		Body: forwardBody(values, deltas),
 	}
 }
 

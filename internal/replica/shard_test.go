@@ -284,7 +284,7 @@ func TestCrossShardRetryAfterPrepare(t *testing.T) {
 	s.hookAfterPrepare = func(attempt int) {
 		if !injected {
 			injected = true
-			if err := s.ExecBase(workload.Deposit("Bx", tx.Base, shardAcct(from), 7)); err != nil {
+			if err := s.ExecBase(workload.SetPrice("Bx", tx.Base, shardAcct(from), 107)); err != nil {
 				t.Error(err)
 			}
 		}
@@ -301,7 +301,7 @@ func TestCrossShardRetryAfterPrepare(t *testing.T) {
 		t.Errorf("invalidated prepare charged no retry: %+v", c)
 	}
 	master := s.Master()
-	// 100 - 3 (transfer out) + 7 (injected base deposit) and 100 + 3.
+	// 107 (injected base assignment) - 3 (re-executed transfer out) and 100 + 3.
 	if got := master.Get(shardAcct(from)); got != 104 {
 		t.Errorf("acct %d = %d, want 104", from, got)
 	}
@@ -405,4 +405,75 @@ func TestWindowBarrierNoMixedPrefix(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	adv.Wait()
+}
+
+// TestCrossShardRetryUploadParity is the cost-accounting audit for the
+// two-phase cross-shard path: a reconnect whose combined prepare is
+// invalidated and retried must bill the mobile's upload (set entries,
+// graph edges, the mobile-side G(Hm) build) exactly once — identical to
+// the single-attempt reconnect — while still recording the retry and the
+// second attempt's base-side graph work. The per-attempt delta
+// accumulators must not re-add the attempt-independent charges.
+func TestCrossShardRetryUploadParity(t *testing.T) {
+	const n = 8
+	run := func(forceRetry bool) cost.Counts {
+		s := NewShardedBase(shardFleetOrigin(n), 4, Config{})
+		from, to := 0, -1
+		for j := 1; j < n; j++ {
+			if s.ShardOf(shardAcct(j)) != s.ShardOf(shardAcct(from)) {
+				to = j
+				break
+			}
+		}
+		if to < 0 {
+			t.Fatal("router put every account on one shard")
+		}
+		m := NewShardedMobileNode("m0", s)
+		if err := m.Run(workload.Transfer("Tx0", tx.Tentative, shardAcct(from), shardAcct(to), 3)); err != nil {
+			t.Fatal(err)
+		}
+		if forceRetry {
+			injected := false
+			s.hookAfterPrepare = func(attempt int) {
+				if !injected {
+					injected = true
+					if err := s.ExecBase(workload.SetPrice("Bx", tx.Base, shardAcct(from), 107)); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}
+		out, err := m.ConnectMerge()
+		if err != nil || !out.Merged {
+			t.Fatalf("connect (retry=%v): out=%+v err=%v", forceRetry, out, err)
+		}
+		return s.Counters()
+	}
+	single := run(false)
+	retried := run(true)
+
+	if single.MergeRetries != 0 || retried.MergeRetries == 0 {
+		t.Fatalf("MergeRetries = %d/%d, want 0 and >0", single.MergeRetries, retried.MergeRetries)
+	}
+	if retried.SetEntriesSent != single.SetEntriesSent {
+		t.Errorf("SetEntriesSent = %d after a cross-shard retry, want %d (upload re-billed?)",
+			retried.SetEntriesSent, single.SetEntriesSent)
+	}
+	if retried.GraphEdgesSent != single.GraphEdgesSent {
+		t.Errorf("GraphEdgesSent = %d after a cross-shard retry, want %d (upload re-billed?)",
+			retried.GraphEdgesSent, single.GraphEdgesSent)
+	}
+	if retried.MobileGraphOps != single.MobileGraphOps {
+		t.Errorf("MobileGraphOps = %d after a cross-shard retry, want %d (G(Hm) built once)",
+			retried.MobileGraphOps, single.MobileGraphOps)
+	}
+	if retried.CrossShardMerges != 1 || single.CrossShardMerges != 1 {
+		t.Errorf("CrossShardMerges = %d/%d, want 1/1", retried.CrossShardMerges, single.CrossShardMerges)
+	}
+	// The invalidated attempt's base-side graph work really happened: the
+	// retried reconnect must bill MORE of it, not an identical total.
+	if retried.BaseGraphOps <= single.BaseGraphOps {
+		t.Errorf("BaseGraphOps = %d after a retried rebuild, want > %d (failed attempt's work dropped?)",
+			retried.BaseGraphOps, single.BaseGraphOps)
+	}
 }

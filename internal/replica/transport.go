@@ -3,6 +3,8 @@ package replica
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -86,6 +88,11 @@ func call(ctx context.Context, tr Transport, req wireReq) (*wireResp, error) {
 		return nil, fmt.Errorf("replica: decode response: %w", err)
 	}
 	if resp.Err != "" {
+		if resp.Stale {
+			// Typed so clients can tell "this frame was an out-of-order
+			// duplicate" (safe to discard) from a genuine merge failure.
+			return nil, fmt.Errorf("replica: server: %s: %w", resp.Err, ErrStaleSeq)
+		}
 		return nil, fmt.Errorf("replica: server: %s", resp.Err)
 	}
 	return &resp, nil
@@ -99,6 +106,12 @@ type Client struct {
 	node *MobileNode
 	tr   Transport
 	seq  int64
+	// epoch identifies this client instance to the server's dedup cache:
+	// seqs are scoped to it, so a restarted client reusing a mobile ID
+	// starts over at seq 1 without tripping the stale-seq guard, while a
+	// delayed duplicate frame from THIS instance (same epoch, lower seq)
+	// is still rejected.
+	epoch string
 	// MaxRetries bounds reconnect retries on lost responses (default 3).
 	MaxRetries int
 }
@@ -119,11 +132,23 @@ func DialContext(ctx context.Context, id string, srv *BaseServer) (*Client, erro
 // the connected client. The client does not own the transport; close it
 // separately when done.
 func DialTransport(ctx context.Context, id string, tr Transport) (*Client, error) {
-	c := &Client{tr: tr, node: &MobileNode{ID: id}}
+	c := &Client{tr: tr, node: &MobileNode{ID: id}, epoch: newEpoch()}
 	if err := c.checkout(ctx); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// newEpoch draws a fresh session identifier. Collision across instances
+// would only merge two sessions' dedup state, so a short random token is
+// plenty; on the (never-observed) failure of the system randomness source
+// it degrades to the shared empty epoch — the pre-epoch behavior.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // retries returns the lost-response retry budget.
@@ -218,7 +243,8 @@ func (c *Client) connect(ctx context.Context, kind reqKind) (*ConnectOutcome, er
 	var resp *wireResp
 	for attempt := 0; ; attempt++ {
 		resp, err = call(ctx, c.tr, wireReq{
-			Kind: kind, MobileID: c.node.ID, Seq: c.seq, Journal: journal,
+			Kind: kind, MobileID: c.node.ID, Seq: c.seq, Epoch: c.epoch,
+			Journal: journal,
 		})
 		if err == nil {
 			break

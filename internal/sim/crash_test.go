@@ -173,3 +173,23 @@ func TestCrashScenarioStillRecovers(t *testing.T) {
 		t.Fatalf("crash recoveries not charged to counters: %+v", res.Counts)
 	}
 }
+
+// TestCrashSweepDeltaJournal sweeps every kill point of a period whose
+// workload is entirely commutative: every journaled write carries a Delta
+// annotation, so each recovery replays delta records, re-derives the
+// classification, and the recovered reconnect merges through the
+// delta-elision path. Any disagreement between the logged deltas and the
+// replayed execution fails the sweep as corruption.
+func TestCrashSweepDeltaJournal(t *testing.T) {
+	res, err := RunCrashSweep(CrashSweep{Seed: 5, PCommutative: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.KillPoints == 0 || res.Recoveries == 0 || res.RecordsReplayed == 0 {
+		t.Fatalf("sweep exercised nothing: %s", res)
+	}
+	if res.TornTails == 0 || res.DroppedTxns == 0 {
+		t.Errorf("delta sweep missed torn tails or mid-txn kills: %s", res)
+	}
+}

@@ -55,9 +55,18 @@ func TestSoakTransferConservation(t *testing.T) {
 		for to == from {
 			to = rng.Intn(accounts)
 		}
+		amt := model.Value(1 + rng.Int63n(50))
+		// Every third transaction guards on the source balance. The guard's
+		// general read pins the source to value semantics, so these keep
+		// forcing genuine conflicts and back-outs; the plain transfers are
+		// pure deltas and exercise the commutative-merge path. Both shapes
+		// conserve the fleet-wide total.
+		if seq%3 == 0 {
+			return workload.GuardedTransfer(fmt.Sprintf("T%d", seq), kind,
+				workload.ItemName(from), workload.ItemName(to), amt)
+		}
 		return workload.Transfer(fmt.Sprintf("T%d", seq), kind,
-			workload.ItemName(from), workload.ItemName(to),
-			model.Value(1+rng.Int63n(50)))
+			workload.ItemName(from), workload.ItemName(to), amt)
 	}
 
 	for round := 0; round < rounds; round++ {
@@ -94,6 +103,9 @@ func TestSoakTransferConservation(t *testing.T) {
 	c := b.Counters().Snapshot()
 	if c.TxnsSaved == 0 || c.TxnsBackedOut == 0 {
 		t.Errorf("soak too easy: saved=%d backedout=%d", c.TxnsSaved, c.TxnsBackedOut)
+	}
+	if c.EdgesElided == 0 {
+		t.Errorf("pure-delta transfers collided but elided no edges: %+v", c)
 	}
 	t.Logf("soak: %s", c)
 }

@@ -28,17 +28,57 @@ type Effect struct {
 	// before this transaction ran (the physical before-image used by the
 	// undo approach of Section 6.2).
 	Before map[model.Item]model.Value
+	// Deltas records, for each item updated by a pure-delta statement
+	// (x := x + δ where δ references no item at all, so the increment is a
+	// state-independent constant/parameter expression), the numeric
+	// increment the execution applied. Keys are a subset of WriteSet.
+	// A pure-delta write commutes with every other pure-delta write of the
+	// same item, which is what lets the merge protocol elide precedence
+	// edges and forward net increments instead of repaired values.
+	Deltas map[model.Item]model.Value
+	// generalRead tracks items read for a value the transaction's outcome
+	// can depend on: every read except the implicit self pre-read of an
+	// item's own pure-delta update. An item in generalRead is never
+	// delta-pure, even if it was also delta-written.
+	generalRead model.ItemSet
 }
 
 // newEffect returns an empty effect log.
 func newEffect() *Effect {
 	return &Effect{
-		ReadSet:    make(model.ItemSet),
-		WriteSet:   make(model.ItemSet),
-		ReadValues: make(map[model.Item]model.Value),
-		Writes:     make(map[model.Item]model.Value),
-		Before:     make(map[model.Item]model.Value),
+		ReadSet:     make(model.ItemSet),
+		WriteSet:    make(model.ItemSet),
+		ReadValues:  make(map[model.Item]model.Value),
+		Writes:      make(map[model.Item]model.Value),
+		Before:      make(map[model.Item]model.Value),
+		Deltas:      make(map[model.Item]model.Value),
+		generalRead: make(model.ItemSet),
 	}
+}
+
+// DeltaPure returns the items this execution touched only as commutative
+// increments: delta-written, and never read except through the implicit
+// self pre-read of the delta update itself. Such an access commutes with
+// any other delta-pure access of the same item, in either history.
+func (e *Effect) DeltaPure() model.ItemSet {
+	out := make(model.ItemSet, len(e.Deltas))
+	for it := range e.Deltas {
+		if !e.generalRead.Has(it) {
+			out.Add(it)
+		}
+	}
+	return out
+}
+
+// SetDeltaPure overrides the recorded delta classification: it marks it as
+// delta-written with increment d and clears any general read of it. The
+// replication substrate uses it for synthesized forward transactions whose
+// additive bodies are delta-pure by construction; tests use it to fabricate
+// effects. It must never be applied to an effect whose outcome actually
+// depended on the value read for it.
+func (e *Effect) SetDeltaPure(it model.Item, d model.Value) {
+	e.Deltas[it] = d
+	delete(e.generalRead, it)
 }
 
 // Clone deep-copies the effect.
@@ -58,6 +98,12 @@ func (e *Effect) Clone() *Effect {
 	}
 	for k, v := range e.Before {
 		c.Before[k] = v
+	}
+	for k, v := range e.Deltas {
+		c.Deltas[k] = v
+	}
+	for k := range e.generalRead {
+		c.generalRead.Add(k)
 	}
 	return c
 }
@@ -86,12 +132,19 @@ type execEnv struct {
 	params map[string]model.Value
 	local  map[model.Item]model.Value // items written so far by this txn
 	eff    *Effect
+	// deltaTarget is the item whose pure-delta update statement is
+	// currently executing; reads of it are the statement's implicit
+	// self pre-read, not general reads. Empty outside such a statement.
+	deltaTarget model.Item
 }
 
 var _ expr.Env = (*execEnv)(nil)
 
 func (e *execEnv) ItemValue(it model.Item) (model.Value, error) {
 	e.eff.ReadSet.Add(it)
+	if it != e.deltaTarget || it == "" {
+		e.eff.generalRead.Add(it)
+	}
 	if v, ok := e.local[it]; ok {
 		return v, nil
 	}
@@ -151,6 +204,24 @@ func (t *Transaction) ExecInPlace(s model.State, fix Fix) (*Effect, error) {
 	return env.eff, nil
 }
 
+// pureDelta reports whether st is a pure-delta update: additive in its
+// target (x := x + δ) with δ referencing no item at all, so the increment
+// is decided by constants and parameters alone and the write commutes with
+// every other pure-delta write of x regardless of interleaving. Assignment
+// shapes, multiplicative shapes, and additive shapes whose δ reads other
+// items (whose increment could change under reordering) are all excluded.
+func pureDelta(st *UpdateStmt) bool {
+	if expr.Analyze(st.Expr, st.Item).Shape != expr.ShapeAdditive {
+		return false
+	}
+	for it := range expr.ItemsOf(st.Expr) {
+		if it != st.Item {
+			return false
+		}
+	}
+	return true
+}
+
 // DefinedOn reports whether the transaction executes without error on s
 // with the given fix (the paper's "T is defined on s").
 func (t *Transaction) DefinedOn(s model.State, fix Fix) bool {
@@ -170,12 +241,19 @@ func runStmts(body []Stmt, env *execEnv) error {
 			if _, done := env.local[st.Item]; done {
 				return fmt.Errorf("item %s updated twice on one path", st.Item)
 			}
+			pure := pureDelta(st)
+			if pure {
+				env.deltaTarget = st.Item
+			}
 			// No blind writes: read the target's old value first even when
 			// the update expression does not mention it.
-			if _, err := env.ItemValue(st.Item); err != nil {
+			old, err := env.ItemValue(st.Item)
+			if err != nil {
+				env.deltaTarget = ""
 				return err
 			}
 			v, err := st.Expr.Eval(env)
+			env.deltaTarget = ""
 			if err != nil {
 				return err
 			}
@@ -183,6 +261,9 @@ func runStmts(body []Stmt, env *execEnv) error {
 			env.eff.Writes[st.Item] = v
 			env.eff.Before[st.Item] = env.state.Get(st.Item)
 			env.local[st.Item] = v
+			if pure {
+				env.eff.Deltas[st.Item] = v - old
+			}
 		case *AssignStmt:
 			if _, done := env.local[st.Item]; done {
 				return fmt.Errorf("item %s updated twice on one path", st.Item)

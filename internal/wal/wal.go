@@ -63,6 +63,13 @@ type Record struct {
 	Value  model.Value `json:"value,omitempty"`
 	Before model.Value `json:"before,omitempty"`
 	After  model.Value `json:"after,omitempty"`
+	// Delta is set on a KindWrite record when the statement was a pure
+	// commutative increment of Item (After == Before + Delta and the
+	// transaction never read Item outside the increment itself). Replay
+	// re-derives the classification and cross-checks it, so the merge layer
+	// can trust recovered histories to fold deltas exactly as live ones.
+	// A pointer distinguishes "not a delta write" from a zero increment.
+	Delta *model.Value `json:"delta,omitempty"`
 
 	// KindCheckout
 	WindowID int                        `json:"window,omitempty"`
@@ -126,11 +133,17 @@ func (lw *Writer) LogTxn(t *tx.Transaction, eff *tx.Effect) error {
 			return err
 		}
 	}
+	pure := eff.DeltaPure()
 	for _, it := range sortedItems(eff.Writes) {
-		if err := lw.append(Record{
+		rec := Record{
 			Kind: KindWrite, TxID: t.ID, Item: it,
 			Before: eff.Before[it], After: eff.Writes[it],
-		}); err != nil {
+		}
+		if pure.Has(it) {
+			d := eff.Deltas[it]
+			rec.Delta = &d
+		}
+		if err := lw.append(rec); err != nil {
 			return err
 		}
 	}
@@ -299,6 +312,7 @@ func Replay(records []Record) (*Replayed, error) {
 		reads   map[model.Item]model.Value
 		writes  map[model.Item]model.Value
 		befores map[model.Item]model.Value
+		deltas  map[model.Item]model.Value
 	}
 	var (
 		cur       *pending
@@ -321,6 +335,7 @@ func Replay(records []Record) (*Replayed, error) {
 				reads:   make(map[model.Item]model.Value),
 				writes:  make(map[model.Item]model.Value),
 				befores: make(map[model.Item]model.Value),
+				deltas:  make(map[model.Item]model.Value),
 			}
 		case KindRead:
 			if cur == nil || cur.t.ID != rec.TxID {
@@ -333,6 +348,9 @@ func Replay(records []Record) (*Replayed, error) {
 			}
 			cur.writes[rec.Item] = rec.After
 			cur.befores[rec.Item] = rec.Before
+			if rec.Delta != nil {
+				cur.deltas[rec.Item] = *rec.Delta
+			}
 		case KindCommit:
 			if cur == nil || cur.t.ID != rec.TxID {
 				return nil, fmt.Errorf("%w: stray commit record for %s", ErrCorrupt, rec.TxID)
@@ -383,6 +401,26 @@ func Replay(records []Record) (*Replayed, error) {
 			if got := eff.Before[it]; got != v {
 				return nil, fmt.Errorf("%w: %s before-image %s: logged %d, replayed %d",
 					ErrCorrupt, p.t.ID, it, v, got)
+			}
+		}
+		// Delta annotations drive edge elision and associative folding after
+		// recovery, so they must agree with the replayed classification in
+		// both directions: a spurious delta could merge a non-commutative
+		// write without an edge, a dropped one merely loses the optimization
+		// but still signals a log/code disagreement.
+		pure := eff.DeltaPure()
+		if len(p.deltas) != len(pure) {
+			return nil, fmt.Errorf("%w: %s logged %d delta writes, replay classified %d",
+				ErrCorrupt, p.t.ID, len(p.deltas), len(pure))
+		}
+		for it, d := range p.deltas {
+			if !pure.Has(it) {
+				return nil, fmt.Errorf("%w: %s delta on %s: replay classified a value write",
+					ErrCorrupt, p.t.ID, it)
+			}
+			if got := eff.Deltas[it]; got != d {
+				return nil, fmt.Errorf("%w: %s delta %s: logged %d, replayed %d",
+					ErrCorrupt, p.t.ID, it, d, got)
 			}
 		}
 	}

@@ -381,3 +381,106 @@ func TestReplayDetectsTamperedBeforeImage(t *testing.T) {
 		t.Errorf("tampered before-image replayed without ErrCorrupt: %v", err)
 	}
 }
+
+// TestJournalCarriesDeltas: a pure commutative increment is journaled with
+// its delta annotation, a value write (assignment) without one, and replay
+// reconstructs the same classification.
+func TestJournalCarriesDeltas(t *testing.T) {
+	var buf bytes.Buffer
+	origin := model.StateOf(map[model.Item]model.Value{"x": 100, "p": 50})
+	w := NewWriter(&buf)
+	if err := w.Checkout(0, 0, origin); err != nil {
+		t.Fatal(err)
+	}
+	cur := origin.Clone()
+	for _, txn := range []*tx.Transaction{
+		workload.Deposit("T1", tx.Tentative, "x", 5),
+		workload.SetPrice("T2", tx.Tentative, "p", 77),
+	} {
+		next, eff, err := txn.Exec(cur, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.LogTxn(txn, eff); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotDelta, gotValue bool
+	for _, rec := range recs {
+		if rec.Kind != KindWrite {
+			continue
+		}
+		switch rec.Item {
+		case "x":
+			gotDelta = true
+			if rec.Delta == nil || *rec.Delta != 5 {
+				t.Errorf("deposit write record delta = %v, want 5", rec.Delta)
+			}
+		case "p":
+			gotValue = true
+			if rec.Delta != nil {
+				t.Errorf("assignment write record carries delta %d", *rec.Delta)
+			}
+		}
+	}
+	if !gotDelta || !gotValue {
+		t.Fatalf("journal missing write records: delta=%v value=%v", gotDelta, gotValue)
+	}
+	rep, err := Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := rep.Augmented.Effects[0].DeltaPure()
+	if !pure.Has("x") || rep.Augmented.Effects[0].Deltas["x"] != 5 {
+		t.Errorf("replayed effect lost the delta classification: %v", pure)
+	}
+	if len(rep.Augmented.Effects[1].DeltaPure()) != 0 {
+		t.Error("replayed assignment classified as a pure delta")
+	}
+}
+
+// TestReplayDetectsTamperedDelta: a delta annotation that disagrees with
+// the replayed execution — a wrong increment, a delta on a value write, or
+// a stripped delta — is ErrCorrupt. A spurious delta would let the merge
+// layer elide edges around a non-commutative write.
+func TestReplayDetectsTamperedDelta(t *testing.T) {
+	build := func() string {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Checkout(0, 0, model.StateOf(map[model.Item]model.Value{"x": 100})); err != nil {
+			t.Fatal(err)
+		}
+		txn := workload.Deposit("T1", tx.Tentative, "x", 5)
+		_, eff, err := txn.Exec(model.StateOf(map[model.Item]model.Value{"x": 100}), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.LogTxn(txn, eff); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cases := map[string]func(string) string{
+		"wrong increment": func(s string) string { return tamperField(s, `"delta":`) },
+		"stripped delta":  func(s string) string { return strings.Replace(s, `,"delta":5`, ``, 1) },
+	}
+	for name, tamper := range cases {
+		s := build()
+		tampered := tamper(s)
+		if tampered == s {
+			t.Fatalf("%s: tamper had no effect on %q", name, s)
+		}
+		recs, err := ReadAll(strings.NewReader(tampered))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(recs); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: replayed without ErrCorrupt: %v", name, err)
+		}
+	}
+}
