@@ -12,6 +12,7 @@ package tiermerge_test
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"tiermerge/internal/replica"
 	"tiermerge/internal/rewrite"
 	"tiermerge/internal/sim"
+	"tiermerge/internal/store"
 	"tiermerge/internal/tx"
 	"tiermerge/internal/workload"
 )
@@ -763,6 +765,127 @@ func BenchmarkE18DeltaMerge(b *testing.B) {
 			b.ReportMetric(float64(elided)/float64(b.N), "elided/op")
 			b.ReportMetric(float64(folded)/float64(b.N), "folded/op")
 			b.ReportMetric(float64(graphOps)/float64(b.N), "graph_ops/op")
+		})
+	}
+}
+
+// e19Day commits a deterministic base day — windows of transactions with
+// window advances between them — on cluster, checkpointing every ckptEvery
+// windows (0 = never).
+func e19Day(b *testing.B, cluster *replica.BaseCluster, windows, perWindow, ckptEvery int) {
+	b.Helper()
+	gen := workload.NewGenerator(workload.Config{Seed: 19, Items: 32, PCommutative: 0.5})
+	n := 0
+	for w := 0; w < windows; w++ {
+		if w > 0 {
+			cluster.AdvanceWindow()
+		}
+		if ckptEvery > 0 && w > 0 && w%ckptEvery == 0 {
+			if err := cluster.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < perWindow; i++ {
+			t := gen.Txn(tx.Base)
+			t.ID = fmt.Sprintf("T%d", n)
+			n++
+			if err := cluster.ExecBase(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE19DurableStore times the durable engine's two axes (DESIGN.md
+// §14). backend=mem|disk commit the identical day through the MVCC store
+// with and without the segmented log underneath (the disk arm pays a
+// sync-before-ack fsync per commit). recover=full|ckpt time a restart:
+// replaying a full-history journal vs the checkpoint + tail a rotated
+// segment log leaves behind, with the log bytes each must read reported
+// alongside — benchreport's e19 summary turns the pairs into the headline
+// recovery speedup and log-size reduction.
+func BenchmarkE19DurableStore(b *testing.B) {
+	const windows, perWindow = 8, 8
+	gen := workload.NewGenerator(workload.Config{Seed: 19, Items: 32, PCommutative: 0.5})
+	origin := gen.OriginState()
+	cfg := tiermerge.ClusterConfig{Weights: tiermerge.DefaultCostWeights()}
+
+	for _, backend := range []string{"mem", "disk"} {
+		b.Run("backend="+backend, func(b *testing.B) {
+			b.ReportAllocs()
+			var logBytes int64
+			for n := 0; n < b.N; n++ {
+				if backend == "mem" {
+					mcfg := cfg
+					mcfg.Store = store.NewMemory()
+					e19Day(b, replica.NewBaseCluster(origin, mcfg), windows, perWindow, 0)
+					continue
+				}
+				dir, err := os.MkdirTemp("", "tiermerge-e19-bench-")
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, _, err := replica.OpenBase(dir, origin, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e19Day(b, c, windows, perWindow, 0)
+				logBytes += c.LogSize()
+				c.CloseStore()
+				os.RemoveAll(dir)
+			}
+			b.ReportMetric(float64(windows*perWindow), "commits/op")
+			if logBytes > 0 {
+				b.ReportMetric(float64(logBytes)/float64(b.N), "log_B/op")
+			}
+		})
+	}
+
+	// Recovery images, built once: a full-history journal and the
+	// checkpoint + tail segments the same day leaves after rotations.
+	legacy := replica.NewBaseCluster(origin, cfg)
+	var full bytes.Buffer
+	if err := legacy.AttachJournal(&full); err != nil {
+		b.Fatal(err)
+	}
+	e19Day(b, legacy, windows, perWindow, 0)
+	ckptDir := b.TempDir()
+	prep, _, err := replica.OpenBase(ckptDir, origin, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e19Day(b, prep, windows, perWindow, 2)
+	ckptBytes := prep.LogSize()
+	if err := prep.CloseStore(); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, mode := range []string{"full", "ckpt"} {
+		b.Run("recover="+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var replayed int64
+			for n := 0; n < b.N; n++ {
+				if mode == "full" {
+					_, rec, err := replica.RecoverBaseCluster(bytes.NewReader(full.Bytes()), cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					replayed += int64(rec.Records)
+					continue
+				}
+				c, rec, err := replica.OpenBase(ckptDir, origin, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				replayed += int64(rec.Records)
+				c.CloseStore()
+			}
+			b.ReportMetric(float64(replayed)/float64(b.N), "replayed/op")
+			if mode == "full" {
+				b.ReportMetric(float64(full.Len()), "log_B")
+			} else {
+				b.ReportMetric(float64(ckptBytes), "log_B")
+			}
 		})
 	}
 }

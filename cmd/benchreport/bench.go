@@ -116,6 +116,9 @@ func runBenchJSON(r io.Reader, dir string) int {
 		if id == "E18" {
 			f.Summary = e18Summary(f.Results)
 		}
+		if id == "E19" {
+			f.Summary = e19Summary(f.Results)
+		}
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
@@ -185,6 +188,45 @@ func e18Summary(results []benchResult) map[string]float64 {
 	}
 	if delta.NsPerOp > 0 {
 		sum["delta_vs_value_speedup"] = value.NsPerOp / delta.NsPerOp
+	}
+	return sum
+}
+
+// e19Summary derives the E19 headline: what durability costs on the
+// commit path (disk vs memory backend slowdown from sync-before-ack) and
+// what checkpoint + truncation buy back at restart — the recovery speedup
+// and the log-size reduction of checkpoint+tail over a full-history
+// replay.
+func e19Summary(results []benchResult) map[string]float64 {
+	byArm := map[string]benchResult{}
+	for _, r := range results {
+		for _, key := range []string{"backend=", "recover="} {
+			if i := strings.Index(r.Name, key); i >= 0 {
+				byArm[r.Name[i:]] = r
+			}
+		}
+	}
+	sum := map[string]float64{}
+	mem, okM := byArm["backend=mem"]
+	disk, okD := byArm["backend=disk"]
+	if okM && okD && mem.NsPerOp > 0 {
+		sum["disk_vs_mem_slowdown"] = disk.NsPerOp / mem.NsPerOp
+		sum["disk_log_bytes_per_run"] = disk.Metrics["log_B/op"]
+	}
+	full, okF := byArm["recover=full"]
+	ckpt, okC := byArm["recover=ckpt"]
+	if okF && okC {
+		sum["full_replay_records"] = full.Metrics["replayed/op"]
+		sum["ckpt_replay_records"] = ckpt.Metrics["replayed/op"]
+		if ckpt.NsPerOp > 0 {
+			sum["ckpt_vs_full_recovery_speedup"] = full.NsPerOp / ckpt.NsPerOp
+		}
+		if full.Metrics["log_B"] > 0 {
+			sum["log_size_reduction"] = 1 - ckpt.Metrics["log_B"]/full.Metrics["log_B"]
+		}
+	}
+	if len(sum) == 0 {
+		return nil
 	}
 	return sum
 }

@@ -1,5 +1,5 @@
 // Command benchreport regenerates every experiment of the reproduction
-// suite (E0..E16, see DESIGN.md) and prints the tables EXPERIMENTS.md
+// suite (E0..E19, see DESIGN.md) and prints the tables EXPERIMENTS.md
 // records. It exits non-zero if any paper expectation fails.
 //
 // With -benchjson it instead parses `go test -bench` output from stdin

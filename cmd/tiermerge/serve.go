@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tiermerge"
 	"tiermerge/internal/wire"
@@ -28,6 +29,8 @@ func runServe(args []string) error {
 		items    = fs.Int("items", 16, "database universe size (items item0..itemN-1)")
 		initial  = fs.Int64("initial", 100, "initial value of every item")
 		maxConns = fs.Int("maxconns", 0, "cap on concurrently served connections (0 = default)")
+		data     = fs.String("data", "", "durable data directory: commits persist through the segmented store and survive restarts (empty = in-memory only)")
+		ckptIval = fs.Duration("ckptevery", 0, "checkpoint + truncate the durable log at this interval (0 = only on drain; needs -data)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,11 +43,46 @@ func runServe(args []string) error {
 	metrics := tiermerge.NewMetrics()
 	cfg := tiermerge.ClusterConfig{Observer: metrics}
 
-	var tier tiermerge.BaseTier
-	if *shards > 1 {
+	// A durable tier checkpoints its segment log and releases its engine on
+	// drain; both base shapes satisfy the seam.
+	type durableTier interface {
+		Checkpoint() error
+		CloseStore() error
+	}
+	var (
+		tier    tiermerge.BaseTier
+		durable durableTier
+	)
+	switch {
+	case *data != "" && *shards > 1:
+		sb, recs, err := tiermerge.OpenShardedBase(*data, tiermerge.StateOf(origin), *shards, cfg)
+		if err != nil {
+			return err
+		}
+		for k, rec := range recs {
+			if rec.Records > 0 {
+				fmt.Printf("shard %d recovered: %d records replayed, %d committed, %d dropped\n",
+					k, rec.Records, rec.Committed, rec.Dropped)
+			}
+		}
+		tier, durable = sb, sb
+	case *data != "":
+		b, rec, err := tiermerge.OpenBase(*data, tiermerge.StateOf(origin), cfg)
+		if err != nil {
+			return err
+		}
+		if rec.Records > 0 {
+			fmt.Printf("recovered %s: %d records replayed, %d committed, %d dropped\n",
+				*data, rec.Records, rec.Committed, rec.Dropped)
+		}
+		tier, durable = b, b
+	case *shards > 1:
 		tier = tiermerge.NewShardedBase(tiermerge.StateOf(origin), *shards, cfg)
-	} else {
+	default:
 		tier = tiermerge.NewBaseCluster(tiermerge.StateOf(origin), cfg)
+	}
+	if durable != nil {
+		defer durable.CloseStore()
 	}
 	srv := tiermerge.Serve(tier,
 		tiermerge.WithWorkers(*workers),
@@ -71,16 +109,46 @@ func runServe(args []string) error {
 		go http.Serve(debugLn, srv.DebugHandler())
 	}
 
+	var stopCkpt chan struct{}
+	if durable != nil && *ckptIval > 0 {
+		stopCkpt = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(*ckptIval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := durable.Checkpoint(); err != nil {
+						fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+					}
+				case <-stopCkpt:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("received %s, draining\n", s)
 
+	if stopCkpt != nil {
+		close(stopCkpt)
+	}
 	if debugLn != nil {
 		debugLn.Close()
 	}
 	if err := ws.Close(); err != nil {
 		return err
+	}
+	if durable != nil {
+		// Final rotation: restart recovery replays one checkpoint and an
+		// empty tail instead of the whole run.
+		if err := durable.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("checkpointed %s\n", *data)
 	}
 	frames, in, out, drops := ws.Stats()
 	fmt.Printf("served            %d frames, %d bytes in, %d bytes out", frames, in, out)

@@ -53,14 +53,28 @@ type Ann struct {
 	// summary engine trusts it and infers no MayBlock fact; the deadlock
 	// and race suites back the assertion at runtime.
 	NonBlocking bool
+	// IOMutex (struct fields only) marks a sync.Mutex/RWMutex whose charter
+	// is serializing blocking file or socket I/O — the durable store's fmu.
+	// Known-blocking and //tiermerge:blocking calls made while only
+	// io-mutexes are held are the mutex's purpose and are not flagged;
+	// channel operations, locks(none) calls and nesting rules still apply.
+	IOMutex bool
+	// LeafMutex (struct fields only) marks a sync.Mutex/RWMutex that guards
+	// memory only and is never held across another acquisition or a
+	// blocking call — the durable store's buffer mutex. Acquiring a leaf
+	// mutex while another mutex is held is exempt from the nested-mutex
+	// rule (a leaf never waits on anything, so it cannot close a cycle);
+	// everything done UNDER a held leaf mutex stays fully checked.
+	LeafMutex bool
 }
 
 // Annotations is the module-wide directive table, keyed by type-checker
 // object identity (valid because every module package is loaded from
 // source through one loader, so importers and definers share objects).
 type Annotations struct {
-	funcs map[types.Object]*Ann
-	typs  map[types.Object]*Ann
+	funcs  map[types.Object]*Ann
+	typs   map[types.Object]*Ann
+	fields map[types.Object]*Ann
 }
 
 // Func returns the annotations of a function object (never nil).
@@ -85,13 +99,25 @@ func (a *Annotations) Type(obj types.Object) *Ann {
 	return &Ann{}
 }
 
+// Field returns the annotations of a struct-field object (never nil).
+func (a *Annotations) Field(obj types.Object) *Ann {
+	if a == nil || obj == nil {
+		return &Ann{}
+	}
+	if an, ok := a.fields[obj]; ok {
+		return an
+	}
+	return &Ann{}
+}
+
 // CollectAnnotations parses the //tiermerge: directives of every package.
 // Malformed directives are returned as errors (file:line prefixed) so the
 // lint gate fails loudly instead of silently not enforcing a contract.
 func CollectAnnotations(pkgs []*Package) (*Annotations, []error) {
 	a := &Annotations{
-		funcs: make(map[types.Object]*Ann),
-		typs:  make(map[types.Object]*Ann),
+		funcs:  make(map[types.Object]*Ann),
+		typs:   make(map[types.Object]*Ann),
+		fields: make(map[types.Object]*Ann),
 	}
 	var errs []error
 	for _, pkg := range pkgs {
@@ -99,7 +125,7 @@ func CollectAnnotations(pkgs []*Package) (*Annotations, []error) {
 			for _, decl := range f.Decls {
 				switch d := decl.(type) {
 				case *ast.FuncDecl:
-					an, derr := parseDirectives(pkg, d.Doc, false)
+					an, derr := parseDirectives(pkg, d.Doc, annFunc)
 					errs = append(errs, derr...)
 					if an != nil {
 						if obj := pkg.Info.Defs[d.Name]; obj != nil {
@@ -116,12 +142,15 @@ func CollectAnnotations(pkgs []*Package) (*Annotations, []error) {
 						if doc == nil && len(d.Specs) == 1 {
 							doc = d.Doc
 						}
-						an, derr := parseDirectives(pkg, doc, true)
+						an, derr := parseDirectives(pkg, doc, annType)
 						errs = append(errs, derr...)
 						if an != nil {
 							if obj := pkg.Info.Defs[ts.Name]; obj != nil {
 								a.typs[obj] = an
 							}
+						}
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							errs = append(errs, a.collectFields(pkg, st)...)
 						}
 					}
 				}
@@ -131,9 +160,51 @@ func CollectAnnotations(pkgs []*Package) (*Annotations, []error) {
 	return a, errs
 }
 
+// collectFields parses the //tiermerge: directives of one struct type's
+// field declarations (iomutex / leafmutex mutex contracts).
+func (a *Annotations) collectFields(pkg *Package, st *ast.StructType) []error {
+	var errs []error
+	for _, fld := range st.Fields.List {
+		doc := fld.Doc
+		if doc == nil {
+			doc = fld.Comment
+		}
+		an, derr := parseDirectives(pkg, doc, annField)
+		errs = append(errs, derr...)
+		if an == nil {
+			continue
+		}
+		for _, name := range fld.Names {
+			obj := pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if (an.IOMutex || an.LeafMutex) &&
+				!typeIs(obj.Type(), "sync", "Mutex") && !typeIs(obj.Type(), "sync", "RWMutex") {
+				errs = append(errs, fmt.Errorf("%s: //tiermerge:iomutex/leafmutex apply to sync.Mutex/RWMutex fields; %s is %s",
+					pkg.Fset.Position(name.Pos()), name.Name, obj.Type()))
+				continue
+			}
+			a.fields[obj] = an
+		}
+	}
+	return errs
+}
+
+// annCtx is the declaration kind a directive comment is attached to;
+// most directives are function contracts, immutable also applies to
+// types, and the mutex contracts apply to struct fields.
+type annCtx int
+
+const (
+	annFunc annCtx = iota
+	annType
+	annField
+)
+
 // parseDirectives extracts //tiermerge: lines from a doc comment. It
 // returns nil when the comment carries no directives.
-func parseDirectives(pkg *Package, doc *ast.CommentGroup, isType bool) (*Ann, []error) {
+func parseDirectives(pkg *Package, doc *ast.CommentGroup, ctx annCtx) (*Ann, []error) {
 	if doc == nil {
 		return nil, nil
 	}
@@ -174,6 +245,10 @@ func parseDirectives(pkg *Package, doc *ast.CommentGroup, isType bool) (*Ann, []
 			an.CostPath = true
 		case directive == "nonblocking":
 			an.NonBlocking = true
+		case directive == "iomutex":
+			an.IOMutex = true
+		case directive == "leafmutex":
+			an.LeafMutex = true
 		case strings.HasPrefix(directive, "locks("):
 			arg, ok := strings.CutSuffix(strings.TrimPrefix(directive, "locks("), ")")
 			if !ok {
@@ -189,11 +264,22 @@ func parseDirectives(pkg *Package, doc *ast.CommentGroup, isType bool) (*Ann, []
 		default:
 			bad("unknown directive")
 		}
-		if isType {
+		switch ctx {
+		case annType:
 			switch {
 			case an.Locks != "", an.Blocking, an.Shared, an.BackoutSource, an.Sink,
-				an.BufferedEvents, an.CostPath, an.NonBlocking:
+				an.BufferedEvents, an.CostPath, an.NonBlocking, an.IOMutex, an.LeafMutex:
 				bad("only //tiermerge:immutable applies to type declarations")
+			}
+		case annField:
+			switch {
+			case an.Locks != "", an.Blocking, an.Shared, an.BackoutSource, an.Sink,
+				an.BufferedEvents, an.CostPath, an.NonBlocking, an.Immutable:
+				bad("only //tiermerge:iomutex and //tiermerge:leafmutex apply to struct fields")
+			}
+		case annFunc:
+			if an.IOMutex || an.LeafMutex {
+				bad("//tiermerge:iomutex and //tiermerge:leafmutex apply to struct fields only")
 			}
 		}
 	}

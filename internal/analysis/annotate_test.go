@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/types"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -49,6 +50,23 @@ func TestAnnotationParsing(t *testing.T) {
 	if !ann.Type(scope.Lookup("Frozen")).Immutable {
 		t.Errorf("Frozen: want type Immutable")
 	}
+	if j, ok := scope.Lookup("Journal").Type().Underlying().(*types.Struct); !ok {
+		t.Errorf("Journal fixture type missing")
+	} else {
+		for i := 0; i < j.NumFields(); i++ {
+			f := j.Field(i)
+			switch f.Name() {
+			case "FMu":
+				if !ann.Field(f).IOMutex {
+					t.Errorf("Journal.FMu: want IOMutex")
+				}
+			case "BMu":
+				if !ann.Field(f).LeafMutex {
+					t.Errorf("Journal.BMu: want LeafMutex")
+				}
+			}
+		}
+	}
 	// A type lookup of a function (and vice versa) must stay empty.
 	if ann.Type(scope.Lookup("Window")).Immutable {
 		t.Errorf("Window looked up as a type must not be Immutable")
@@ -73,14 +91,17 @@ func TestAnnotationErrors(t *testing.T) {
 		t.Fatalf("load annotbad: %v", err)
 	}
 	_, errs := CollectAnnotations([]*Package{p})
-	if len(errs) != 4 {
-		t.Fatalf("got %d annotation errors, want 4: %v", len(errs), errs)
+	if len(errs) != 7 {
+		t.Fatalf("got %d annotation errors, want 7: %v", len(errs), errs)
 	}
 	for _, want := range []string{
 		`lock contract must be "none", "cluster" or "shard"`,
 		"unknown directive",
 		"missing closing parenthesis",
 		"only //tiermerge:immutable applies to type declarations",
+		"apply to struct fields only",
+		"apply to sync.Mutex/RWMutex fields",
+		"only //tiermerge:iomutex and //tiermerge:leafmutex apply to struct fields",
 	} {
 		found := false
 		for _, e := range errs {

@@ -107,6 +107,27 @@ type lockChecker struct {
 	fn        *ast.FuncDecl
 	inCluster bool // enclosing function is annotated locks(cluster)
 	inShard   bool // enclosing function is annotated locks(shard)
+	// io records, by rendered key, held mutexes whose field declaration is
+	// annotated //tiermerge:iomutex (keys are stable within one body).
+	io map[string]bool
+}
+
+// ioOnly reports whether at least one mutex is held and every held one is
+// an annotated io-mutex — blocking file I/O under such a mutex is its
+// declared purpose, so the blocking-call rules stand down (channel
+// operations and locks(none) calls stay flagged).
+func (lc *lockChecker) ioOnly(held lockSet) bool {
+	any := false
+	for k, h := range held {
+		if !h {
+			continue
+		}
+		if !lc.io[k] {
+			return false
+		}
+		any = true
+	}
+	return any
 }
 
 // block walks statements in order, threading the held set through.
@@ -121,7 +142,16 @@ func (lc *lockChecker) stmt(s ast.Stmt, held lockSet) {
 	case *ast.ExprStmt:
 		if key, locks, ok := mutexOp(lc.pass.Pkg.Info, s.X); ok {
 			if locks {
-				if other := lc.otherHeld(held, key); other != "" {
+				fa := mutexFieldAnn(lc.pass.Ann, lc.pass.Pkg.Info, s.X)
+				if fa.IOMutex {
+					if lc.io == nil {
+						lc.io = make(map[string]bool)
+					}
+					lc.io[key] = true
+				}
+				// A leaf mutex guards memory only and never waits on
+				// anything, so acquiring it nested cannot close a cycle.
+				if other := lc.otherHeld(held, key); other != "" && !fa.LeafMutex {
 					lc.pass.Reportf(s.Pos(),
 						"lock of %s while %s is already held: nested distinct mutexes deadlock; "+
 							"acquire multiple shard mutexes through the ascending-order helper (lockClusters)",
@@ -270,11 +300,15 @@ func (lc *lockChecker) call(call *ast.CallExpr, held lockSet) {
 				"%s is //tiermerge:locks(none) (acquires the cluster lock itself) but is called while a mutex is held%s",
 				f.Name(), lc.heldDesc(held))
 		case ann.Blocking:
-			lc.pass.Reportf(call.Pos(),
-				"%s is //tiermerge:blocking but is called while a mutex is held%s", f.Name(), lc.heldDesc(held))
+			if !lc.ioOnly(held) {
+				lc.pass.Reportf(call.Pos(),
+					"%s is //tiermerge:blocking but is called while a mutex is held%s", f.Name(), lc.heldDesc(held))
+			}
 		case isKnownBlocking(f):
-			lc.pass.Reportf(call.Pos(),
-				"blocking call %s.%s while a mutex is held%s", f.Pkg().Name(), f.Name(), lc.heldDesc(held))
+			if !lc.ioOnly(held) {
+				lc.pass.Reportf(call.Pos(),
+					"blocking call %s.%s while a mutex is held%s", f.Pkg().Name(), f.Name(), lc.heldDesc(held))
+			}
 		}
 	} else if ann.Locks == "cluster" && !lc.inCluster && !lc.holdsVisibleLock(call) {
 		lc.pass.Reportf(call.Pos(),
@@ -349,6 +383,34 @@ func mutexOp(info *types.Info, e ast.Expr) (key string, locks, ok bool) {
 	return key, locks, true
 }
 
+// mutexFieldAnn resolves the //tiermerge: directives on the struct field
+// a mutex operation's receiver selects (d.fmu.Lock() → the fmu field
+// declaration); an empty Ann when the mutex is not a field or carries no
+// directives.
+func mutexFieldAnn(ann *Annotations, info *types.Info, e ast.Expr) *Ann {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return &Ann{}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return &Ann{}
+	}
+	return fieldAnnOf(ann, info, sel.X)
+}
+
+// fieldAnnOf resolves a mutex expression ("d.fmu", "bs[i].mu") to its
+// field declaration's annotations.
+func fieldAnnOf(ann *Annotations, info *types.Info, mutex ast.Expr) *Ann {
+	switch x := ast.Unparen(mutex).(type) {
+	case *ast.SelectorExpr:
+		return ann.Field(info.Uses[x.Sel])
+	case *ast.Ident:
+		return ann.Field(info.Uses[x])
+	}
+	return &Ann{}
+}
+
 // isKnownBlocking matches standard-library calls that park the goroutine.
 func isKnownBlocking(f *types.Func) bool {
 	if f.Pkg() == nil {
@@ -379,6 +441,23 @@ func isKnownBlocking(f *types.Func) bool {
 			"Listen", "ListenTCP", "ListenPacket",
 			"Accept", "AcceptTCP",
 			"Read", "Write", "ReadFrom", "WriteTo", "ReadMsgUDP", "WriteMsgUDP":
+			return true
+		}
+		return false
+	case "os":
+		// Disk I/O parks the goroutine just like socket I/O — the durable
+		// store's sync-before-ack discipline (DESIGN.md §14) depends on no
+		// file operation ever running under the cluster mutex. Matching by
+		// name covers both the package functions and the methods on
+		// *os.File. Environment and process accessors (os.Getenv,
+		// os.Getpid) are in-memory and deliberately absent.
+		switch f.Name() {
+		case "Open", "OpenFile", "Create", "CreateTemp",
+			"ReadFile", "WriteFile", "ReadDir", "MkdirTemp",
+			"Remove", "RemoveAll", "Rename", "Mkdir", "MkdirAll",
+			"Stat", "Lstat", "Truncate", "Chmod", "Chown",
+			"Read", "ReadAt", "Write", "WriteAt", "WriteString",
+			"Sync", "Close", "Seek":
 			return true
 		}
 		return false

@@ -384,6 +384,7 @@ type heldLock struct {
 	idxPkg *Package // package the index expression was typed in
 	caller bool     // the locks(cluster|shard) caller contract
 	via    string   // the callee that left it held ("" when locked here)
+	io     bool     // field annotated //tiermerge:iomutex
 }
 
 type heldLocks []heldLock
@@ -471,7 +472,8 @@ func (w *checkWalker) stmt(s ast.Stmt, held *heldLocks) {
 				sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 				class, index := classOf(w.node.Pkg, sel.X)
 				if locks {
-					w.acquire(s.Pos(), key, class, index, held)
+					fa := fieldAnnOf(w.eng.ann, w.node.Pkg.Info, sel.X)
+					w.acquire(s.Pos(), key, class, index, fa.IOMutex, held)
 				} else {
 					w.release(key, class, held)
 				}
@@ -595,7 +597,7 @@ func descendingVars(s *ast.ForStmt) map[string]bool {
 }
 
 // acquire handles one Lock/RLock site.
-func (w *checkWalker) acquire(pos token.Pos, key, class string, index ast.Expr, held *heldLocks) {
+func (w *checkWalker) acquire(pos token.Pos, key, class string, index ast.Expr, io bool, held *heldLocks) {
 	e, n := w.eng, w.node
 	// Re-locking the very mutex already held self-deadlocks (sync.Mutex is
 	// not reentrant).
@@ -635,7 +637,7 @@ func (w *checkWalker) acquire(pos token.Pos, key, class string, index ast.Expr, 
 			e.addOrderEdge(n, h.class, class, pos)
 		}
 	}
-	*held = append(*held, heldLock{key: key, class: class, index: index, idxPkg: n.Pkg})
+	*held = append(*held, heldLock{key: key, class: class, index: index, idxPkg: n.Pkg, io: io})
 }
 
 // descLoopVarIn returns the name of an enclosing descending loop's counter
@@ -724,8 +726,10 @@ func (w *checkWalker) call(call *ast.CallExpr, held *heldLocks) {
 	if held.any() {
 		// Transitive blocking: the locally-visible cases (annotated
 		// blocking, locks(none), known std blockers) are lockheld's;
-		// the engine owns everything inference-only.
-		if s.MayBlock && !an.Blocking && an.Locks != "none" && !isKnownBlocking(f) {
+		// the engine owns everything inference-only. Bodies holding only
+		// //tiermerge:iomutex mutexes are serializing blocking I/O — the
+		// mutex's purpose — so the blocking rule stands down there too.
+		if s.MayBlock && !an.Blocking && an.Locks != "none" && !isKnownBlocking(f) && !ioOnlyHeld(*held) {
 			e.report(n, "lockorder", call.Pos(),
 				"call to %s while a mutex is held%s: may block (%s)",
 				callee.Name(), heldDescFor(*held), via(s.BlockVia, s.BlockWhat))
@@ -777,6 +781,17 @@ func (w *checkWalker) call(call *ast.CallExpr, held *heldLocks) {
 			via:   callee.Name(),
 		})
 	}
+}
+
+// ioOnlyHeld reports whether at least one lock is held and every held one
+// is an annotated io-mutex.
+func ioOnlyHeld(held heldLocks) bool {
+	for _, h := range held {
+		if !h.io {
+			return false
+		}
+	}
+	return len(held) > 0
 }
 
 // heldDescFor names one held mutex for a diagnostic.

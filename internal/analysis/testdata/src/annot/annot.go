@@ -1,6 +1,8 @@
 // Package annot exercises the //tiermerge: directive parser.
 package annot
 
+import "sync"
+
 // Window returns an alias of shared storage.
 //
 //tiermerge:immutable
@@ -45,3 +47,16 @@ type Frozen struct {
 
 // Plain carries no directives.
 func Plain() {}
+
+// Journal carries the mutex field contracts.
+type Journal struct {
+	// FMu serializes file I/O.
+	//
+	//tiermerge:iomutex
+	FMu sync.Mutex
+
+	// BMu guards the buffer only.
+	//
+	//tiermerge:leafmutex
+	BMu sync.Mutex
+}

@@ -21,3 +21,21 @@ func Unclosed() {}
 //
 //tiermerge:blocking
 type BadType struct{}
+
+// BadIOMutexFunc puts a field-only directive on a function.
+//
+//tiermerge:iomutex
+func BadIOMutexFunc() {}
+
+// badFields places mutex directives on non-mutex and misdirected fields.
+type badFields struct {
+	// count is not a mutex.
+	//
+	//tiermerge:leafmutex
+	count int
+
+	// blocked carries a function-only directive.
+	//
+	//tiermerge:blocking
+	blocked int
+}

@@ -4,6 +4,7 @@ package lockheld
 
 import (
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -304,4 +305,113 @@ func (a *acceptor) acceptThenTrack(ln net.Listener) {
 	a.mu.Lock()
 	a.conns[c] = true
 	a.mu.Unlock()
+}
+
+// journal mirrors the durable store's group-commit discipline: the state
+// mutex guards only the in-memory buffer, and every file operation —
+// append, fsync, checkpoint rename — must run outside it. Disk I/O parks
+// the goroutine exactly like socket I/O, and an fsync under the state
+// mutex would stall every committer.
+
+type journal struct {
+	mu  sync.Mutex
+	buf []byte
+	f   *os.File
+}
+
+func (j *journal) syncUnderLock() {
+	j.mu.Lock()
+	j.f.Write(j.buf) // want "blocking call os.Write while a mutex is held"
+	j.f.Sync()       // want "blocking call os.Sync while a mutex is held"
+	j.buf = j.buf[:0]
+	j.mu.Unlock()
+}
+
+func (j *journal) rotateUnderLock(dir string) {
+	j.mu.Lock()
+	os.Rename(dir+"/ckpt.tmp", dir+"/ckpt.wal") // want "blocking call os.Rename while a mutex is held"
+	j.mu.Unlock()
+}
+
+// snapshotThenSync is the correct shape: copy the buffer under the mutex,
+// release, then write and fsync with no lock held.
+func (j *journal) snapshotThenSync() error {
+	j.mu.Lock()
+	pending := append([]byte(nil), j.buf...)
+	j.buf = j.buf[:0]
+	j.mu.Unlock()
+	if _, err := j.f.Write(pending); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// segmentLog mirrors the durable engine's two-mutex discipline: an
+// annotated io-mutex serializing all file operations (blocking under it
+// is its charter) over an annotated leaf mutex guarding the in-memory
+// buffer (safe to take nested — it never waits on anything).
+
+type segmentLog struct {
+	// bmu guards the buffer only; memory-only critical sections.
+	//
+	//tiermerge:leafmutex
+	bmu sync.Mutex
+	buf []byte
+
+	// fmu serializes flushes, fsyncs and rotation.
+	//
+	//tiermerge:iomutex
+	fmu sync.Mutex
+	f   *os.File
+}
+
+// sync is the group-commit shape: drain the buffer through the nested
+// leaf mutex, then do file I/O under the io-mutex alone — none of it is
+// flagged.
+func (l *segmentLog) sync() error {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	l.bmu.Lock()
+	pending := l.buf
+	l.buf = nil
+	l.bmu.Unlock()
+	if _, err := l.f.Write(pending); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// blockUnderLeaf: the leaf contract covers only nested acquisition — a
+// blocking call under the leaf mutex itself is still flagged.
+func (l *segmentLog) blockUnderLeaf() {
+	l.bmu.Lock()
+	l.f.Sync() // want "blocking call os.Sync while a mutex is held"
+	l.bmu.Unlock()
+}
+
+// waitUnderIO: the io-mutex charter covers file I/O, not channel waits —
+// a channel wait can cycle back to the mutex, file I/O cannot.
+func (l *segmentLog) waitUnderIO(done chan int) {
+	l.fmu.Lock()
+	<-done // want "channel receive while a mutex is held"
+	l.fmu.Unlock()
+}
+
+// nestPlainUnderIO: nesting an ordinary mutex under the io-mutex is still
+// the deadlock shape; only annotated leaf mutexes are exempt.
+func (l *segmentLog) nestPlainUnderIO(c *cluster) {
+	l.fmu.Lock()
+	c.mu.Lock() // want "lock of c.mu while l.fmu is already held"
+	c.mu.Unlock()
+	l.fmu.Unlock()
+}
+
+// ioUnderPlain: an io-mutex exempts blocking only under ITSELF — file I/O
+// while an ordinary mutex is also held stays flagged.
+func (l *segmentLog) ioUnderPlain(c *cluster) {
+	c.mu.Lock()
+	l.fmu.Lock() // want "lock of l.fmu while c.mu is already held"
+	l.f.Sync()   // want "blocking call os.Sync while a mutex is held"
+	l.fmu.Unlock()
+	c.mu.Unlock()
 }

@@ -179,3 +179,35 @@ func lockRightThenLeft(l *left, r *right) {
 	l.mu.Unlock()
 	r.mu.Unlock()
 }
+
+// ---- io-mutex exemption for the transitive-blocking rule ----
+
+// wal mirrors the durable engine: fsyncLoop blocks (MayBlock through the
+// channel wait), called under the annotated io-mutex vs a plain mutex.
+type wal struct {
+	// fmu serializes file I/O; blocking under it is its charter.
+	//
+	//tiermerge:iomutex
+	fmu sync.Mutex
+	mu  sync.Mutex
+	ack chan struct{}
+}
+
+// fsyncWait parks until the flusher acknowledges — an inferred MayBlock
+// helper with no annotation anywhere.
+func (w *wal) fsyncWait() { <-w.ack }
+
+// flushUnderIO calls the blocking helper under the io-mutex only: the
+// engine's transitive-blocking rule stands down.
+func (w *wal) flushUnderIO() {
+	w.fmu.Lock()
+	w.fsyncWait()
+	w.fmu.Unlock()
+}
+
+// flushUnderPlain calls it under an ordinary mutex: flagged.
+func (w *wal) flushUnderPlain() {
+	w.mu.Lock()
+	w.fsyncWait() // want "may block"
+	w.mu.Unlock()
+}

@@ -51,6 +51,9 @@ type Weights struct {
 
 	// Crash recovery (DESIGN.md §10).
 	ReplayRecordCost int64 // decode + verify one journal record at recovery
+
+	// Storage engine (DESIGN.md §14).
+	CheckpointCost int64 // write + fsync + rename one checkpoint segment
 }
 
 // DefaultWeights returns the weight vector used by the experiments.
@@ -79,6 +82,8 @@ func DefaultWeights() Weights {
 		ResultReportCost:  1,
 
 		ReplayRecordCost: 2,
+
+		CheckpointCost: 2000,
 	}
 }
 
@@ -141,6 +146,12 @@ type Counts struct {
 	Recoveries         int64
 	WalRecordsReplayed int64
 	WalTailDropped     int64
+
+	// Storage-engine events (checkpoint + log-truncation cycles and the
+	// version-chain compaction they drive; see DESIGN.md §14).
+	StoreCheckpoints       int64
+	StoreVersionsCompacted int64
+	StoreBytesTruncated    int64
 }
 
 // Add accumulates o into c.
@@ -177,6 +188,9 @@ func (c *Counts) Add(o Counts) {
 	c.Recoveries += o.Recoveries
 	c.WalRecordsReplayed += o.WalRecordsReplayed
 	c.WalTailDropped += o.WalTailDropped
+	c.StoreCheckpoints += o.StoreCheckpoints
+	c.StoreVersionsCompacted += o.StoreVersionsCompacted
+	c.StoreBytesTruncated += o.StoreBytesTruncated
 }
 
 // Msg tallies one message of payloadBytes into the counts, applying the
@@ -199,7 +213,8 @@ func (c Counts) Weighted(w Weights) Report {
 			c.BaseForcedWrites*w.ForcedWriteCost +
 			c.BaseApplies*w.ApplyEntryCost +
 			c.BaseGraphOps*w.GraphOpCost +
-			c.BaseBackoutOps*w.BackoutOpCost,
+			c.BaseBackoutOps*w.BackoutOpCost +
+			c.StoreCheckpoints*w.CheckpointCost,
 		MobileCompute: c.MobileGraphOps*w.MobileGraphOpCost +
 			c.MobileRewriteOps*w.RewriteOpCost +
 			c.MobilePruneOps*w.PruneOpCost +

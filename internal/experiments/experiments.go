@@ -111,6 +111,7 @@ func All() []*Table {
 		E16ShardedFleet(),
 		E17WireTransport(),
 		E18DeltaMerge(),
+		E19DurableStore(),
 	}
 }
 

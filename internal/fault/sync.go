@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrSyncFailed is returned by a SyncWriter whose configured sync budget is
+// exhausted — the simulated disk stops accepting flushes, as a failing
+// device or a full volume would.
+var ErrSyncFailed = errors.New("fault: sync failed (injected)")
+
+// SyncWriter models an OS page cache with an explicit flush boundary:
+// Write always succeeds into the volatile cache, and only Sync moves the
+// cached bytes to the simulated durable media. Persisted returns what a
+// power loss right now would leave behind — exactly the bytes covered by a
+// completed Sync.
+//
+// This is the instrument behind the journal-durability regression tests: a
+// commit path that acknowledges after Write but before Sync leaves its
+// records out of Persisted(), and recovery from that image demonstrates the
+// acked-and-lost window. CrashWriter cannot express this fault — it
+// persists every write until its kill point, modeling a crash of the
+// process, not of the power rail.
+type SyncWriter struct {
+	mu      sync.Mutex
+	durable []byte
+	cache   []byte
+	syncs   int
+	// failAfter, when > 0, makes every Sync past the first failAfter calls
+	// return ErrSyncFailed without persisting (FailAfter).
+	failAfter int
+}
+
+// NewSyncWriter returns an empty SyncWriter.
+func NewSyncWriter() *SyncWriter { return &SyncWriter{} }
+
+// FailAfter makes every Sync after the first n succeed-and-persist calls
+// fail with ErrSyncFailed, persisting nothing further. n <= 0 restores
+// always-succeed.
+func (w *SyncWriter) FailAfter(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.failAfter = n
+}
+
+// Write appends b to the volatile cache; it always succeeds.
+func (w *SyncWriter) Write(b []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cache = append(w.cache, b...)
+	return len(b), nil
+}
+
+// Sync flushes the volatile cache to durable media (or fails, past a
+// FailAfter budget, leaving the cache volatile).
+func (w *SyncWriter) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failAfter > 0 && w.syncs >= w.failAfter {
+		return ErrSyncFailed
+	}
+	w.syncs++
+	w.durable = append(w.durable, w.cache...)
+	w.cache = nil
+	return nil
+}
+
+// Syncs returns the number of completed flushes.
+func (w *SyncWriter) Syncs() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
+}
+
+// Persisted returns the durable bytes — what survives a power loss right
+// now. Bytes written since the last Sync are not included.
+func (w *SyncWriter) Persisted() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]byte, len(w.durable))
+	copy(out, w.durable)
+	return out
+}
+
+// Cached returns the volatile bytes a power loss right now would destroy.
+func (w *SyncWriter) Cached() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]byte, len(w.cache))
+	copy(out, w.cache)
+	return out
+}

@@ -78,6 +78,10 @@ const (
 	// journal ended in a partially written line, and Detail names the scan
 	// mode ("strict" or "salvage").
 	PhaseRecover Phase = "recover"
+	// PhaseCheckpoint is a durable base cluster writing a fresh checkpoint
+	// segment and truncating its journal (DESIGN.md §14); Saved carries
+	// the number of current-window entries captured in the segment.
+	PhaseCheckpoint Phase = "checkpoint"
 	// PhaseMerge is the whole-reconnect summary span: its Dur is the
 	// end-to-end reconnect latency, its tallies the final outcome.
 	PhaseMerge Phase = "merge"

@@ -16,6 +16,7 @@ import (
 	"tiermerge/internal/merge"
 	"tiermerge/internal/model"
 	"tiermerge/internal/obs"
+	"tiermerge/internal/store"
 
 	"tiermerge/internal/tx"
 	"tiermerge/internal/wal"
@@ -28,9 +29,13 @@ var ErrNotBase = errors.New("replica: transaction is not a base transaction")
 // baseEntry is one committed position of the base history within the
 // current time window.
 type baseEntry struct {
-	t     *tx.Transaction
-	eff   *tx.Effect
-	after model.State // state snapshot after this entry
+	t   *tx.Transaction
+	eff *tx.Effect
+	// after is the state snapshot after this entry — nil when a storage
+	// engine serves per-position states from its version chains instead
+	// (Config.Store); stateAt and windowPrefix then materialize states
+	// from MVCC snapshots.
+	after model.State
 	// global, when non-nil, links a per-shard slice of a cross-shard
 	// transaction to its global identity (shard.go). The slice's t/eff are
 	// restricted to this shard's items — exact for single-shard merges,
@@ -79,6 +84,14 @@ type BaseCluster struct {
 	counters cost.Counters
 	seq      int
 	journal  *wal.Writer
+
+	// store, when non-nil, receives every committed entry's writes stamped
+	// with its (window, pos) history coordinate; per-position base states
+	// are then served from its MVCC snapshots (Config.Store). disk is the
+	// same engine when it is durable — the checkpoint/rotation target.
+	// Both are set at construction and immutable afterwards.
+	store store.Engine
+	disk  *store.Disk
 
 	// mergeSeq numbers reconnect merges; every observer event of one merge
 	// carries the same sequence number so tracers can group them.
@@ -153,6 +166,10 @@ type prefixCache struct {
 	entries   []history.Entry
 	states    []model.State
 	effects   []*tx.Effect
+	// snap pins the storage engine's version chains at the window origin
+	// while the cache is alive, so compaction cannot drop versions the
+	// cached states were materialized from. nil without a store.
+	snap *store.Snapshot
 }
 
 // NewBaseCluster builds a base cluster over the initial master state. It
@@ -171,6 +188,15 @@ func NewBaseCluster(initial model.State, cfg Config) *BaseCluster {
 		master:       initial.Clone(),
 		windowID:     1,
 		windowOrigin: initial.Clone(),
+		store:        cfg.Store,
+	}
+	if d, ok := cfg.Store.(*store.Disk); ok {
+		b.disk = d
+	}
+	if b.store != nil {
+		// Seed the chains with the initial state at the first coordinate;
+		// every later watermark resolves through it.
+		b.store.Set(b.windowID, 0, b.master)
 	}
 	b.initFollowers()
 	return b
@@ -219,15 +245,67 @@ func (b *BaseCluster) HistoryLen() int {
 //tiermerge:locks(none)
 func (b *BaseCluster) AdvanceWindow() int {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.windowID++
 	b.windowOrigin = b.master.Clone()
 	b.entries = nil
 	b.structVer++
-	if err := b.logWindow(); err != nil {
+	// The prefix cache describes the closed window: drop it and let the
+	// storage engine compact version chains below the new origin
+	// (satellite: the cache previously survived window advances and grew
+	// without bound).
+	b.trimPrefixLocked()
+	if b.store != nil {
+		// No explicit version is written at the new origin: a read at
+		// (windowID, 0) resolves to the newest version of the closed
+		// window, which is exactly the master state that became the
+		// origin. Compaction to that floor keeps one version per item.
+		b.store.Checkpoint(b.windowID, 0)
+	}
+	err := b.logWindow()
+	id := b.windowID
+	b.mu.Unlock()
+	if err == nil {
+		// Force the window record before anyone acts on the new window.
+		err = b.syncJournal()
+	}
+	if err != nil {
 		panic(fmt.Sprintf("replica: base journal failed: %v", err))
 	}
-	return b.windowID
+	return id
+}
+
+// trimPrefixLocked drops the prefix cache and releases its storage
+// snapshot. Called at window advance and checkpoint so a closed window's
+// materialized view is not retained indefinitely. Outstanding merge views
+// stay valid — they hold capped subslices whose backing arrays and states
+// survive the trim. Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
+func (b *BaseCluster) trimPrefixLocked() {
+	if b.prefix.snap != nil {
+		b.prefix.snap.Release()
+	}
+	b.prefix = prefixCache{}
+}
+
+// syncJournal forces the base journal to stable media; every path that
+// acknowledges a commit or a window advance calls it after releasing b.mu
+// (the flush blocks on file I/O, which must never run under the cluster
+// mutex). An in-memory sink makes it a no-op.
+//
+//tiermerge:locks(none)
+//tiermerge:blocking
+func (b *BaseCluster) syncJournal() error {
+	b.mu.Lock()
+	j := b.journal
+	b.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	if err := j.Sync(); err != nil {
+		return fmt.Errorf("replica: journal sync: %w", err)
+	}
+	return nil
 }
 
 // ExecBase runs one base transaction against master data under strict 2PL
@@ -257,18 +335,57 @@ func (b *BaseCluster) ExecBase(t *tx.Transaction) error {
 	}
 	defer b.lm.ReleaseAll(t.ID)
 
+	if err := b.execBaseCommit(t); err != nil {
+		return err
+	}
+	// Force the commit record to stable media before acknowledging: an
+	// acked base transaction must survive a crash (DESIGN.md §14).
+	return b.syncJournal()
+}
+
+// execBaseCommit runs the locked portion of ExecBase: execute on master,
+// append to the history, charge costs, write (but do not force) the
+// journal record.
+//
+//tiermerge:locks(none)
+func (b *BaseCluster) execBaseCommit(t *tx.Transaction) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	eff, err := t.ExecInPlace(b.master, nil)
 	if err != nil {
 		return fmt.Errorf("replica: exec base %s: %w", t.ID, err)
 	}
-	b.entries = append(b.entries, baseEntry{t: t, eff: eff, after: b.master.Clone()})
+	b.entries = append(b.entries, baseEntry{t: t, eff: eff, after: b.entryAfter()})
+	b.storeCommit(len(b.entries), eff.Writes)
 	b.chargeBaseExec(t, eff)
 	if err := b.logCommit(t, eff); err != nil {
 		return fmt.Errorf("replica: journal %s: %w", t.ID, err)
 	}
 	return nil
+}
+
+// entryAfter returns the after-state to stamp on a committed entry: nil
+// when the storage engine serves per-position states from version chains,
+// a master clone otherwise. Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
+func (b *BaseCluster) entryAfter() model.State {
+	if b.store != nil {
+		return nil
+	}
+	return b.master.Clone()
+}
+
+// storeCommit records a committed entry's writes in the storage engine at
+// its history coordinate (entry index i lives at position i+1; position 0
+// is the window origin). Caller holds b.mu, having already appended the
+// entry.
+//
+//tiermerge:locks(cluster)
+func (b *BaseCluster) storeCommit(pos int, writes map[model.Item]model.Value) {
+	if b.store != nil {
+		b.store.Set(b.windowID, pos, writes)
+	}
 }
 
 // acquireAll takes the item locks in the given order, waiting as needed;
@@ -313,6 +430,12 @@ func (b *BaseCluster) stateAt(pos int) model.State {
 	if pos == 0 {
 		return b.windowOrigin
 	}
+	if b.store != nil {
+		snap := b.store.SnapshotAt(b.windowID, pos)
+		st := snap.State()
+		snap.Release()
+		return st
+	}
 	return b.entries[pos-1].after
 }
 
@@ -332,15 +455,26 @@ func (b *BaseCluster) windowPrefix() (entries []history.Entry, states []model.St
 	n := len(b.entries)
 	c := &b.prefix
 	if c.states == nil || c.windowID != b.windowID || c.structVer != b.structVer || len(c.entries) > n {
+		if c.snap != nil {
+			c.snap.Release()
+		}
 		c.windowID, c.structVer = b.windowID, b.structVer
 		c.entries = make([]history.Entry, 0, n+8)
 		c.states = append(make([]model.State, 0, n+9), b.windowOrigin)
 		c.effects = make([]*tx.Effect, 0, n+8)
+		c.snap = nil
+		if b.store != nil {
+			c.snap = b.store.SnapshotAt(b.windowID, 0)
+		}
 	}
 	for i := len(c.entries); i < n; i++ {
 		e := b.entries[i]
 		c.entries = append(c.entries, history.Entry{T: e.t})
-		c.states = append(c.states, e.after)
+		if c.snap != nil {
+			c.states = append(c.states, c.snap.StateAt(i+1))
+		} else {
+			c.states = append(c.states, e.after)
+		}
 		c.effects = append(c.effects, e.eff)
 	}
 	return c.entries[:n:n], c.states[: n+1 : n+1], c.effects[:n:n]
@@ -461,7 +595,8 @@ func (b *BaseCluster) reprocessOne(t *tx.Transaction, tentEff *tx.Effect) (ok bo
 	}
 	b.master = scratch
 	b.counters.Update(func(c *cost.Counts) { c.BaseForcedWrites++ })
-	b.entries = append(b.entries, baseEntry{t: base, eff: eff, after: b.master.Clone()})
+	b.entries = append(b.entries, baseEntry{t: base, eff: eff, after: b.entryAfter()})
+	b.storeCommit(len(b.entries), eff.Writes)
 	b.propagate(base.ID, eff.Writes)
 	if err := b.logCommit(base, eff); err != nil {
 		panic(fmt.Sprintf("replica: base journal failed: %v", err))
@@ -495,7 +630,8 @@ func (b *BaseCluster) applyForwardTxn(ft *tx.Transaction, nUpd int, g *crossTxn)
 		// programming error.
 		panic(fmt.Sprintf("replica: forwarded updates failed: %v", err))
 	}
-	b.entries = append(b.entries, baseEntry{t: ft, eff: eff, after: b.master.Clone(), global: g})
+	b.entries = append(b.entries, baseEntry{t: ft, eff: eff, after: b.entryAfter(), global: g})
+	b.storeCommit(len(b.entries), eff.Writes)
 	b.counters.Update(func(c *cost.Counts) {
 		c.BaseApplies += int64(nUpd)
 		c.BaseLocks += int64(nUpd)
@@ -522,7 +658,16 @@ func (b *BaseCluster) applyForwardTxn(ft *tx.Transaction, nUpd int, g *crossTxn)
 //
 //tiermerge:locks(none)
 func (b *BaseCluster) Merge(ck Checkout, hm *history.Augmented) (*ConnectOutcome, error) {
-	return b.mergePipelined(ck, hm)
+	out, err := b.mergePipelined(ck, hm)
+	if err != nil {
+		return nil, err
+	}
+	// Force the installed forwarded updates and re-executions before the
+	// mobile node treats its tentative work as saved.
+	if err := b.syncJournal(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // installForwarded installs the forwarded write-back at the given history
@@ -558,18 +703,30 @@ func (b *BaseCluster) installForwardTxn(ft *tx.Transaction, nUpd int, at int, g 
 		panic(fmt.Sprintf("replica: forwarded updates failed: %v", err))
 	}
 	entry := baseEntry{t: ft, eff: eff, after: st, global: g}
+	if b.store != nil {
+		entry.after = nil
+	}
 	b.entries = append(b.entries, baseEntry{})
 	copy(b.entries[at+1:], b.entries[at:])
 	b.entries[at] = entry
 	// The prefix changed shape in the middle: invalidate every outstanding
 	// snapshot and the cache built over the old arrangement.
 	b.structVer++
-	// Patch with the executed write images: exact for additive (delta)
-	// statements too, because the conflict check guaranteed no later entry
-	// touches the forwarded items, so the value at the insert position
-	// equals the live one.
-	for i := at + 1; i < len(b.entries); i++ {
-		b.entries[i].after = b.entries[i].after.Clone().Apply(eff.Writes)
+	if b.store != nil {
+		// The engine shifts every version of this window at position
+		// > at up one and lands the writes at the insert position; the
+		// patched per-position states follow from version resolution
+		// (the conflict check guaranteed no later entry touches the
+		// forwarded items).
+		b.store.InsertAt(b.windowID, at+1, eff.Writes)
+	} else {
+		// Patch with the executed write images: exact for additive (delta)
+		// statements too, because the conflict check guaranteed no later
+		// entry touches the forwarded items, so the value at the insert
+		// position equals the live one.
+		for i := at + 1; i < len(b.entries); i++ {
+			b.entries[i].after = b.entries[i].after.Clone().Apply(eff.Writes)
+		}
 	}
 	b.master.Apply(eff.Writes)
 	b.counters.Update(func(c *cost.Counts) {
@@ -597,6 +754,9 @@ func (b *BaseCluster) Reprocess(hm *history.Augmented) *ConnectOutcome {
 	b.mu.Lock()
 	out := b.fallbackReprocess(hm, FallbackNone)
 	b.mu.Unlock()
+	if err := b.syncJournal(); err != nil {
+		panic(fmt.Sprintf("replica: base journal failed: %v", err))
+	}
 	b.emit(obs.Event{
 		Phase:      obs.PhaseReprocess,
 		Dur:        sinceSpan(start),

@@ -18,32 +18,41 @@ import (
 // ordinary base transactions, re-executed tentative transactions and
 // forwarded-update transactions alike — and every window advance are
 // appended; RecoverBaseCluster replays and verifies the whole log after a
-// crash.
+// crash. Commit paths force the journal to stable media before they
+// acknowledge (syncJournal); OpenBase in durable.go adds checkpointing and
+// log truncation on top of the same record stream.
 
 // AttachJournal starts journaling the cluster onto w: the current master
 // snapshot and window are recorded immediately, followed by every
 // subsequent commit and window advance. Entries committed in the current
 // window before attachment are journaled too, so attaching late still
-// yields a recoverable log.
+// yields a recoverable log. The attachment snapshot is forced to stable
+// media (when w supports it) before AttachJournal returns.
 func (b *BaseCluster) AttachJournal(w io.Writer) error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	jw := wal.NewWriter(w)
-	if err := jw.Checkout(b.windowID, 0, b.windowOrigin); err != nil {
+	err := jw.Checkout(b.windowID, 0, b.windowOrigin)
+	for _, e := range b.entries {
+		if err != nil {
+			break
+		}
+		err = jw.LogTxn(e.t, e.eff)
+	}
+	if err == nil {
+		b.journal = jw
+	}
+	b.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	for _, e := range b.entries {
-		if err := jw.LogTxn(e.t, e.eff); err != nil {
-			return err
-		}
-	}
-	b.journal = jw
-	return nil
+	return b.syncJournal()
 }
 
 // logCommit journals one committed base entry. Caller holds b.mu. Journal
 // failures are returned to the committing path — a base that cannot force
-// its log must not acknowledge the commit.
+// its log must not acknowledge the commit. The record lands in the
+// journal's buffer here; the committing path forces it with syncJournal
+// after releasing the mutex (file I/O never runs under b.mu).
 //
 //tiermerge:locks(cluster)
 func (b *BaseCluster) logCommit(t *tx.Transaction, eff *tx.Effect) error {
@@ -61,6 +70,89 @@ func (b *BaseCluster) logWindow() error {
 		return nil
 	}
 	return b.journal.Window(b.windowID, b.windowOrigin)
+}
+
+// replayRecords applies a stream of base journal records — commits and
+// window advances, with no leading checkout — to the cluster. Every
+// replayed commit is verified against its logged write images. It returns
+// the number of committed transactions and whether the stream ended inside
+// an open transaction (a torn tail's unacknowledged trailing commit, which
+// the caller drops). Caller holds b.mu.
+//
+//tiermerge:locks(cluster)
+func (b *BaseCluster) replayRecords(recs []wal.Record) (committed int, open bool, err error) {
+	var (
+		curTxn    *tx.Transaction
+		curWrites map[model.Item]model.Value
+	)
+	for _, rec := range recs {
+		switch rec.Kind {
+		case wal.KindBegin:
+			if curTxn != nil {
+				return committed, false, fmt.Errorf("replica: recover base: %w: begin %s while %s open",
+					wal.ErrCorrupt, rec.TxID, curTxn.ID)
+			}
+			t, err := tx.UnmarshalTransaction(rec.Txn)
+			if err != nil {
+				return committed, false, fmt.Errorf("replica: recover base: %w: %v", wal.ErrCorrupt, err)
+			}
+			curTxn = t
+			curWrites = make(map[model.Item]model.Value)
+		case wal.KindRead:
+			if curTxn == nil || curTxn.ID != rec.TxID {
+				return committed, false, fmt.Errorf("replica: recover base: %w: stray read for %s",
+					wal.ErrCorrupt, rec.TxID)
+			}
+		case wal.KindWrite:
+			if curTxn == nil || curTxn.ID != rec.TxID {
+				return committed, false, fmt.Errorf("replica: recover base: %w: stray write for %s",
+					wal.ErrCorrupt, rec.TxID)
+			}
+			curWrites[rec.Item] = rec.After
+		case wal.KindCommit:
+			if curTxn == nil || curTxn.ID != rec.TxID {
+				return committed, false, fmt.Errorf("replica: recover base: %w: stray commit for %s",
+					wal.ErrCorrupt, rec.TxID)
+			}
+			eff, err := curTxn.ExecInPlace(b.master, nil)
+			if err != nil {
+				return committed, false, fmt.Errorf("replica: recover base: replay %s: %w", curTxn.ID, err)
+			}
+			for it, v := range curWrites {
+				if eff.Writes[it] != v {
+					return committed, false, fmt.Errorf("replica: recover base: %w: %s wrote %s=%d, logged %d",
+						wal.ErrCorrupt, curTxn.ID, it, eff.Writes[it], v)
+				}
+			}
+			if len(curWrites) != len(eff.Writes) {
+				return committed, false, fmt.Errorf("replica: recover base: %w: %s write-count mismatch",
+					wal.ErrCorrupt, curTxn.ID)
+			}
+			b.entries = append(b.entries, baseEntry{t: curTxn, eff: eff, after: b.entryAfter()})
+			b.storeCommit(len(b.entries), eff.Writes)
+			b.propagate(curTxn.ID, eff.Writes)
+			committed++
+			curTxn, curWrites = nil, nil
+		case wal.KindWindow:
+			if curTxn != nil {
+				return committed, false, fmt.Errorf("replica: recover base: %w: window advance mid-transaction",
+					wal.ErrCorrupt)
+			}
+			b.windowID = rec.WindowID
+			b.windowOrigin = model.StateOf(rec.Origin)
+			if !b.windowOrigin.Equal(b.master) {
+				return committed, false, fmt.Errorf("replica: recover base: %w: window origin diverges from replayed master",
+					wal.ErrCorrupt)
+			}
+			b.entries = nil
+		case wal.KindCheckout:
+			return committed, false, fmt.Errorf("replica: recover base: %w: duplicate checkout", wal.ErrCorrupt)
+		default:
+			return committed, false, fmt.Errorf("replica: recover base: %w: unknown record %q",
+				wal.ErrCorrupt, rec.Kind)
+		}
+	}
+	return committed, curTxn != nil, nil
 }
 
 // RecoverBaseCluster rebuilds a base cluster from its journal: the master
@@ -82,93 +174,19 @@ func RecoverBaseCluster(r io.Reader, cfg Config) (*BaseCluster, *Recovery, error
 		return nil, nil, fmt.Errorf("replica: recover base: %w", wal.ErrCorrupt)
 	}
 	b := NewBaseCluster(model.StateOf(recs[0].Origin), cfg)
-	var (
-		curTxn    *tx.Transaction
-		curWrites map[model.Item]model.Value
-		committed int
-	)
-	// replay applies the journal under the cluster mutex; the recovery
-	// event is emitted after the lock is released (events are never
-	// emitted under b.mu).
-	replay := func() error {
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		b.windowID = recs[0].WindowID
-		for _, rec := range recs[1:] {
-			switch rec.Kind {
-			case wal.KindBegin:
-				if curTxn != nil {
-					return fmt.Errorf("replica: recover base: %w: begin %s while %s open",
-						wal.ErrCorrupt, rec.TxID, curTxn.ID)
-				}
-				t, err := tx.UnmarshalTransaction(rec.Txn)
-				if err != nil {
-					return fmt.Errorf("replica: recover base: %w: %v", wal.ErrCorrupt, err)
-				}
-				curTxn = t
-				curWrites = make(map[model.Item]model.Value)
-			case wal.KindRead:
-				if curTxn == nil || curTxn.ID != rec.TxID {
-					return fmt.Errorf("replica: recover base: %w: stray read for %s",
-						wal.ErrCorrupt, rec.TxID)
-				}
-			case wal.KindWrite:
-				if curTxn == nil || curTxn.ID != rec.TxID {
-					return fmt.Errorf("replica: recover base: %w: stray write for %s",
-						wal.ErrCorrupt, rec.TxID)
-				}
-				curWrites[rec.Item] = rec.After
-			case wal.KindCommit:
-				if curTxn == nil || curTxn.ID != rec.TxID {
-					return fmt.Errorf("replica: recover base: %w: stray commit for %s",
-						wal.ErrCorrupt, rec.TxID)
-				}
-				eff, err := curTxn.ExecInPlace(b.master, nil)
-				if err != nil {
-					return fmt.Errorf("replica: recover base: replay %s: %w", curTxn.ID, err)
-				}
-				for it, v := range curWrites {
-					if eff.Writes[it] != v {
-						return fmt.Errorf("replica: recover base: %w: %s wrote %s=%d, logged %d",
-							wal.ErrCorrupt, curTxn.ID, it, eff.Writes[it], v)
-					}
-				}
-				if len(curWrites) != len(eff.Writes) {
-					return fmt.Errorf("replica: recover base: %w: %s write-count mismatch",
-						wal.ErrCorrupt, curTxn.ID)
-				}
-				b.entries = append(b.entries, baseEntry{t: curTxn, eff: eff, after: b.master.Clone()})
-				b.propagate(curTxn.ID, eff.Writes)
-				committed++
-				curTxn, curWrites = nil, nil
-			case wal.KindWindow:
-				if curTxn != nil {
-					return fmt.Errorf("replica: recover base: %w: window advance mid-transaction",
-						wal.ErrCorrupt)
-				}
-				b.windowID = rec.WindowID
-				b.windowOrigin = model.StateOf(rec.Origin)
-				if !b.windowOrigin.Equal(b.master) {
-					return fmt.Errorf("replica: recover base: %w: window origin diverges from replayed master",
-						wal.ErrCorrupt)
-				}
-				b.entries = nil
-			case wal.KindCheckout:
-				return fmt.Errorf("replica: recover base: %w: duplicate checkout", wal.ErrCorrupt)
-			default:
-				return fmt.Errorf("replica: recover base: %w: unknown record %q",
-					wal.ErrCorrupt, rec.Kind)
-			}
-		}
-		return nil
-	}
-	if err := replay(); err != nil {
-		return nil, nil, err
+	// Replay under the cluster mutex; the recovery event is emitted after
+	// the lock is released (events are never emitted under b.mu).
+	b.mu.Lock()
+	b.windowID = recs[0].WindowID
+	committed, open, rerr := b.replayRecords(recs[1:])
+	b.mu.Unlock()
+	if rerr != nil {
+		return nil, nil, rerr
 	}
 	// A trailing open transaction tore during the crash: it was never
 	// acknowledged, so it is dropped — and reported.
 	dropped := 0
-	if curTxn != nil {
+	if open {
 		dropped = 1
 	}
 	rec := &Recovery{

@@ -32,17 +32,27 @@ func (m *MobileNode) AttachJournal(w io.Writer) error {
 			return err
 		}
 	}
+	// Force the attachment snapshot to stable media (when w supports it)
+	// before reporting the journal live.
+	if err := jw.Sync(); err != nil {
+		return err
+	}
 	m.journal = jw
 	return nil
 }
 
 // logTentative journals one executed transaction when a journal is
-// attached.
+// attached, forcing it to stable media before the caller acknowledges: an
+// acked tentative transaction must survive a power loss, not just a
+// process crash.
 func (m *MobileNode) logTentative(t *tx.Transaction, eff *tx.Effect) error {
 	if m.journal == nil {
 		return nil
 	}
-	return m.journal.LogTxn(t, eff)
+	if err := m.journal.LogTxn(t, eff); err != nil {
+		return err
+	}
+	return m.journal.Sync()
 }
 
 // Recovery reports what a crash recovery found in the journal: how much

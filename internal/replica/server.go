@@ -50,6 +50,14 @@ var ErrResponseLost = errors.New("replica: response lost in transit")
 // in-band and clients surface it via errors.Is.
 var ErrStaleSeq = errors.New("replica: stale reconnect seq")
 
+// ErrOversized reports a response that exceeds the transport's frame
+// limit — typically a master checkout larger than MaxFrame. The violation
+// is deterministic: redialing the same request fails the same way, so
+// clients fail fast instead of retrying (it is never wrapped in
+// ErrResponseLost). The streaming-checkout follow-up in ROADMAP item 1 is
+// the real fix for masters larger than a frame.
+var ErrOversized = errors.New("replica: response exceeds transport frame limit")
+
 // DropEveryNth makes the server lose every nth mobile-facing response —
 // transport fault injection for tests; 0 disables. The plan is a
 // fault.Schedule, the same counter-driven predicate the crash harnesses
@@ -95,7 +103,10 @@ type wireResp struct {
 	Err string `json:"err,omitempty"`
 	// Stale marks an Err caused by a stale reconnect seq (ErrStaleSeq), so
 	// clients can rediscover the typed error across the wire.
-	Stale    bool                       `json:"stale,omitempty"`
+	Stale bool `json:"stale,omitempty"`
+	// TooLarge marks an Err caused by a response exceeding the transport
+	// frame limit (ErrOversized) — non-retryable, clients fail fast.
+	TooLarge bool                       `json:"too_large,omitempty"`
 	Window   int                        `json:"window,omitempty"`
 	Pos      int                        `json:"pos,omitempty"`
 	Origin   map[model.Item]model.Value `json:"origin,omitempty"`
@@ -484,6 +495,12 @@ func (s *BaseServer) DedupEntries() int {
 // transports that detect protocol violations (oversized frames, version
 // mismatches) can report them in-band before severing the connection.
 func ErrorFrame(msg string) []byte { return mustResp(wireResp{Err: msg}) }
+
+// OversizedFrame encodes the typed in-band error for a response that
+// exceeded the transport frame limit. Transports substitute it (it is a
+// few dozen bytes) for the unsendable response, and clients surface
+// ErrOversized without retrying — the same request can never succeed.
+func OversizedFrame(msg string) []byte { return mustResp(wireResp{Err: msg, TooLarge: true}) }
 
 func mustResp(r wireResp) []byte {
 	b, err := json.Marshal(r)

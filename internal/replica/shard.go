@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"tiermerge/internal/merge"
 	"tiermerge/internal/model"
 	"tiermerge/internal/obs"
+	"tiermerge/internal/store"
 	"tiermerge/internal/tx"
 )
 
@@ -157,9 +159,88 @@ func NewShardedBase(initial model.State, shards int, cfg Config) *ShardedBase {
 	for k := range s.shards {
 		scfg := cfg
 		scfg.Observer = shardObserver(cfg.Observer, k+1)
+		if cfg.Store != nil {
+			// A storage engine materializes full states from its version
+			// chains, so shards cannot share one: each gets its own
+			// in-memory engine over its partition. Durable sharded tiers
+			// open per-shard disk engines through OpenShardedBase.
+			scfg.Store = store.NewMemory()
+		}
 		s.shards[k] = NewBaseCluster(parts[k], scfg)
 	}
 	return s
+}
+
+// OpenShardedBase opens (or recovers) a durable sharded base tier rooted
+// at dir: shard k's segment log and version chains live under
+// dir/shard-<k>. Each shard recovers independently through OpenBase; the
+// per-shard recoveries are returned in shard order. Shard counts must
+// match across restarts — the router's partition is part of the on-disk
+// contract.
+func OpenShardedBase(dir string, initial model.State, shards int, cfg Config) (*ShardedBase, []*Recovery, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("replica: open sharded base: %w", err)
+	}
+	if shards < 1 {
+		return nil, nil, fmt.Errorf("%w: %d shards (want >= 1)", ErrBadConfig, shards)
+	}
+	cfg = cfg.withDefaults()
+	s := &ShardedBase{cfg: cfg, router: newShardRouter(shards, cfg.ShardFn)}
+	s.shards = make([]*BaseCluster, shards)
+	parts := make([]model.State, shards)
+	for k := range parts {
+		parts[k] = model.NewState()
+	}
+	for it, v := range initial {
+		parts[s.router.Shard(it)].Set(it, v)
+	}
+	if shards == 1 {
+		parts[0] = initial
+	}
+	recs := make([]*Recovery, shards)
+	for k := range s.shards {
+		scfg := cfg
+		if shards > 1 {
+			scfg.Observer = shardObserver(cfg.Observer, k+1)
+		}
+		b, rec, err := OpenBase(filepath.Join(dir, fmt.Sprintf("shard-%d", k)), parts[k], scfg)
+		if err != nil {
+			for _, prev := range s.shards[:k] {
+				prev.CloseStore()
+			}
+			return nil, nil, fmt.Errorf("replica: open sharded base: shard %d: %w", k, err)
+		}
+		s.shards[k] = b
+		recs[k] = rec
+	}
+	return s, recs, nil
+}
+
+// Checkpoint rotates every shard's segment log (see BaseCluster.Checkpoint).
+//
+//tiermerge:locks(none)
+//tiermerge:blocking
+func (s *ShardedBase) Checkpoint() error {
+	for k, b := range s.shards {
+		if err := b.Checkpoint(); err != nil {
+			return fmt.Errorf("replica: checkpoint shard %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// CloseStore closes every shard's storage engine.
+//
+//tiermerge:locks(none)
+//tiermerge:blocking
+func (s *ShardedBase) CloseStore() error {
+	var first error
+	for _, b := range s.shards {
+		if err := b.CloseStore(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // shardObserver stamps every event a shard emits with its 1-based shard
@@ -438,7 +519,26 @@ func (s *ShardedBase) execBaseCross(t *tx.Transaction, involved []int) error {
 	lockClusters(bs)
 	err := s.execBaseCrossLocked(t, involved)
 	unlockClusters(bs)
-	return err
+	if err != nil {
+		return err
+	}
+	// Force every involved shard's journal before acknowledging.
+	return syncShards(bs)
+}
+
+// syncShards forces the journals of the given clusters to stable media —
+// the sharded counterpart of syncJournal, called after the shard mutexes
+// are released on every path that acknowledges a cross-shard commit.
+//
+//tiermerge:locks(none)
+//tiermerge:blocking
+func syncShards(bs []*BaseCluster) error {
+	for _, b := range bs {
+		if err := b.syncJournal(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // execBaseCrossLocked executes t over a scratch state assembled from the
@@ -497,7 +597,8 @@ func (s *ShardedBase) installSlicesLocked(base *tx.Transaction, eff *tx.Effect) 
 			// programming error.
 			panic(fmt.Sprintf("replica: cross-shard slice %s: %v", slice.ID, err))
 		}
-		b.entries = append(b.entries, baseEntry{t: slice, eff: seff, after: b.master.Clone(), global: g})
+		b.entries = append(b.entries, baseEntry{t: slice, eff: seff, after: b.entryAfter(), global: g})
+		b.storeCommit(len(b.entries), seff.Writes)
 		b.counters.Update(func(c *cost.Counts) { c.BaseForcedWrites++ })
 		b.propagate(slice.ID, seff.Writes)
 		if lerr := b.logCommit(slice, seff); lerr != nil {
@@ -655,6 +756,9 @@ func (s *ShardedBase) reprocessAcross(hm *history.Augmented, reason FallbackReas
 	lockClusters(bs)
 	out := s.fallbackReprocessLocked(hm, reason, s.shards[involved[0]])
 	unlockClusters(bs)
+	if err := syncShards(bs); err != nil {
+		panic(fmt.Sprintf("replica: base journal failed: %v", err))
+	}
 	return out
 }
 
@@ -941,6 +1045,11 @@ func (s *ShardedBase) mergeCross(ck Checkout, hm *history.Augmented, involved []
 			Attempt: attempt, Dur: sinceSpan(admitStart), Cause: cause,
 		})
 		if admitted {
+			// Force the installed slices before the mobile node treats
+			// its tentative work as saved.
+			if serr := syncShards(s.clustersOf(involved)); serr != nil {
+				return finish(nil, serr)
+			}
 			return finish(out, nil)
 		}
 		prev = p
@@ -952,6 +1061,9 @@ func (s *ShardedBase) mergeCross(ck Checkout, hm *history.Augmented, involved []
 	lockClusters(bs)
 	out, err := s.mergeCrossSerialLocked(ck, hm, involved, prev, synthVer-1)
 	unlockClusters(bs)
+	if err == nil {
+		err = syncShards(bs)
+	}
 	if attempts < 0 {
 		attempts = 0
 	}

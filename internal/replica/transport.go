@@ -93,6 +93,11 @@ func call(ctx context.Context, tr Transport, req wireReq) (*wireResp, error) {
 			// duplicate" (safe to discard) from a genuine merge failure.
 			return nil, fmt.Errorf("replica: server: %s: %w", resp.Err, ErrStaleSeq)
 		}
+		if resp.TooLarge {
+			// Typed so retry loops fail fast: a response over the frame
+			// limit stays over it on every retry.
+			return nil, fmt.Errorf("replica: server: %s: %w", resp.Err, ErrOversized)
+		}
 		return nil, fmt.Errorf("replica: server: %s", resp.Err)
 	}
 	return &resp, nil

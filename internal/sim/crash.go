@@ -416,12 +416,18 @@ func runByteSweep(res *CrashSweepResult, full []byte, allRecs []wal.Record,
 	return nil
 }
 
-// sweepCluster builds the deterministic base tier every trial starts from.
-func sweepCluster(cs CrashSweep) *replica.BaseCluster {
+// sweepOrigin derives the deterministic origin state every trial's base
+// tier starts from.
+func sweepOrigin(cs CrashSweep) model.State {
 	gen := workload.NewGenerator(workload.Config{
 		Seed: cs.Seed*31 + 7, Items: cs.Items, PCommutative: cs.PCommutative,
 	})
-	return replica.NewBaseCluster(gen.OriginState(), replica.Config{
+	return gen.OriginState()
+}
+
+// sweepCluster builds the deterministic base tier every trial starts from.
+func sweepCluster(cs CrashSweep) *replica.BaseCluster {
+	return replica.NewBaseCluster(sweepOrigin(cs), replica.Config{
 		Weights:  cost.DefaultWeights(),
 		Observer: cs.Observer,
 	})

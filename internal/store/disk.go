@@ -1,0 +1,427 @@
+// The Disk engine: version chains plus a segmented durable log. The log is
+// a pair of files per generation,
+//
+//	ckpt-<gen>.wal — a complete, self-contained base journal: the window
+//	                 origin (checkout record) followed by every entry of
+//	                 the window committed before the checkpoint. Written to
+//	                 a temp file, fsynced and atomically renamed into
+//	                 place; never appended to afterwards.
+//	tail-<gen>.wal — the live continuation: every commit and window
+//	                 advance since the checkpoint, appended through the
+//	                 buffered tail (Write) and forced by Sync. Its records
+//	                 are an independent wal stream numbered from 1.
+//
+// Recovery replays checkpoint-then-tail; rotation (a new checkpoint)
+// deletes the previous generation — the WAL truncation that keeps the log
+// proportional to one checkpoint interval instead of the cluster's
+// lifetime. Crashes between rotation steps leave either the old pair, both
+// pairs, or the new pair with a missing tail; OpenDisk picks the newest
+// generation with a readable checkpoint and sweeps the rest.
+//
+// Lock discipline: Write only appends to an in-memory buffer and is safe
+// under the cluster mutex (group commit: many committers buffer under the
+// lock, the first Sync outside it flushes and fsyncs for all). Sync,
+// BeginRotate/CompleteRotate and Close do the file I/O and must never run
+// while the cluster mutex is held — tiermergelint's blocking analysis now
+// counts package os file I/O as blocking and enforces exactly that.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tiermerge/internal/obs"
+)
+
+// Disk is the durable engine: the in-memory version chains of Memory plus
+// the segmented log the base journal persists through.
+type Disk struct {
+	table
+	dir string
+
+	// bmu guards the pending buffers — memory-only, safe under the cluster
+	// mutex and safe to take nested under fmu (it never waits on anything).
+	//
+	//tiermerge:leafmutex
+	bmu sync.Mutex
+	// old holds bytes buffered before a BeginRotate that CompleteRotate
+	// still has to flush to the outgoing tail; buf holds bytes destined for
+	// the current (or, mid-rotation, the next) tail.
+	old, buf []byte
+
+	// fmu orders all file operations: flushes, fsyncs and rotation. A Sync
+	// racing a rotation blocks here until the new tail is in place, so an
+	// acknowledged commit is durable in exactly one generation. Blocking
+	// file I/O under it is its charter — never take it under the cluster
+	// mutex.
+	//
+	//tiermerge:iomutex
+	fmu      sync.Mutex
+	gen      int
+	tail     *os.File
+	unsynced bool
+
+	mLogWritten, mLogTruncated *obs.Counter
+}
+
+// RotateStats reports one checkpoint rotation.
+type RotateStats struct {
+	// CheckpointBytes is the size of the new checkpoint file.
+	CheckpointBytes int64
+	// TruncatedBytes is the size of the deleted previous generation
+	// (checkpoint + tail) — the log growth a rotation reclaimed.
+	TruncatedBytes int64
+}
+
+// OpenDisk opens (or creates) a durable engine rooted at dir. A fresh
+// directory starts at generation zero with no segments: callers write the
+// initial checkpoint through Rotate before appending. On an existing
+// directory the newest readable generation survives and stale generations
+// and temp files are swept.
+func OpenDisk(dir string, opts ...Option) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	d := &Disk{dir: dir}
+	d.table.init(opts)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	var gens []int
+	for _, e := range names {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(filepath.Join(dir, name)) // torn rotation leftovers
+		case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".wal"):
+			if g, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".wal")); err == nil {
+				gens = append(gens, g)
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(gens)))
+	for i, g := range gens {
+		if i == 0 {
+			d.gen = g
+			continue
+		}
+		// Stale generation (crash between rotation and cleanup): sweep it.
+		os.Remove(d.ckptPath(g))
+		os.Remove(d.tailPath(g))
+	}
+	if d.gen > 0 {
+		f, err := os.OpenFile(d.tailPath(d.gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: open tail: %w", err)
+		}
+		d.tail = f
+	}
+	return d, nil
+}
+
+// Registry attaches reg for the tiermerge_store_* series, including the
+// disk engine's log-byte counters.
+func (d *Disk) Registry(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	WithRegistry(reg)(&d.table)
+	d.mLogWritten = reg.Counter("tiermerge_store_log_bytes_written_total")
+	d.mLogTruncated = reg.Counter("tiermerge_store_log_bytes_truncated_total")
+}
+
+// Dir returns the engine's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Generation returns the current segment generation (zero on a fresh
+// directory, before the first Rotate).
+func (d *Disk) Generation() int {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	return d.gen
+}
+
+// Fresh reports whether the directory holds no segments yet.
+func (d *Disk) Fresh() bool { return d.Generation() == 0 }
+
+func (d *Disk) ckptPath(gen int) string { return segmentPath(d.dir, "ckpt", gen) }
+
+func (d *Disk) tailPath(gen int) string { return segmentPath(d.dir, "tail", gen) }
+
+func segmentPath(dir, kind string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%08d.wal", kind, gen))
+}
+
+// CheckpointTempPath returns the temp path a rotation stages generation
+// gen's checkpoint at before the atomic rename publishes it. Exposed so
+// crash simulations can materialize a mid-rotation image; OpenDisk sweeps
+// any such leftover.
+func CheckpointTempPath(dir string, gen int) string {
+	return segmentPath(dir, "ckpt", gen) + ".tmp"
+}
+
+// ReadSegments returns the current generation's checkpoint and tail
+// contents for recovery. A missing tail (crash between checkpoint rename
+// and tail creation) reads as empty.
+func (d *Disk) ReadSegments() (ckpt, tail []byte, err error) {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	if d.gen == 0 {
+		return nil, nil, fmt.Errorf("store: %s holds no segments", d.dir)
+	}
+	ckpt, err = os.ReadFile(d.ckptPath(d.gen))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: read checkpoint: %w", err)
+	}
+	tail, err = os.ReadFile(d.tailPath(d.gen))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ckpt, nil, nil
+		}
+		return nil, nil, fmt.Errorf("store: read tail: %w", err)
+	}
+	return ckpt, tail, nil
+}
+
+// TruncateTail cuts the live tail to n bytes — recovery drops a torn final
+// line before appends resume.
+func (d *Disk) TruncateTail(n int64) error {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	if d.tail == nil {
+		return fmt.Errorf("store: no live tail")
+	}
+	if err := d.tail.Truncate(n); err != nil {
+		return fmt.Errorf("store: truncate tail: %w", err)
+	}
+	return d.tail.Sync()
+}
+
+// Write buffers p for the live tail. It never touches the file — commit
+// paths call it while holding the cluster mutex; the bytes reach stable
+// media at the next Sync.
+//
+//tiermerge:nonblocking
+func (d *Disk) Write(p []byte) (int, error) {
+	d.bmu.Lock()
+	d.buf = append(d.buf, p...)
+	d.bmu.Unlock()
+	return len(p), nil
+}
+
+// Sync flushes buffered tail bytes to the live tail file and forces them
+// to stable media. Concurrent committers group-commit: whoever enters
+// first flushes everyone's buffered records (the buffer preserves commit
+// order); later entrants find nothing pending and return after a cheap
+// check. Must not be called under the cluster mutex.
+//
+//tiermerge:blocking
+func (d *Disk) Sync() error {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	return d.syncLocked()
+}
+
+func (d *Disk) syncLocked() error {
+	d.bmu.Lock()
+	pending := d.buf
+	d.buf = nil
+	d.bmu.Unlock()
+	if len(pending) == 0 && !d.unsynced {
+		return nil
+	}
+	if d.tail == nil {
+		return fmt.Errorf("store: no live tail (rotate first)")
+	}
+	if len(pending) > 0 {
+		if _, err := d.tail.Write(pending); err != nil {
+			// Put the bytes back so a retried Sync does not lose them.
+			d.bmu.Lock()
+			d.buf = append(pending, d.buf...)
+			d.bmu.Unlock()
+			return fmt.Errorf("store: tail write: %w", err)
+		}
+		d.unsynced = true
+		if d.mLogWritten != nil {
+			d.mLogWritten.Add(int64(len(pending)))
+		}
+	}
+	if err := d.tail.Sync(); err != nil {
+		return fmt.Errorf("store: tail sync: %w", err)
+	}
+	d.unsynced = false
+	return nil
+}
+
+// BeginRotate marks the checkpoint boundary: bytes buffered so far belong
+// to the outgoing tail, bytes buffered after it to the next one. Memory
+// only — callers invoke it inside the same critical section that snapshots
+// the state the checkpoint will record, then call CompleteRotate outside
+// the lock.
+//
+//tiermerge:nonblocking
+func (d *Disk) BeginRotate() {
+	d.bmu.Lock()
+	d.old = append(d.old, d.buf...)
+	d.buf = nil
+	d.bmu.Unlock()
+}
+
+// CompleteRotate performs the file work of a checkpoint rotation: flush
+// the outgoing tail, write the new checkpoint through writeCkpt (temp file,
+// fsync, atomic rename), open a fresh tail, and delete the previous
+// generation. A failure before the rename leaves the old generation intact
+// and the buffered boundary bytes queued for it. Must not be called under
+// the cluster mutex.
+//
+//tiermerge:blocking
+func (d *Disk) CompleteRotate(writeCkpt func(w io.Writer) error) (RotateStats, error) {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	var st RotateStats
+
+	// Complete the outgoing generation: everything acknowledged before the
+	// boundary must be durable in it before it becomes the fallback.
+	d.bmu.Lock()
+	old := d.old
+	d.old = nil
+	d.bmu.Unlock()
+	if len(old) > 0 {
+		if d.tail == nil {
+			d.restoreOld(old)
+			return st, fmt.Errorf("store: rotate: boundary bytes with no live tail")
+		}
+		if _, err := d.tail.Write(old); err != nil {
+			d.restoreOld(old)
+			return st, fmt.Errorf("store: rotate: flush outgoing tail: %w", err)
+		}
+		if d.mLogWritten != nil {
+			d.mLogWritten.Add(int64(len(old)))
+		}
+	}
+	if d.tail != nil {
+		if err := d.tail.Sync(); err != nil {
+			return st, fmt.Errorf("store: rotate: sync outgoing tail: %w", err)
+		}
+		d.unsynced = false
+	}
+
+	next := d.gen + 1
+	tmp := CheckpointTempPath(d.dir, next)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return st, fmt.Errorf("store: rotate: %w", err)
+	}
+	if err := writeCkpt(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return st, fmt.Errorf("store: rotate: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return st, fmt.Errorf("store: rotate: sync checkpoint: %w", err)
+	}
+	if info, err := f.Stat(); err == nil {
+		st.CheckpointBytes = info.Size()
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return st, fmt.Errorf("store: rotate: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, d.ckptPath(next)); err != nil {
+		os.Remove(tmp)
+		return st, fmt.Errorf("store: rotate: publish checkpoint: %w", err)
+	}
+	syncDir(d.dir)
+
+	newTail, err := os.OpenFile(d.tailPath(next), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		// The new checkpoint is already durable and complete; surface the
+		// error but keep the generation switch (recovery reads it with an
+		// empty tail).
+		os.Remove(d.ckptPath(next))
+		return st, fmt.Errorf("store: rotate: open new tail: %w", err)
+	}
+
+	// Truncation: reclaim the previous generation.
+	st.TruncatedBytes += fileSize(d.ckptPath(d.gen)) + fileSize(d.tailPath(d.gen))
+	if d.tail != nil {
+		d.tail.Close()
+	}
+	os.Remove(d.ckptPath(d.gen))
+	os.Remove(d.tailPath(d.gen))
+	syncDir(d.dir)
+	d.gen = next
+	d.tail = newTail
+	if d.mLogTruncated != nil {
+		d.mLogTruncated.Add(st.TruncatedBytes)
+	}
+	if d.mLogWritten != nil {
+		d.mLogWritten.Add(st.CheckpointBytes)
+	}
+	return st, nil
+}
+
+// restoreOld re-queues boundary bytes after a failed rotation so the next
+// Sync or rotation attempt still flushes them, in order, before anything
+// buffered later.
+func (d *Disk) restoreOld(old []byte) {
+	d.bmu.Lock()
+	d.old = append(old, d.old...)
+	d.bmu.Unlock()
+}
+
+// LogSize returns the on-disk size of the current generation (checkpoint
+// plus tail), not counting unflushed buffered bytes.
+func (d *Disk) LogSize() int64 {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	if d.gen == 0 {
+		return 0
+	}
+	return fileSize(d.ckptPath(d.gen)) + fileSize(d.tailPath(d.gen))
+}
+
+// Close flushes and closes the live tail.
+//
+//tiermerge:blocking
+func (d *Disk) Close() error {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	if d.tail == nil {
+		return nil
+	}
+	err := d.syncLocked()
+	if cerr := d.tail.Close(); err == nil {
+		err = cerr
+	}
+	d.tail = nil
+	return err
+}
+
+func fileSize(path string) int64 {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return info.Size()
+}
+
+// syncDir fsyncs a directory so a rename or unlink survives power loss;
+// best-effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	f.Sync()
+	f.Close()
+}

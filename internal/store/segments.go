@@ -1,0 +1,80 @@
+package store
+
+// Package-level segment I/O: read or materialize a directory's segment
+// pair without opening an engine. Crash simulations use these to capture
+// an on-disk image mid-run and to reconstruct the images a crash at each
+// kill point would leave behind (DESIGN.md §14).
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// newestGeneration scans dir for checkpoint segments and returns the
+// highest generation present (zero when dir holds none).
+func newestGeneration(dir string) (int, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: read %s: %w", dir, err)
+	}
+	gen := 0
+	for _, e := range names {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		if g, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".wal")); err == nil && g > gen {
+			gen = g
+		}
+	}
+	return gen, nil
+}
+
+// Segments reads the newest segment generation rooted at dir: the
+// generation number plus the checkpoint and tail contents. A missing tail
+// file (crash between checkpoint publication and tail creation) reads as
+// nil. The files are read as they are — a live engine's synced bytes are
+// visible, its buffered ones are not.
+func Segments(dir string) (gen int, ckpt, tail []byte, err error) {
+	gen, err = newestGeneration(dir)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if gen == 0 {
+		return 0, nil, nil, fmt.Errorf("store: %s holds no segments", dir)
+	}
+	ckpt, err = os.ReadFile(segmentPath(dir, "ckpt", gen))
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("store: read checkpoint: %w", err)
+	}
+	tail, err = os.ReadFile(segmentPath(dir, "tail", gen))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return gen, ckpt, nil, nil
+		}
+		return 0, nil, nil, fmt.Errorf("store: read tail: %w", err)
+	}
+	return gen, ckpt, tail, nil
+}
+
+// WriteSegments materializes a segment pair for generation gen at dir —
+// the crash-image constructor simulations build kill points from. A nil
+// tail writes no tail file (the image of a crash between checkpoint
+// rename and tail creation); a non-nil empty tail writes an empty file.
+func WriteSegments(dir string, gen int, ckpt, tail []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: write segments: %w", err)
+	}
+	if err := os.WriteFile(segmentPath(dir, "ckpt", gen), ckpt, 0o644); err != nil {
+		return fmt.Errorf("store: write segments: %w", err)
+	}
+	if tail == nil {
+		return nil
+	}
+	if err := os.WriteFile(segmentPath(dir, "tail", gen), tail, 0o644); err != nil {
+		return fmt.Errorf("store: write segments: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tiermerge/internal/model"
+	"tiermerge/internal/obs"
+)
+
+func TestMemoryVersionResolution(t *testing.T) {
+	m := NewMemory()
+	m.Set(1, 0, map[model.Item]model.Value{"x": 10, "y": 20})
+	m.Set(1, 1, map[model.Item]model.Value{"x": 11})
+	m.Set(1, 3, map[model.Item]model.Value{"y": 23})
+	m.Set(2, 1, map[model.Item]model.Value{"x": 30})
+
+	if v, ok := m.Get("x"); !ok || v != 30 {
+		t.Fatalf("Get(x) = %d, %v; want 30", v, ok)
+	}
+
+	s := m.SnapshotAt(1, 2)
+	defer s.Release()
+	if v, _ := s.Get("x"); v != 11 {
+		t.Errorf("snapshot(1,2) x = %d, want 11", v)
+	}
+	if v, _ := s.Get("y"); v != 20 {
+		t.Errorf("snapshot(1,2) y = %d, want 20 (write at pos 3 is past the watermark)", v)
+	}
+	st := s.State()
+	want := model.State{"x": 11, "y": 20}
+	if !st.Equal(want) {
+		t.Errorf("State() = %v, want %v", st, want)
+	}
+	if st0 := s.StateAt(0); !st0.Equal(model.State{"x": 10, "y": 20}) {
+		t.Errorf("StateAt(0) = %v", st0)
+	}
+}
+
+func TestSetIdempotent(t *testing.T) {
+	m := NewMemory()
+	m.Set(1, 1, map[model.Item]model.Value{"x": 1})
+	m.Set(1, 1, map[model.Item]model.Value{"x": 2}) // recovery replays overwrite
+	if st := m.Stats(); st.Versions != 1 {
+		t.Fatalf("Versions = %d, want 1", st.Versions)
+	}
+	if v, _ := m.Get("x"); v != 2 {
+		t.Fatalf("Get(x) = %d, want 2", v)
+	}
+}
+
+func TestInsertAtShiftsWindowPositions(t *testing.T) {
+	m := NewMemory()
+	m.Set(1, 0, map[model.Item]model.Value{"x": 0, "z": 0})
+	m.Set(1, 1, map[model.Item]model.Value{"x": 1})
+	m.Set(1, 2, map[model.Item]model.Value{"x": 2})
+	// Interior insert at pos 1: a forwarded write on z (disjoint from the
+	// later writes on x, as the insert-conflict check guarantees).
+	m.InsertAt(1, 1, map[model.Item]model.Value{"z": 99})
+
+	s := m.SnapshotAt(1, 3)
+	defer s.Release()
+	if st := s.StateAt(1); !st.Equal(model.State{"x": 0, "z": 99}) {
+		t.Errorf("StateAt(1) = %v, want inserted z visible, x at origin", st)
+	}
+	if st := s.StateAt(2); !st.Equal(model.State{"x": 1, "z": 99}) {
+		t.Errorf("StateAt(2) = %v, want shifted x=1", st)
+	}
+	if st := s.StateAt(3); !st.Equal(model.State{"x": 2, "z": 99}) {
+		t.Errorf("StateAt(3) = %v", st)
+	}
+}
+
+func TestCheckpointCompactsAndRetainsSnapshots(t *testing.T) {
+	m := NewMemory()
+	for w := 1; w <= 5; w++ {
+		for p := 1; p <= 4; p++ {
+			m.Set(w, p, map[model.Item]model.Value{"x": model.Value(w*10 + p)})
+		}
+	}
+	if st := m.Stats(); st.Versions != 20 {
+		t.Fatalf("Versions = %d, want 20", st.Versions)
+	}
+
+	// A live snapshot at (2, 4) clamps the floor.
+	s := m.SnapshotAt(2, 4)
+	cs := m.Checkpoint(5, 0)
+	if cs.FloorWindow != 2 || cs.FloorPos != 4 {
+		t.Fatalf("floor = (%d,%d), want clamp to live snapshot (2,4)", cs.FloorWindow, cs.FloorPos)
+	}
+	if v, _ := s.Get("x"); v != 24 {
+		t.Fatalf("snapshot read after compaction = %d, want 24", v)
+	}
+
+	// Released: compaction advances to the requested floor.
+	s.Release()
+	m.Checkpoint(5, 0)
+	st := m.Stats()
+	// One version at or below (5,0) survives as the base, plus the window-5
+	// versions above the floor.
+	if st.Versions != 5 {
+		t.Fatalf("Versions after full compaction = %d, want 5", st.Versions)
+	}
+	if v, _ := m.Get("x"); v != 54 {
+		t.Fatalf("Get(x) after compaction = %d, want 54", v)
+	}
+	s2 := m.SnapshotAt(5, 4)
+	defer s2.Release()
+	if v, _ := s2.Get("x"); v != 54 {
+		t.Fatalf("snapshot after compaction = %d, want 54", v)
+	}
+}
+
+func TestStoreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMemory(WithRegistry(reg))
+	m.Set(1, 1, map[model.Item]model.Value{"x": 1, "y": 2})
+	s := m.SnapshotAt(1, 1)
+	m.Checkpoint(1, 0)
+	snap := reg.Snapshot()
+	if got := snap.Gauges["tiermerge_store_versions"]; got != 2 {
+		t.Errorf("tiermerge_store_versions = %d, want 2", got)
+	}
+	if got := snap.Gauges["tiermerge_store_snapshots_open"]; got != 1 {
+		t.Errorf("tiermerge_store_snapshots_open = %d, want 1", got)
+	}
+	if got := snap.Counters["tiermerge_store_checkpoints_total"]; got != 1 {
+		t.Errorf("tiermerge_store_checkpoints_total = %d, want 1", got)
+	}
+	s.Release()
+}
+
+func TestDiskRotateAndRecoverSegments(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Fresh() {
+		t.Fatal("fresh dir should report Fresh")
+	}
+	if _, err := d.CompleteRotate(func(w io.Writer) error {
+		_, err := w.Write([]byte("ckpt-1\n"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() != 1 {
+		t.Fatalf("gen = %d, want 1", d.Generation())
+	}
+	fmt.Fprintf(d, "tail-line-1\n")
+	fmt.Fprintf(d, "tail-line-2\n")
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt, tail, err := d.ReadSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ckpt) != "ckpt-1\n" {
+		t.Errorf("ckpt = %q", ckpt)
+	}
+	if string(tail) != "tail-line-1\ntail-line-2\n" {
+		t.Errorf("tail = %q", tail)
+	}
+
+	// Rotate: boundary bytes buffered before BeginRotate land in the old
+	// tail; bytes after it land in the new one.
+	fmt.Fprintf(d, "old-epoch\n")
+	d.BeginRotate()
+	fmt.Fprintf(d, "new-epoch\n")
+	st, err := d.CompleteRotate(func(w io.Writer) error {
+		_, err := w.Write([]byte("ckpt-2\n"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TruncatedBytes == 0 {
+		t.Error("rotation reclaimed no bytes")
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, tail, err = d.ReadSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ckpt) != "ckpt-2\n" {
+		t.Errorf("ckpt after rotate = %q", ckpt)
+	}
+	if string(tail) != "new-epoch\n" {
+		t.Errorf("tail after rotate = %q (old-epoch bytes must be truncated away)", tail)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Old generation files must be gone.
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("dir holds %v, want exactly ckpt-2 + tail-2", names)
+	}
+
+	// Reopen: generation and contents survive.
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Generation() != 2 {
+		t.Fatalf("reopened gen = %d, want 2", d2.Generation())
+	}
+	ckpt, tail, err = d2.ReadSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ckpt) != "ckpt-2\n" || string(tail) != "new-epoch\n" {
+		t.Errorf("reopened segments = %q / %q", ckpt, tail)
+	}
+}
+
+func TestDiskSweepsStaleGenerations(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crash between rotation and cleanup: both generations on
+	// disk, plus a torn temp file.
+	writeFile(t, filepath.Join(dir, "ckpt-00000001.wal"), "old-ckpt\n")
+	writeFile(t, filepath.Join(dir, "tail-00000001.wal"), "old-tail\n")
+	writeFile(t, filepath.Join(dir, "ckpt-00000002.wal"), "new-ckpt\n")
+	writeFile(t, filepath.Join(dir, "ckpt-00000003.wal.tmp"), "torn")
+
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Generation() != 2 {
+		t.Fatalf("gen = %d, want newest complete generation 2", d.Generation())
+	}
+	ckpt, tail, err := d.ReadSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ckpt) != "new-ckpt\n" {
+		t.Errorf("ckpt = %q", ckpt)
+	}
+	if len(tail) != 0 {
+		t.Errorf("missing tail should read empty, got %q", tail)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-00000001.wal")); !os.IsNotExist(err) {
+		t.Error("stale generation 1 checkpoint not swept")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-00000003.wal.tmp")); !os.IsNotExist(err) {
+		t.Error("temp file not swept")
+	}
+}
+
+func TestDiskTruncateTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CompleteRotate(func(w io.Writer) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(d, "good line\ntorn li")
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TruncateTail(int64(len("good line\n"))); err != nil {
+		t.Fatal(err)
+	}
+	_, tail, err := d.ReadSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail, []byte("good line\n")) {
+		t.Fatalf("tail after truncate = %q", tail)
+	}
+	d.Close()
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -77,16 +77,48 @@ type Record struct {
 	Origin   map[model.Item]model.Value `json:"origin,omitempty"`
 }
 
+// Syncer is the stable-media seam: a journal sink that can force buffered
+// bytes to durable storage. *os.File satisfies it, as does the segmented
+// tail of internal/store. Sinks without it (bytes.Buffer in tests, network
+// pipes) are treated as instantaneously durable.
+type Syncer interface {
+	Sync() error
+}
+
 // Writer appends records to a journal stream.
 type Writer struct {
-	enc *json.Encoder
-	seq int64
+	enc  *json.Encoder
+	sink io.Writer
+	seq  int64
 }
 
 // NewWriter starts a journal on w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{enc: json.NewEncoder(w)}
+	return &Writer{enc: json.NewEncoder(w), sink: w}
 }
+
+// Sync forces every appended record to stable media when the sink supports
+// it (Syncer) and is a no-op otherwise. Commit paths must call it before
+// acknowledging: a record that reached only the sink's buffer cache can
+// vanish on power loss.
+func (lw *Writer) Sync() error {
+	if s, ok := lw.sink.(Syncer); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// ResetSeq restarts sequence numbering so the next record is numbered
+// seq 1. The segmented base log uses it at checkpoint rotation: each tail
+// segment is an independent journal stream whose records Scan verifies as
+// contiguous from 1.
+func (lw *Writer) ResetSeq() { lw.seq = 0 }
+
+// SetSeq makes the next record carry sequence number seq+1 — reattaching a
+// writer to a recovered journal continues its numbering.
+func (lw *Writer) SetSeq(seq int64) { lw.seq = seq }
 
 func (lw *Writer) append(r Record) error {
 	lw.seq++

@@ -140,6 +140,15 @@ func (t *Transport) Call(ctx context.Context, payload []byte) ([]byte, error) {
 	if ctx.Err() != nil {
 		return nil, ctx.Err()
 	}
+	if errors.Is(rerr, ErrFrameTooLarge) || errors.Is(rerr, ErrBadVersion) {
+		// Protocol violations are deterministic — the same request redialed
+		// fails the same way. Surfacing them as ErrResponseLost would send
+		// the retry loop redialing forever; fail fast instead. (Servers
+		// with this fix substitute a small typed error frame before the
+		// response ever exceeds the limit; this guards against older
+		// peers.)
+		return nil, fmt.Errorf("wire: receive: %w", rerr)
+	}
 	return nil, fmt.Errorf("%w: %v", replica.ErrResponseLost, rerr)
 }
 

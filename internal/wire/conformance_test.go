@@ -16,6 +16,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -553,5 +554,55 @@ func TestPoolRedial(t *testing.T) {
 	}
 	if dials, redials := tr.Stats(); dials < 2 || redials < 1 {
 		t.Errorf("dials=%d redials=%d, want a transparent redial", dials, redials)
+	}
+}
+
+// countingTransport counts Calls passing through to the wrapped transport.
+type countingTransport struct {
+	replica.Transport
+	calls atomic.Int64
+}
+
+func (c *countingTransport) Call(ctx context.Context, payload []byte) ([]byte, error) {
+	c.calls.Add(1)
+	return c.Transport.Call(ctx, payload)
+}
+
+// TestOversizedCheckoutFailsFast: a master larger than the transport's
+// frame limit can never cross it, so the checkout must fail fast with the
+// typed replica.ErrOversized — not surface as a retryable lost response
+// and redial a request that can never succeed. Regression: the server used
+// to write the oversized response anyway, the client's read failed with
+// ErrFrameTooLarge wrapped into ErrResponseLost, and the jittered-backoff
+// retry loop redialed it MaxRetries times.
+func TestOversizedCheckoutFailsFast(t *testing.T) {
+	big := model.NewState()
+	for i := 0; i < 512; i++ {
+		big.Set(model.Item(fmt.Sprintf("item-%04d", i)), model.Value(i))
+	}
+	cluster := replica.NewBaseCluster(big, replica.Config{})
+	srv := replica.Serve(cluster)
+	defer srv.Close()
+	ws := NewServer(srv, ServerConfig{MaxFrame: 2048})
+	addr, err := ws.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+
+	tr := Dial(addr.String(), ClientConfig{MaxFrame: 2048})
+	defer tr.Close()
+	ct := &countingTransport{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err = replica.DialTransport(ctx, "m1", ct)
+	if !errors.Is(err, replica.ErrOversized) {
+		t.Fatalf("oversized checkout error = %v, want replica.ErrOversized", err)
+	}
+	if errors.Is(err, replica.ErrResponseLost) {
+		t.Errorf("oversized checkout classified as retryable lost response: %v", err)
+	}
+	if n := ct.calls.Load(); n != 1 {
+		t.Errorf("oversized checkout took %d attempts, want 1 (fail fast, no retry)", n)
 	}
 }

@@ -275,6 +275,17 @@ func (s *Server) serveConn(c net.Conn, reg *serverMetrics) {
 			reg.dropped()
 			return
 		}
+		if len(resp) > s.cfg.MaxFrame {
+			// The response cannot cross this transport — typically a
+			// master checkout larger than MaxFrame. Writing it anyway
+			// would make the client's read fail as a (retryable) lost
+			// response and redial a request that can never succeed;
+			// substitute the small typed in-band error so it fails fast
+			// (streaming checkout, ROADMAP item 1, is the real fix).
+			reg.rejected()
+			resp = replica.OversizedFrame(fmt.Sprintf(
+				"response is %d bytes, frame limit %d", len(resp), s.cfg.MaxFrame))
+		}
 		c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		if err := writeFrame(c, resp); err != nil {
 			return

@@ -110,7 +110,7 @@ echo "== race (sharded base tier: two-phase cross-shard merges + window barrier)
 # all-shards-contended deadlock smoke — all under the race detector.
 go test -race -count=1 -run 'TestShard|TestCrossShard|TestWindowBarrier' ./internal/replica/
 
-echo "== experiments (E0..E18) =="
+echo "== experiments (E0..E19) =="
 run_logged benchreport go run ./cmd/benchreport
 
 echo "== examples =="

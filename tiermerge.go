@@ -660,6 +660,23 @@ func RecoverBaseCluster(r io.Reader, cfg ClusterConfig) (*BaseCluster, *WALRecov
 	return replica.RecoverBaseCluster(r, cfg)
 }
 
+// OpenBase opens (or creates) a durable base cluster rooted at dir: the
+// storage engine keeps committed entries in MVCC version chains backed by
+// a segmented log (checkpoint + live tail), and recovery replays
+// checkpoint-then-tail instead of the full history. The cluster's
+// Checkpoint method rotates segments and truncates the log; CloseStore
+// releases the engine. See DESIGN.md §14.
+func OpenBase(dir string, initial State, cfg ClusterConfig) (*BaseCluster, *WALRecovery, error) {
+	return replica.OpenBase(dir, initial, cfg)
+}
+
+// OpenShardedBase is the sharded counterpart of OpenBase: each shard
+// recovers from (and persists to) its own engine under dir. One recovery
+// report is returned per shard.
+func OpenShardedBase(dir string, initial State, shards int, cfg ClusterConfig) (*ShardedBase, []*WALRecovery, error) {
+	return replica.OpenShardedBase(dir, initial, shards, cfg)
+}
+
 // Message-passing realization of the mobile/base split: a server over the
 // base tier, and clients whose checkout/merge/reprocess travel as
 // serialized payloads (journals, code) — real wire sizes included. The
