@@ -109,17 +109,29 @@ func runServe(args []string) error {
 		go http.Serve(debugLn, srv.DebugHandler())
 	}
 
-	var stopCkpt chan struct{}
+	var (
+		stopCkpt chan struct{}
+		ckptDone chan struct{}
+		ckptFail chan error
+	)
 	if durable != nil && *ckptIval > 0 {
 		stopCkpt = make(chan struct{})
+		ckptDone = make(chan struct{})
+		ckptFail = make(chan error, 1)
 		go func() {
+			defer close(ckptDone)
 			tick := time.NewTicker(*ckptIval)
 			defer tick.Stop()
 			for {
 				select {
 				case <-tick.C:
 					if err := durable.Checkpoint(); err != nil {
-						fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+						// A failed rotation wedges the journal: no commit
+						// can be acknowledged anymore. Drain and exit so a
+						// restart recovers the intact old generation,
+						// instead of serving errors indefinitely.
+						ckptFail <- err
+						return
 					}
 				case <-stopCkpt:
 					return
@@ -130,11 +142,21 @@ func runServe(args []string) error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	s := <-sig
-	fmt.Printf("received %s, draining\n", s)
+	var ckptErr error
+	select {
+	case s := <-sig:
+		fmt.Printf("received %s, draining\n", s)
+	case ckptErr = <-ckptFail:
+		fmt.Fprintf(os.Stderr, "checkpoint failed, draining: %v\n", ckptErr)
+	}
 
 	if stopCkpt != nil {
 		close(stopCkpt)
+		// Wait out an in-flight ticker checkpoint: the drain checkpoint
+		// below must not run concurrently with it (Checkpoint serializes
+		// internally, but the drain rotation must also be the *last* one,
+		// so the process exits with a freshly truncated log).
+		<-ckptDone
 	}
 	if debugLn != nil {
 		debugLn.Close()
@@ -142,7 +164,7 @@ func runServe(args []string) error {
 	if err := ws.Close(); err != nil {
 		return err
 	}
-	if durable != nil {
+	if durable != nil && ckptErr == nil {
 		// Final rotation: restart recovery replays one checkpoint and an
 		// empty tail instead of the whole run.
 		if err := durable.Checkpoint(); err != nil {
@@ -156,7 +178,7 @@ func runServe(args []string) error {
 		fmt.Printf(", %d responses dropped", drops)
 	}
 	fmt.Println()
-	return nil
+	return ckptErr
 }
 
 // itemName maps an index into the serve universe ("item0", "item1", ...);

@@ -85,6 +85,15 @@ type BaseCluster struct {
 	seq      int
 	journal  *wal.Writer
 
+	// ckptGate serializes Checkpoint calls (a one-slot semaphore, held
+	// across the boundary capture and the rotation file I/O — deliberately
+	// a channel, not a mutex, because it brackets blocking work and b.mu
+	// acquisition). Overlapping checkpoints would interleave their
+	// BeginRotate/ResetSeq boundary splits and flush records committed
+	// between the two captures into a generation the first rotation
+	// deletes — losing acknowledged commits. Nil without a durable store.
+	ckptGate chan struct{}
+
 	// store, when non-nil, receives every committed entry's writes stamped
 	// with its (window, pos) history coordinate; per-position base states
 	// are then served from its MVCC snapshots (Config.Store). disk is the
@@ -192,6 +201,7 @@ func NewBaseCluster(initial model.State, cfg Config) *BaseCluster {
 	}
 	if d, ok := cfg.Store.(*store.Disk); ok {
 		b.disk = d
+		b.ckptGate = make(chan struct{}, 1)
 	}
 	if b.store != nil {
 		// Seed the chains with the initial state at the first coordinate;

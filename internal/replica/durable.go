@@ -170,7 +170,18 @@ func recoverFromSegments(d *store.Disk, cfg Config) (*BaseCluster, *Recovery, er
 // and the rotation epoch split under the cluster mutex; the file work
 // (write, fsync, rename, truncate) runs outside it. Concurrent commits are
 // safe: their buffered records land in whichever tail their epoch selects,
-// and a commit's sync-before-ack blocks until the new tail is live.
+// and a commit's sync-before-ack parks on the rotation gate until the new
+// tail is live. Concurrent Checkpoint calls are serialized on ckptGate —
+// interleaved boundary splits would flush records committed between the
+// two captures into a generation the first rotation deletes.
+//
+// A failed rotation wedges the journal (store.Disk seals itself): the
+// boundary already restarted the record numbering, so appending to the
+// old tail again would corrupt it. From then on no commit or window
+// advance can force the log, so nothing further is acknowledged; the
+// on-disk old generation holds every commit acknowledged before the
+// failure, and restarting the cluster recovers it. Operators should treat
+// a Checkpoint error as fatal and restart.
 //
 //tiermerge:locks(none)
 //tiermerge:blocking
@@ -178,6 +189,8 @@ func (b *BaseCluster) Checkpoint() error {
 	if b.disk == nil {
 		return ErrNoDurableStore
 	}
+	b.ckptGate <- struct{}{}
+	defer func() { <-b.ckptGate }()
 	b.mu.Lock()
 	win := b.windowID
 	origin := b.windowOrigin.Clone()

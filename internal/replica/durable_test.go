@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
+	"sync"
 	"testing"
 
 	"tiermerge/internal/fault"
@@ -396,4 +398,91 @@ func TestOpenShardedBaseRecover(t *testing.T) {
 	if err := s2.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// --- Rotation-gate regressions at the cluster level.
+
+// TestConcurrentCommitsAndCheckpoints: commits racing checkpoint rotations
+// (including two concurrent Checkpoint callers, the serve ticker/drain
+// shape) must leave a log from which every acknowledged commit recovers.
+// Pre-fix, a commit syncing in the BeginRotate→CompleteRotate window could
+// fsync restarted-seq records into the outgoing tail (lost on rotation),
+// and overlapping Checkpoints could interleave their boundary splits.
+func TestConcurrentCommitsAndCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	b, _, err := OpenBase(dir, origin(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const commits = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < commits; i++ {
+			if err := b.ExecBase(workload.Deposit(fmt.Sprintf("T%d", i), tx.Base, "x", 1)); err != nil {
+				errs <- fmt.Errorf("commit %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if err := b.Checkpoint(); err != nil {
+					errs <- fmt.Errorf("checkpoint: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := b.Master()
+	// Crash without Close: recovery must see every acknowledged commit.
+	b2, rec, err := OpenBase(dir, nil, Config{})
+	if err != nil {
+		t.Fatalf("recovery after concurrent checkpoints: %v", err)
+	}
+	defer b2.CloseStore()
+	if !b2.Master().Equal(want) {
+		t.Errorf("recovered master %s != %s (dropped %d)", b2.Master(), want, rec.Dropped)
+	}
+}
+
+// TestCheckpointFailureStopsAcks: a failed rotation wedges the journal —
+// the boundary already restarted the record numbering, so continuing to
+// append would corrupt the old tail. No later commit may be acknowledged.
+// Pre-fix, the cluster kept serving and the next sync planted an interior
+// sequence break that made the log unrecoverable despite acked commits.
+func TestCheckpointFailureStopsAcks(t *testing.T) {
+	dir := t.TempDir()
+	b, _, err := OpenBase(dir, origin(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExecBase(workload.Deposit("T1", tx.Base, "x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the data directory so the rotation cannot stage its temp
+	// checkpoint file.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint into a removed directory must fail")
+	}
+	if err := b.ExecBase(workload.Deposit("T2", tx.Base, "x", 1)); err == nil {
+		t.Fatal("commit after a failed rotation must not be acknowledged")
+	}
+	if err := b.Checkpoint(); err == nil {
+		t.Fatal("a wedged log must keep failing checkpoints, not resurrect itself")
+	}
+	b.CloseStore() // wedge error expected; this releases the tail fd
 }

@@ -18,6 +18,17 @@
 // pairs, or the new pair with a missing tail; OpenDisk picks the newest
 // generation with a readable checkpoint and sweeps the rest.
 //
+// Rotation gate: BeginRotate opens a pending-rotation window (rotDone)
+// during which Sync parks — without holding any mutex — instead of
+// flushing. Bytes buffered after the boundary are numbered for the NEXT
+// tail stream; flushing them into the outgoing tail would plant a
+// sequence restart mid-file that Strict recovery rejects, and would let
+// the subsequent generation sweep delete an acknowledged record's only
+// durable copy. CompleteRotate resolves the gate: on success parked Syncs
+// flush to the new tail; on failure the log is wedged (failed) — Write
+// and Sync report the error, no commit acknowledges on a broken stream,
+// and the on-disk old generation stays intact for recovery after restart.
+//
 // Lock discipline: Write only appends to an in-memory buffer and is safe
 // under the cluster mutex (group commit: many committers buffer under the
 // lock, the first Sync outside it flushes and fsyncs for all). Sync,
@@ -45,8 +56,9 @@ type Disk struct {
 	table
 	dir string
 
-	// bmu guards the pending buffers — memory-only, safe under the cluster
-	// mutex and safe to take nested under fmu (it never waits on anything).
+	// bmu guards the pending buffers and the rotation-gate state —
+	// memory-only, safe under the cluster mutex and safe to take nested
+	// under fmu (it never waits on anything).
 	//
 	//tiermerge:leafmutex
 	bmu sync.Mutex
@@ -54,6 +66,18 @@ type Disk struct {
 	// still has to flush to the outgoing tail; buf holds bytes destined for
 	// the current (or, mid-rotation, the next) tail.
 	old, buf []byte
+	// rotDone is non-nil while a rotation boundary is pending (between
+	// BeginRotate and CompleteRotate) and is closed when the rotation
+	// resolves. While pending, Sync must not flush buf: those bytes are
+	// numbered for the next tail stream and may only be written once
+	// CompleteRotate has installed it.
+	rotDone chan struct{}
+	// failed is the sticky wedge: set when a rotation fails, after which
+	// Write and Sync report it and nothing is acknowledged — continuing to
+	// append a restarted-sequence stream to the old tail would make the
+	// log unrecoverable. The on-disk old generation stays intact; a
+	// restart recovers it.
+	failed error
 
 	// fmu orders all file operations: flushes, fsyncs and rotation. A Sync
 	// racing a rotation blocks here until the new tail is in place, so an
@@ -64,10 +88,20 @@ type Disk struct {
 	//tiermerge:iomutex
 	fmu      sync.Mutex
 	gen      int
-	tail     *os.File
+	tail     tailFile
 	unsynced bool
 
 	mLogWritten, mLogTruncated *obs.Counter
+}
+
+// tailFile is the live tail's file surface — *os.File in production;
+// the package's tests substitute fault-injecting implementations to
+// exercise partial writes and sync failures.
+type tailFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Truncate(size int64) error
 }
 
 // RotateStats reports one checkpoint rotation.
@@ -206,85 +240,182 @@ func (d *Disk) TruncateTail(n int64) error {
 
 // Write buffers p for the live tail. It never touches the file — commit
 // paths call it while holding the cluster mutex; the bytes reach stable
-// media at the next Sync.
+// media at the next Sync. On a wedged log (a rotation failed) it reports
+// the sticky failure so commit paths stop before buffering records that
+// can never be forced.
 //
 //tiermerge:nonblocking
 func (d *Disk) Write(p []byte) (int, error) {
 	d.bmu.Lock()
+	if err := d.failed; err != nil {
+		d.bmu.Unlock()
+		return 0, err
+	}
 	d.buf = append(d.buf, p...)
 	d.bmu.Unlock()
 	return len(p), nil
+}
+
+// Failed reports the sticky wedge state: non-nil once a rotation has
+// failed, after which no append or sync can succeed and the cluster must
+// stop acknowledging (restart and recover the intact old generation).
+func (d *Disk) Failed() error {
+	d.bmu.Lock()
+	defer d.bmu.Unlock()
+	return d.failed
 }
 
 // Sync flushes buffered tail bytes to the live tail file and forces them
 // to stable media. Concurrent committers group-commit: whoever enters
 // first flushes everyone's buffered records (the buffer preserves commit
 // order); later entrants find nothing pending and return after a cheap
-// check. Must not be called under the cluster mutex.
+// check. A Sync racing a rotation parks until CompleteRotate resolves the
+// gate: bytes buffered after the boundary belong to the next tail stream
+// and must never reach the outgoing one. Must not be called under the
+// cluster mutex.
 //
 //tiermerge:blocking
 func (d *Disk) Sync() error {
-	d.fmu.Lock()
-	defer d.fmu.Unlock()
-	return d.syncLocked()
+	for {
+		if err := d.awaitRotation(); err != nil {
+			return err
+		}
+		d.fmu.Lock()
+		retry, err := d.syncLocked()
+		d.fmu.Unlock()
+		if !retry {
+			return err
+		}
+	}
 }
 
-func (d *Disk) syncLocked() error {
+// awaitRotation parks until no rotation boundary is pending, then reports
+// the wedge state. It holds no mutex while waiting — CompleteRotate needs
+// fmu to resolve the gate, and the gate channel itself is read under bmu
+// and waited on bare.
+//
+//tiermerge:blocking
+func (d *Disk) awaitRotation() error {
+	for {
+		d.bmu.Lock()
+		ch, err := d.rotDone, d.failed
+		d.bmu.Unlock()
+		if err != nil {
+			return err
+		}
+		if ch == nil {
+			return nil
+		}
+		<-ch
+	}
+}
+
+// syncLocked flushes and fsyncs under fmu. retry reports that a rotation
+// boundary landed between the caller's awaitRotation and fmu acquisition:
+// the buffered bytes now belong to the next tail, so the caller must park
+// again and re-enter once the rotation resolves.
+func (d *Disk) syncLocked() (retry bool, err error) {
 	d.bmu.Lock()
+	if d.rotDone != nil {
+		d.bmu.Unlock()
+		return true, nil
+	}
+	if err := d.failed; err != nil {
+		d.bmu.Unlock()
+		return false, err
+	}
 	pending := d.buf
 	d.buf = nil
 	d.bmu.Unlock()
 	if len(pending) == 0 && !d.unsynced {
-		return nil
+		return false, nil
 	}
 	if d.tail == nil {
-		return fmt.Errorf("store: no live tail (rotate first)")
+		return false, fmt.Errorf("store: no live tail (rotate first)")
 	}
 	if len(pending) > 0 {
-		if _, err := d.tail.Write(pending); err != nil {
-			// Put the bytes back so a retried Sync does not lose them.
-			d.bmu.Lock()
-			d.buf = append(pending, d.buf...)
-			d.bmu.Unlock()
-			return fmt.Errorf("store: tail write: %w", err)
+		n, werr := d.tail.Write(pending)
+		if n > 0 {
+			d.unsynced = true
+			if d.mLogWritten != nil {
+				d.mLogWritten.Add(int64(n))
+			}
 		}
-		d.unsynced = true
-		if d.mLogWritten != nil {
-			d.mLogWritten.Add(int64(len(pending)))
+		if werr != nil {
+			// Re-queue only the suffix the (possibly partial) write did
+			// not persist: the first n bytes are already in the file, and
+			// rewriting them on retry would duplicate interior records —
+			// a sequence error Strict recovery rejects.
+			d.bmu.Lock()
+			d.buf = append(pending[n:], d.buf...)
+			d.bmu.Unlock()
+			return false, fmt.Errorf("store: tail write: %w", werr)
 		}
 	}
 	if err := d.tail.Sync(); err != nil {
-		return fmt.Errorf("store: tail sync: %w", err)
+		return false, fmt.Errorf("store: tail sync: %w", err)
 	}
 	d.unsynced = false
-	return nil
+	return false, nil
 }
 
 // BeginRotate marks the checkpoint boundary: bytes buffered so far belong
-// to the outgoing tail, bytes buffered after it to the next one. Memory
-// only — callers invoke it inside the same critical section that snapshots
-// the state the checkpoint will record, then call CompleteRotate outside
-// the lock.
+// to the outgoing tail, bytes buffered after it to the next one. It also
+// opens the rotation gate — Syncs arriving before CompleteRotate resolves
+// it park instead of flushing post-boundary bytes into the outgoing tail.
+// Memory only — callers invoke it inside the same critical section that
+// snapshots the state the checkpoint will record, then call CompleteRotate
+// outside the lock. Every BeginRotate must be paired with a CompleteRotate
+// (parked Syncs wait for it).
 //
 //tiermerge:nonblocking
 func (d *Disk) BeginRotate() {
 	d.bmu.Lock()
 	d.old = append(d.old, d.buf...)
 	d.buf = nil
+	if d.rotDone == nil {
+		d.rotDone = make(chan struct{})
+	}
+	d.bmu.Unlock()
+}
+
+// resolveRotation closes the rotation gate, releasing parked Syncs. A
+// non-nil err wedges the log first, so the released Syncs (and every
+// later Write) report the failure instead of appending a broken stream
+// to the old tail.
+func (d *Disk) resolveRotation(err error) {
+	d.bmu.Lock()
+	if err != nil && d.failed == nil {
+		d.failed = fmt.Errorf("store: log wedged by failed rotation: %w", err)
+	}
+	if d.rotDone != nil {
+		close(d.rotDone)
+		d.rotDone = nil
+	}
 	d.bmu.Unlock()
 }
 
 // CompleteRotate performs the file work of a checkpoint rotation: flush
 // the outgoing tail, write the new checkpoint through writeCkpt (temp file,
 // fsync, atomic rename), open a fresh tail, and delete the previous
-// generation. A failure before the rename leaves the old generation intact
-// and the buffered boundary bytes queued for it. Must not be called under
-// the cluster mutex.
+// generation. On success it resolves the rotation gate and parked Syncs
+// flush into the new tail. On failure the on-disk old generation is left
+// intact (a publish that got as far as the rename is rolled back) and the
+// log is wedged: the journal's record numbering was already split at the
+// boundary, so appending to the old tail again would corrupt it — Write
+// and Sync report the failure, no commit acknowledges, and a restart
+// recovers the old generation. Must not be called under the cluster mutex.
 //
 //tiermerge:blocking
 func (d *Disk) CompleteRotate(writeCkpt func(w io.Writer) error) (RotateStats, error) {
 	d.fmu.Lock()
-	defer d.fmu.Unlock()
+	st, err := d.completeRotateLocked(writeCkpt)
+	d.fmu.Unlock()
+	d.resolveRotation(err)
+	return st, err
+}
+
+func (d *Disk) completeRotateLocked(writeCkpt func(w io.Writer) error) (RotateStats, error) {
 	var st RotateStats
 
 	// Complete the outgoing generation: everything acknowledged before the
@@ -298,12 +429,18 @@ func (d *Disk) CompleteRotate(writeCkpt func(w io.Writer) error) (RotateStats, e
 			d.restoreOld(old)
 			return st, fmt.Errorf("store: rotate: boundary bytes with no live tail")
 		}
-		if _, err := d.tail.Write(old); err != nil {
-			d.restoreOld(old)
-			return st, fmt.Errorf("store: rotate: flush outgoing tail: %w", err)
+		n, err := d.tail.Write(old)
+		if n > 0 {
+			d.unsynced = true
+			if d.mLogWritten != nil {
+				d.mLogWritten.Add(int64(n))
+			}
 		}
-		if d.mLogWritten != nil {
-			d.mLogWritten.Add(int64(len(old)))
+		if err != nil {
+			// Re-queue only what the (possibly partial) write left
+			// unpersisted; the first n bytes are already in the file.
+			d.restoreOld(old[n:])
+			return st, fmt.Errorf("store: rotate: flush outgoing tail: %w", err)
 		}
 	}
 	if d.tail != nil {
@@ -344,10 +481,15 @@ func (d *Disk) CompleteRotate(writeCkpt func(w io.Writer) error) (RotateStats, e
 
 	newTail, err := os.OpenFile(d.tailPath(next), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		// The new checkpoint is already durable and complete; surface the
-		// error but keep the generation switch (recovery reads it with an
-		// empty tail).
+		// Roll the publish back: remove the just-renamed checkpoint so the
+		// directory keeps describing the old generation, whose tail is
+		// still the one d.gen/d.tail point at. (The new checkpoint was
+		// durable and self-contained, but advancing d.gen without a live
+		// tail would leave in-memory and on-disk state describing
+		// different generations.) The failure wedges the log either way;
+		// recovery after restart replays the intact old generation.
 		os.Remove(d.ckptPath(next))
+		syncDir(d.dir)
 		return st, fmt.Errorf("store: rotate: open new tail: %w", err)
 	}
 
@@ -370,10 +512,15 @@ func (d *Disk) CompleteRotate(writeCkpt func(w io.Writer) error) (RotateStats, e
 	return st, nil
 }
 
-// restoreOld re-queues boundary bytes after a failed rotation so the next
-// Sync or rotation attempt still flushes them, in order, before anything
-// buffered later.
+// restoreOld re-queues unpersisted boundary bytes after a failed rotation
+// step, keeping the buffer state an honest picture of what never reached
+// the file. (The failure wedges the log, so they are never flushed — but
+// Close and post-mortem inspection see exactly what was lost, and none of
+// it was acknowledged.)
 func (d *Disk) restoreOld(old []byte) {
+	if len(old) == 0 {
+		return
+	}
 	d.bmu.Lock()
 	d.old = append(old, d.old...)
 	d.bmu.Unlock()
@@ -390,20 +537,21 @@ func (d *Disk) LogSize() int64 {
 	return fileSize(d.ckptPath(d.gen)) + fileSize(d.tailPath(d.gen))
 }
 
-// Close flushes and closes the live tail.
+// Close flushes and closes the live tail. It waits out a pending rotation
+// like Sync does; on a wedged log it still releases the file descriptor
+// and returns the wedge error.
 //
 //tiermerge:blocking
 func (d *Disk) Close() error {
+	err := d.Sync()
 	d.fmu.Lock()
 	defer d.fmu.Unlock()
-	if d.tail == nil {
-		return nil
+	if d.tail != nil {
+		if cerr := d.tail.Close(); err == nil {
+			err = cerr
+		}
+		d.tail = nil
 	}
-	err := d.syncLocked()
-	if cerr := d.tail.Close(); err == nil {
-		err = cerr
-	}
-	d.tail = nil
 	return err
 }
 
